@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation (paper §5.5/§6.2): time-slice sensitivity.  The paper
+ * suspects Figure 5's large-block advantage "is an artifact of the
+ * context switch interval used in simulations" — a short slice
+ * favours spatial over temporal locality.  This bench sweeps the
+ * quantum and reports how the best block/page size moves.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/cost_model.hh"
+#include "util/units.hh"
+
+using namespace rampage;
+
+int
+main()
+{
+    benchBanner(
+        "Ablation - time-slice (quantum) sensitivity",
+        "Sec 5.5: a short time slice favours larger blocks because "
+        "they trade temporal for spatial locality; the optimal block "
+        "size may depend on the context-switch interval");
+
+    SimConfig sim = defaultSimConfig();
+    constexpr std::uint64_t rate = 4'000'000'000ull;
+
+    TextTable table;
+    std::vector<std::string> header = {"quantum", "system"};
+    for (const std::string &label : blockSizeLabels())
+        header.push_back(label);
+    header.push_back("best size");
+    table.setHeader(header);
+
+    for (std::uint64_t quantum : {30'000ull, 120'000ull, 480'000ull}) {
+        sim.quantumRefs = quantum;
+        for (const char *family : {"baseline", "rampage"}) {
+            std::vector<std::string> row = {
+                cellf("%lluK", static_cast<unsigned long long>(
+                                   quantum / 1000)),
+                family};
+            Tick best = ~Tick{0};
+            std::string best_label;
+            auto labels = blockSizeLabels();
+            std::size_t i = 0;
+            for (std::uint64_t size : blockSizeSweep()) {
+                SimResult result =
+                    std::string(family) == "baseline"
+                        ? simulateConventional(
+                              baselineConfig(rate, size), sim)
+                        : simulateRampage(rampageConfig(rate, size),
+                                          sim);
+                std::fprintf(stderr, "  [q=%llu %s %s done]\n",
+                             static_cast<unsigned long long>(quantum),
+                             family, formatByteSize(size).c_str());
+                row.push_back(formatSeconds(result.elapsedPs));
+                if (result.elapsedPs < best) {
+                    best = result.elapsedPs;
+                    best_label = labels[i];
+                }
+                ++i;
+            }
+            row.push_back(best_label);
+            table.addRow(row);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

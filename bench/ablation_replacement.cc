@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §5): RAMpage page-replacement policy.  The
+ * paper uses the clock algorithm (§4.5) and suggests the standby
+ * page list — the software analogue of a victim cache (§3.2) — as a
+ * refinement; this bench quantifies clock against FIFO, random, true
+ * LRU and clock+standby at the paper's best page size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/cost_model.hh"
+#include "util/units.hh"
+
+using namespace rampage;
+
+int
+main()
+{
+    benchBanner(
+        "Ablation - RAMpage page replacement policy (1KB pages)",
+        "the paper uses clock (Sec 4.5) and proposes a standby page "
+        "list as the victim-cache analogue (Sec 3.2); 'varying the "
+        "complexity of the replacement strategy' is a claimed benefit "
+        "of software management (Sec 6.4)");
+    benchScale();
+
+    TextTable table;
+    table.setHeader({"policy", "faults", "dirty-wb", "time(s)@1GHz",
+                     "time(s)@4GHz", "vs clock @4GHz"});
+
+    SimConfig sim = defaultSimConfig();
+    Tick clock_time = 0;
+    for (PageReplKind kind :
+         {PageReplKind::Clock, PageReplKind::Fifo, PageReplKind::Random,
+          PageReplKind::Lru, PageReplKind::Standby}) {
+        RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
+        cfg.pager.repl = kind;
+        cfg.pager.standbyPages = 32;
+        SimResult result = simulateRampage(cfg, sim);
+        std::fprintf(stderr, "  [%s done]\n", pageReplKindName(kind));
+        Tick fast = totalTimePs(result.counts, 4'000'000'000ull);
+        if (kind == PageReplKind::Clock)
+            clock_time = fast;
+        table.addRow({
+            pageReplKindName(kind),
+            cellf("%llu", static_cast<unsigned long long>(
+                              result.counts.l2Misses)),
+            cellf("%llu", static_cast<unsigned long long>(
+                              result.counts.dramWrites)),
+            formatSeconds(totalTimePs(result.counts, 1'000'000'000ull)),
+            formatSeconds(fast),
+            cellf("%+.2f%%", 100.0 *
+                                 (static_cast<double>(fast) -
+                                  static_cast<double>(clock_time)) /
+                                 static_cast<double>(clock_time)),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

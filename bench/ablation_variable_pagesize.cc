@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation (paper §6.2/§6.3): per-process SRAM page sizes.  The paper
+ * argues software management permits "choosing the SRAM page size on
+ * the fly" and reports work in progress on "the value of a variable
+ * SRAM page size; initial results show that variation can make a
+ * difference in individual programs but that a single page size may
+ * be optimal for most programs".
+ *
+ * Procedure: (1) probe each Table 2 program alone to pick its best
+ * page size; (2) run the multiprogrammed workload under (a) each
+ * fixed page size and (b) the variable pager giving every process its
+ * own best size; compare.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/cost_model.hh"
+#include "core/rampage.hh"
+#include "core/rampage_var.hh"
+#include "core/simulator.hh"
+#include "trace/benchmarks.hh"
+#include "util/units.hh"
+
+using namespace rampage;
+
+namespace
+{
+
+constexpr std::uint64_t rate = 4'000'000'000ull;
+
+/** Best page size for one program running alone. */
+std::uint64_t
+probeBestSize(const ProgramProfile &profile, std::uint64_t refs)
+{
+    Tick best = ~Tick{0};
+    std::uint64_t best_size = 1024;
+    for (std::uint64_t size : blockSizeSweep()) {
+        RampageHierarchy hier(rampageConfig(rate, size));
+        std::vector<std::unique_ptr<TraceSource>> workload;
+        workload.push_back(
+            std::make_unique<SyntheticProgram>(profile, 0));
+        SimConfig sim;
+        sim.maxRefs = refs;
+        sim.quantumRefs = refs;
+        sim.insertSwitchTrace = false;
+        Simulator driver(hier, std::move(workload), sim);
+        Tick t = driver.run().elapsedPs;
+        if (t < best) {
+            best = t;
+            best_size = size;
+        }
+    }
+    return best_size;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchBanner(
+        "Ablation - variable (per-process) SRAM page size (Sec 6.2)",
+        "\"variation can make a difference in individual programs but "
+        "... a single page size may be optimal for most programs\"; "
+        "the only hardware support needed is a MIPS-style "
+        "variable-page TLB");
+    benchScale();
+
+    ExperimentScale scale = experimentScale();
+    std::uint64_t probe_refs = scale.refs / 24;
+
+    // Step 1: per-program best sizes.
+    VarPagerParams var_params;
+    var_params.baseFrameBytes = 128;
+    std::printf("per-program best page sizes (solo probes):\n  ");
+    Pid pid = 0;
+    for (const ProgramProfile &profile : benchmarkRoster()) {
+        std::uint64_t best = probeBestSize(profile, probe_refs);
+        var_params.pageBytesByPid[pid] = best;
+        std::printf("%s=%s ", profile.name.c_str(),
+                    formatByteSize(best).c_str());
+        ++pid;
+    }
+    std::printf("\n\n");
+
+    // Step 2: multiprogrammed comparison.
+    SimConfig sim = defaultSimConfig();
+    TextTable table;
+    table.setHeader({"configuration", "faults", "time(s)@4GHz"});
+
+    Tick best_fixed = ~Tick{0};
+    std::string best_fixed_label;
+    for (std::uint64_t size : blockSizeSweep()) {
+        SimResult result = simulateRampage(rampageConfig(rate, size), sim);
+        std::fprintf(stderr, "  [fixed %s done]\n",
+                     formatByteSize(size).c_str());
+        table.addRow({"fixed " + formatByteSize(size),
+                      cellf("%llu", static_cast<unsigned long long>(
+                                        result.counts.l2Misses)),
+                      formatSeconds(result.elapsedPs)});
+        if (result.elapsedPs < best_fixed) {
+            best_fixed = result.elapsedPs;
+            best_fixed_label = formatByteSize(size);
+        }
+    }
+
+    VarRampageConfig var_cfg;
+    var_cfg.common = defaultCommon(rate);
+    var_cfg.pager = var_params;
+    VarRampageHierarchy var_hier(var_cfg);
+    Simulator var_driver(var_hier, makeWorkload(), sim);
+    SimResult var_result = var_driver.run();
+    table.addRow({"variable (per-process best)",
+                  cellf("%llu", static_cast<unsigned long long>(
+                                    var_result.counts.l2Misses)),
+                  formatSeconds(var_result.elapsedPs)});
+
+    std::printf("%s\n", table.render().c_str());
+    double delta = 100.0 *
+                   (static_cast<double>(best_fixed) -
+                    static_cast<double>(var_result.elapsedPs)) /
+                   static_cast<double>(best_fixed);
+    std::printf("variable vs best fixed (%s): %+.1f%%\n",
+                best_fixed_label.c_str(), delta);
+    return 0;
+}

@@ -1,0 +1,75 @@
+#include "bench_common.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/cost_model.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+
+void
+benchBanner(const std::string &title, const std::string &paper_says)
+{
+    std::printf("================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper: %s\n", paper_says.c_str());
+    std::printf("================================================================\n");
+}
+
+void
+benchScale()
+{
+    ExperimentScale scale = experimentScale();
+    std::printf("scale: %llu refs per run, %llu-ref time slices "
+                "(RAMPAGE_REFS / RAMPAGE_QUANTUM / RAMPAGE_FULL=1 to "
+                "change)\n\n",
+                static_cast<unsigned long long>(scale.refs),
+                static_cast<unsigned long long>(scale.quantumRefs));
+}
+
+std::vector<std::string>
+blockSizeLabels()
+{
+    std::vector<std::string> labels;
+    for (std::uint64_t size : blockSizeSweep())
+        labels.push_back(formatByteSize(size));
+    return labels;
+}
+
+std::vector<SimResult>
+runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
+{
+    std::vector<SimResult> results;
+    SimConfig sim = defaultSimConfig();
+    for (std::uint64_t size : blockSizeSweep()) {
+        if (family == "baseline") {
+            results.push_back(
+                simulateConventional(baselineConfig(issue_hz, size), sim));
+        } else if (family == "2way") {
+            results.push_back(
+                simulateConventional(twoWayConfig(issue_hz, size), sim));
+        } else if (family == "rampage") {
+            results.push_back(
+                simulateRampage(rampageConfig(issue_hz, size), sim));
+        } else {
+            fatal("unknown system family '%s'", family.c_str());
+        }
+        std::fprintf(stderr, "  [%s %s done]\n", family.c_str(),
+                     formatByteSize(size).c_str());
+    }
+    return results;
+}
+
+Tick
+bestTimePs(const std::vector<SimResult> &results, std::uint64_t issue_hz)
+{
+    Tick best = ~Tick{0};
+    for (const SimResult &result : results)
+        best = std::min(best, totalTimePs(result.counts, issue_hz));
+    return best;
+}
+
+} // namespace rampage

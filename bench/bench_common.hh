@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared scaffolding for the experiment benches: every binary under
+ * bench/ regenerates one table or figure from the paper, printing the
+ * same rows/series the paper reports plus a short header restating
+ * what the paper found, so runs can be compared shape-for-shape (see
+ * EXPERIMENTS.md).
+ */
+
+#ifndef RAMPAGE_BENCH_COMMON_HH
+#define RAMPAGE_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "stats/table.hh"
+
+namespace rampage
+{
+
+/** Print the standard bench banner. */
+void benchBanner(const std::string &title, const std::string &paper_says);
+
+/** Print the scale the run used (refs, quantum, rates). */
+void benchScale();
+
+/** "128B"-style labels for the block/page sweep. */
+std::vector<std::string> blockSizeLabels();
+
+/**
+ * Run one behavioural (blocking) simulation per block size for a
+ * system family and return the results in sweep order.  `family` is
+ * "baseline", "2way" or "rampage".
+ */
+std::vector<SimResult> runBlockingSweep(const std::string &family,
+                                        std::uint64_t issue_hz);
+
+/** Minimum elapsed time across a row of results priced at a rate. */
+Tick bestTimePs(const std::vector<SimResult> &results,
+                std::uint64_t issue_hz);
+
+} // namespace rampage
+
+#endif // RAMPAGE_BENCH_COMMON_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates the paper's **Figure 5**: RAMpage (context switches on
+ * misses) versus the 2-way associative L2, as a relative measure —
+ * "n means 1.n times slower than the best time for each CPU speed" —
+ * per block/page size and issue rate.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/cost_model.hh"
+#include "util/units.hh"
+
+using namespace rampage;
+
+int
+main()
+{
+    benchBanner(
+        "Figure 5 - RAMpage (switch-on-miss) vs 2-way L2, relative "
+        "slowdown vs best-per-rate",
+        "the two systems are close; larger block sizes become "
+        "favourable for the 2-way hierarchy as the CPU-DRAM gap grows "
+        "(possibly an artifact of the fixed context-switch interval)");
+    benchScale();
+
+    auto two_way = runBlockingSweep("2way", 1'000'000'000ull);
+
+    SimConfig sim = defaultSimConfig(true);
+    auto labels = blockSizeLabels();
+
+    TextTable table;
+    std::vector<std::string> header = {"issue rate", "system"};
+    for (const std::string &label : labels)
+        header.push_back(label);
+    table.setHeader(header);
+
+    for (std::uint64_t rate : issueRates()) {
+        // Simulate the timing-coupled switch-on-miss runs at this
+        // rate; price the 2-way runs from the behavioural sweep.
+        std::vector<Tick> switch_times;
+        for (std::uint64_t size : blockSizeSweep()) {
+            SimResult result =
+                simulateRampage(rampageConfig(rate, size, true), sim);
+            std::fprintf(stderr, "  [switch %s @%s done]\n",
+                         formatByteSize(size).c_str(),
+                         formatFrequency(rate).c_str());
+            switch_times.push_back(result.elapsedPs);
+        }
+        std::vector<Tick> two_way_times;
+        for (const SimResult &result : two_way)
+            two_way_times.push_back(totalTimePs(result.counts, rate));
+
+        Tick best = ~Tick{0};
+        for (Tick t : switch_times)
+            best = std::min(best, t);
+        for (Tick t : two_way_times)
+            best = std::min(best, t);
+
+        auto relative = [&](Tick t) {
+            return cellf("%.3f", static_cast<double>(t) /
+                                     static_cast<double>(best) -
+                                 1.0);
+        };
+        std::vector<std::string> row = {formatFrequency(rate),
+                                        "RAMpage+switch"};
+        for (Tick t : switch_times)
+            row.push_back(relative(t));
+        table.addRow(row);
+        row = {"", "2-way L2"};
+        for (Tick t : two_way_times)
+            row.push_back(relative(t));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("each cell is n where the system is 1.n times slower "
+                "than the best time for that CPU speed (0 = the best "
+                "configuration).\n");
+    return 0;
+}

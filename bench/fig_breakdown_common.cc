@@ -1,0 +1,63 @@
+#include "fig_breakdown_common.hh"
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/cost_model.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+void
+printSystem(const char *name, const std::vector<SimResult> &results,
+            std::uint64_t issue_hz, const std::string &l2_name)
+{
+    std::printf("(%s)\n", name);
+    TextTable table;
+    table.setHeader({"size", "L1i%", "L1d%",
+                     l2_name + "%", "DRAM%", "total(s)"});
+    auto labels = blockSizeLabels();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        TimeBreakdown bd = priceEvents(results[i].counts, issue_hz);
+        table.addRow({
+            labels[i],
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L1I)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L1D)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L2)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::Dram)),
+            formatSeconds(bd.total()),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+runBreakdownFigure(const char *figure, std::uint64_t issue_hz,
+                   const char *paper_says)
+{
+    benchBanner(std::string(figure) +
+                    " - fraction of run time per hierarchy level, " +
+                    formatFrequency(issue_hz) + " issue rate",
+                paper_says);
+    benchScale();
+
+    auto baseline = runBlockingSweep("baseline", issue_hz);
+    auto rampage_r = runBlockingSweep("rampage", issue_hz);
+
+    printSystem("a: direct-mapped L2", baseline, issue_hz, "L2");
+    printSystem("b: RAMpage", rampage_r, issue_hz, "SRAM MM");
+
+    std::printf("note: L1d counts only inclusion maintenance (data "
+                "hits are fully pipelined); L1i includes instruction "
+                "fetches and inclusion probes, per the paper's Fig 2 "
+                "caption.\n");
+    return 0;
+}
+
+} // namespace rampage

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Shared implementation of Figures 2 and 3: fraction of simulated
+ * run time spent in each hierarchy level, per block/page size, for
+ * the direct-mapped baseline and RAMpage at one issue rate.
+ */
+
+#ifndef RAMPAGE_BENCH_FIG_BREAKDOWN_COMMON_HH
+#define RAMPAGE_BENCH_FIG_BREAKDOWN_COMMON_HH
+
+#include <cstdint>
+
+namespace rampage
+{
+
+/** Run and print the figure at the given issue rate. */
+int runBreakdownFigure(const char *figure, std::uint64_t issue_hz,
+                       const char *paper_says);
+
+} // namespace rampage
+
+#endif // RAMPAGE_BENCH_FIG_BREAKDOWN_COMMON_HH

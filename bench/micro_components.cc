@@ -1,0 +1,131 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: the
+ * cache tag walk, TLB lookup, inverted-page-table lookup, synthetic
+ * trace generation, Rambus pricing, and whole-hierarchy access.
+ * These document the simulator's own performance (references per
+ * second), which bounds how far RAMPAGE_FULL-scale runs can go.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "core/sweep.hh"
+#include "dram/rambus.hh"
+#include "os/inverted_page_table.hh"
+#include "tlb/tlb.hh"
+#include "trace/benchmarks.hh"
+#include "trace/synthetic.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace rampage;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheParams params;
+    params.sizeBytes = 16 * kib;
+    params.blockBytes = 32;
+    params.assoc = static_cast<unsigned>(state.range(0));
+    SetAssocCache cache(params);
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 18), false).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(8);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb;
+    for (std::uint64_t vpn = 0; vpn < 64; ++vpn)
+        tlb.insert(0, vpn, vpn);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(0, rng.below(96)).hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_IptLookup(benchmark::State &state)
+{
+    InvertedPageTable ipt(4096, 0);
+    for (std::uint64_t f = 0; f < 4096; ++f)
+        ipt.insert(f, 0, f * 3);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            ipt.lookup(0, rng.below(4096) * 3).found);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IptLookup);
+
+void
+BM_SyntheticGeneration(benchmark::State &state)
+{
+    SyntheticProgram prog(benchmarkProfile("gcc"), 0);
+    MemRef ref;
+    for (auto _ : state) {
+        prog.next(ref);
+        benchmark::DoNotOptimize(ref.vaddr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticGeneration);
+
+void
+BM_RambusPricing(benchmark::State &state)
+{
+    DirectRambus rambus;
+    std::uint64_t bytes = 2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rambus.readPs(bytes));
+        bytes = bytes >= 4096 ? 2 : bytes * 2;
+    }
+}
+BENCHMARK(BM_RambusPricing);
+
+void
+BM_ConventionalAccess(benchmark::State &state)
+{
+    ConventionalHierarchy hier(
+        baselineConfig(1'000'000'000ull, state.range(0)));
+    SyntheticProgram prog(benchmarkProfile("gcc"), 0);
+    MemRef ref;
+    for (auto _ : state) {
+        prog.next(ref);
+        benchmark::DoNotOptimize(hier.access(ref).cpuPs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConventionalAccess)->Arg(128)->Arg(4096);
+
+void
+BM_RampageAccess(benchmark::State &state)
+{
+    RampageHierarchy hier(
+        rampageConfig(1'000'000'000ull, state.range(0)));
+    SyntheticProgram prog(benchmarkProfile("gcc"), 0);
+    MemRef ref;
+    for (auto _ : state) {
+        prog.next(ref);
+        benchmark::DoNotOptimize(hier.access(ref).cpuPs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RampageAccess)->Arg(128)->Arg(1024)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

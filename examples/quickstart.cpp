@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build the paper's three systems at one issue rate and
+ * one block/page size, run the Table 2 workload through each, and
+ * print run time, per-level time fractions and the headline memory
+ * statistics.
+ *
+ * Usage: quickstart [issue-rate] [block-bytes] [refs]
+ *   e.g. quickstart 1GHz 1KB 4000000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/sweep.hh"
+#include "stats/table.hh"
+#include "util/units.hh"
+
+using namespace rampage;
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t issue_hz =
+        argc > 1 ? parseFrequency(argv[1]) : 1'000'000'000ull;
+    std::uint64_t block = argc > 2 ? parseByteSize(argv[2]) : 1024;
+    SimConfig sim = defaultSimConfig();
+    if (argc > 3)
+        sim.maxRefs = std::strtoull(argv[3], nullptr, 10);
+
+    std::printf("RAMpage quickstart: issue rate %s, block/page %s, "
+                "%llu refs, quantum %llu\n\n",
+                formatFrequency(issue_hz).c_str(),
+                formatByteSize(block).c_str(),
+                static_cast<unsigned long long>(sim.maxRefs),
+                static_cast<unsigned long long>(sim.quantumRefs));
+
+    TextTable table;
+    table.setHeader({"system", "time(s)", "L1i%", "L1d%", "L2/MM%",
+                     "DRAM%", "TLBmiss", "L2miss/flt", "ovh%"});
+
+    auto report = [&](const SimResult &result) {
+        TimeBreakdown bd = priceEvents(result.counts, issue_hz,
+                                       result.stallPs);
+        const EventCounts &c = result.counts;
+        table.addRow({
+            result.systemName,
+            cellf("%.4f", result.seconds()),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L1I)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L1D)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::L2)),
+            cellf("%.1f", 100 * bd.fraction(TimeLevel::Dram)),
+            cellf("%llu", static_cast<unsigned long long>(c.tlbMisses)),
+            cellf("%llu", static_cast<unsigned long long>(c.l2Misses)),
+            cellf("%.1f", 100 * c.overheadRatio()),
+        });
+    };
+
+    report(simulateConventional(baselineConfig(issue_hz, block), sim));
+    report(simulateConventional(twoWayConfig(issue_hz, block), sim));
+    report(simulateRampage(rampageConfig(issue_hz, block), sim));
+    report(simulateRampage(rampageConfig(issue_hz, block, true), sim));
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("ovh%% = TLB-miss + page-fault handler references as a\n"
+                "percentage of benchmark references (the paper's Fig 4).\n");
+    return 0;
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate every table/figure at the default scale, one log per bench.
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" 2>/dev/null | tee "results/$name.txt"
+done

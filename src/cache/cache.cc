@@ -1,0 +1,231 @@
+#include "cache/cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::LRU:
+        return "LRU";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::FIFO:
+        return "FIFO";
+    }
+    return "?";
+}
+
+double
+CacheStats::missRatio() const
+{
+    std::uint64_t total = accesses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses) /
+                            static_cast<double>(total);
+}
+
+SetAssocCache::SetAssocCache(const CacheParams &params)
+    : prm(params), rng(params.seed)
+{
+    if (!isPowerOfTwo(prm.blockBytes))
+        fatal("cache '%s': block size %llu is not a power of two",
+              prm.name.c_str(),
+              static_cast<unsigned long long>(prm.blockBytes));
+    if (prm.sizeBytes == 0 || prm.sizeBytes % prm.blockBytes != 0)
+        fatal("cache '%s': size must be a multiple of the block size",
+              prm.name.c_str());
+
+    std::uint64_t blocks = prm.sizeBytes / prm.blockBytes;
+    nWays = prm.assoc == 0 ? static_cast<unsigned>(blocks) : prm.assoc;
+    if (nWays > blocks)
+        fatal("cache '%s': associativity %u exceeds %llu blocks",
+              prm.name.c_str(), nWays,
+              static_cast<unsigned long long>(blocks));
+    if (blocks % nWays != 0)
+        fatal("cache '%s': blocks not divisible by associativity",
+              prm.name.c_str());
+    nSets = blocks / nWays;
+    if (!isPowerOfTwo(nSets))
+        fatal("cache '%s': set count %llu is not a power of two",
+              prm.name.c_str(), static_cast<unsigned long long>(nSets));
+
+    blockBits = floorLog2(prm.blockBytes);
+    lines.assign(nSets * nWays, Line{});
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> blockBits) & (nSets - 1);
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return addr >> blockBits >> floorLog2(nSets);
+}
+
+Addr
+SetAssocCache::rebuildAddr(std::uint64_t set, Addr tag) const
+{
+    return ((tag << floorLog2(nSets)) | set) << blockBits;
+}
+
+Addr
+SetAssocCache::blockAddr(Addr addr) const
+{
+    return alignDown(addr, blockBits);
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * nWays];
+    for (unsigned w = 0; w < nWays; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+unsigned
+SetAssocCache::pickVictim(std::uint64_t set)
+{
+    Line *base = &lines[set * nWays];
+    // Invalid way first, regardless of policy.
+    for (unsigned w = 0; w < nWays; ++w)
+        if (!base[w].valid)
+            return w;
+
+    switch (prm.repl) {
+      case ReplPolicy::Random:
+        return static_cast<unsigned>(rng.below(nWays));
+      case ReplPolicy::LRU:
+      case ReplPolicy::FIFO: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < nWays; ++w)
+            if (base[w].stamp < base[victim].stamp)
+                victim = w;
+        return victim;
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult result;
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * nWays];
+
+    ++useCounter;
+    for (unsigned w = 0; w < nWays; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            result.hit = true;
+            if (is_write)
+                line.dirty = true;
+            if (prm.repl == ReplPolicy::LRU)
+                line.stamp = useCounter;
+            ++stat.hits;
+            return result;
+        }
+    }
+
+    // Miss: allocate (write-allocate), possibly evicting a victim.
+    ++stat.misses;
+    unsigned way = pickVictim(set);
+    Line &line = base[way];
+    if (line.valid) {
+        result.victimValid = true;
+        result.victimDirty = line.dirty;
+        result.victimAddr = rebuildAddr(set, line.tag);
+        ++stat.evictions;
+        if (line.dirty)
+            ++stat.dirtyEvictions;
+    }
+    line.valid = true;
+    line.dirty = is_write;
+    line.tag = tag;
+    line.stamp = useCounter; // fill time == first use
+    return result;
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+SetAssocCache::probeDirty(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    return line != nullptr && line->dirty;
+}
+
+SetAssocCache::InvalidateResult
+SetAssocCache::invalidate(Addr addr)
+{
+    InvalidateResult result;
+    Line *line = findLine(addr);
+    if (line) {
+        result.present = true;
+        result.dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        ++stat.invalidations;
+    }
+    return result;
+}
+
+void
+SetAssocCache::markClean(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line)
+        line->dirty = false;
+}
+
+void
+SetAssocCache::markDirty(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line)
+        line->dirty = true;
+}
+
+void
+SetAssocCache::flushAll()
+{
+    for (Line &line : lines) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint64_t
+SetAssocCache::validBlocks() const
+{
+    std::uint64_t count = 0;
+    for (const Line &line : lines)
+        if (line.valid)
+            ++count;
+    return count;
+}
+
+} // namespace rampage

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Generic set-associative cache model.
+ *
+ * Models tags and state only (no data payload): each access reports
+ * hit/miss and any victim eviction, and the hierarchy composition in
+ * src/core charges the timing.  Covers every configuration the paper
+ * simulates — the direct-mapped 16 KB split L1 (§4.3), the 4 MB
+ * direct-mapped baseline L2 (§4.4) and the 2-way random-replacement
+ * L2 (§4.7) — plus fully-associative and LRU/FIFO configurations used
+ * by the tests and ablation benches.
+ */
+
+#ifndef RAMPAGE_CACHE_CACHE_HH
+#define RAMPAGE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Block replacement policy within a set. */
+enum class ReplPolicy : std::uint8_t
+{
+    LRU,    ///< least recently used
+    Random, ///< uniform random victim (paper's 2-way L2, §4.7)
+    FIFO,   ///< oldest-filled victim
+};
+
+/** Display name of a replacement policy. */
+const char *replPolicyName(ReplPolicy policy);
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 16 * kib;
+    std::uint64_t blockBytes = 32;
+    unsigned assoc = 1;                    ///< 0 = fully associative
+    ReplPolicy repl = ReplPolicy::LRU;
+    std::uint64_t seed = 1;                ///< for Random replacement
+};
+
+/** Outcome of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool victimValid = false; ///< a valid block was evicted
+    bool victimDirty = false; ///< ... and it was dirty
+    Addr victimAddr = 0;      ///< block-aligned address of the victim
+};
+
+/** Cumulative cache statistics. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+    std::uint64_t invalidations = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+    double missRatio() const;
+};
+
+/**
+ * Tag/state model of a set-associative cache.
+ *
+ * Addresses presented must already be in the cache's address domain
+ * (physical for every cache in this study).  Misses allocate
+ * (write-allocate); the caller performs any required fill/write-back
+ * timing using the returned victim information.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &params);
+
+    /**
+     * Look up `addr`, allocating the block on a miss.
+     * @param addr byte address (any offset within the block).
+     * @param is_write marks the block dirty on hit or on allocate.
+     * @return hit flag and victim details.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /** @return true if the block holding addr is present (no state change). */
+    bool probe(Addr addr) const;
+
+    /** @return true if the block holding addr is present and dirty. */
+    bool probeDirty(Addr addr) const;
+
+    /**
+     * Remove the block holding addr if present.
+     * @retval {present, dirty-at-removal}
+     */
+    struct InvalidateResult
+    {
+        bool present = false;
+        bool dirty = false;
+    };
+    InvalidateResult invalidate(Addr addr);
+
+    /** Mark the block holding addr clean (after a write-back). */
+    void markClean(Addr addr);
+
+    /** Mark the block holding addr dirty (victim-cache swap-back). */
+    void markDirty(Addr addr);
+
+    /** Drop every block (e.g. at simulation boundaries). */
+    void flushAll();
+
+    /** Block-aligned base of the block containing addr. */
+    Addr blockAddr(Addr addr) const;
+
+    /** Count of valid blocks (test/inspection aid). */
+    std::uint64_t validBlocks() const;
+
+    const CacheParams &params() const { return prm; }
+    const CacheStats &stats() const { return stat; }
+    void clearStats() { stat = CacheStats{}; }
+
+    std::uint64_t numSets() const { return nSets; }
+    unsigned ways() const { return nWays; }
+
+  private:
+    /** One tag-array entry. */
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t stamp = 0; ///< LRU: last use; FIFO: fill order
+    };
+
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuildAddr(std::uint64_t set, Addr tag) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    unsigned pickVictim(std::uint64_t set);
+
+    CacheParams prm;
+    std::uint64_t nSets;
+    unsigned nWays;
+    unsigned blockBits;
+    std::vector<Line> lines; ///< nSets * nWays, set-major
+    std::uint64_t useCounter = 0;
+    Rng rng;
+    CacheStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CACHE_CACHE_HH

@@ -1,0 +1,157 @@
+#include "cache/column_assoc.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+ColumnAssocCache::ColumnAssocCache(std::uint64_t size_bytes,
+                                   std::uint64_t block_bytes)
+{
+    if (!isPowerOfTwo(size_bytes) || !isPowerOfTwo(block_bytes))
+        fatal("column-associative cache sizes must be powers of two");
+    if (size_bytes < 2 * block_bytes)
+        fatal("column-associative cache needs at least two sets");
+    nSets = size_bytes / block_bytes;
+    blockBits = floorLog2(block_bytes);
+    indexBits = floorLog2(nSets);
+    lines.assign(nSets, Line{});
+}
+
+std::uint64_t
+ColumnAssocCache::primarySet(Addr addr) const
+{
+    return (addr >> blockBits) & (nSets - 1);
+}
+
+std::uint64_t
+ColumnAssocCache::alternateSet(std::uint64_t set) const
+{
+    return set ^ (std::uint64_t{1} << (indexBits - 1));
+}
+
+Addr
+ColumnAssocCache::blockAddr(Addr addr) const
+{
+    return alignDown(addr, blockBits);
+}
+
+ColumnAssocCache::Line *
+ColumnAssocCache::find(Addr addr)
+{
+    Addr block = blockAddr(addr);
+    std::uint64_t set = primarySet(addr);
+    if (lines[set].valid && lines[set].block == block)
+        return &lines[set];
+    std::uint64_t alt = alternateSet(set);
+    if (lines[alt].valid && lines[alt].block == block)
+        return &lines[alt];
+    return nullptr;
+}
+
+const ColumnAssocCache::Line *
+ColumnAssocCache::find(Addr addr) const
+{
+    return const_cast<ColumnAssocCache *>(this)->find(addr);
+}
+
+CacheAccessResult
+ColumnAssocCache::access(Addr addr, bool is_write, bool &rehash_probe_out)
+{
+    rehash_probe_out = false;
+    CacheAccessResult result;
+    Addr block = blockAddr(addr);
+    std::uint64_t set = primarySet(addr);
+    Line &primary = lines[set];
+
+    // 1. First-time probe at direct-mapped speed.
+    if (primary.valid && primary.block == block) {
+        result.hit = true;
+        if (is_write)
+            primary.dirty = true;
+        ++stat.firstHits;
+        return result;
+    }
+
+    // 2. A rehashed occupant of the primary slot cannot coexist with
+    //    the requested block under f: replace it in place.
+    if (primary.valid && primary.rehashed) {
+        ++stat.misses;
+        ++stat.inPlaceReplacements;
+        result.victimValid = true;
+        result.victimDirty = primary.dirty;
+        result.victimAddr = primary.block;
+        primary.block = block;
+        primary.dirty = is_write;
+        primary.rehashed = false;
+        return result;
+    }
+
+    // 3. Rehash probe of the alternate set.
+    rehash_probe_out = true;
+    std::uint64_t alt = alternateSet(set);
+    Line &alternate = lines[alt];
+    if (alternate.valid && alternate.block == block) {
+        // Rehash hit: swap so the winner hits first-time next round.
+        ++stat.rehashHits;
+        result.hit = true;
+        if (is_write)
+            alternate.dirty = true;
+        Line tmp = primary;
+        primary = alternate;
+        primary.rehashed = false;
+        alternate = tmp;
+        alternate.rehashed = alternate.valid;
+        return result;
+    }
+
+    // 4. Miss in both: evict the alternate occupant, demote the
+    //    primary occupant into the alternate slot (rehashed), and
+    //    fill the primary.  A cold primary slot fills directly
+    //    without disturbing the alternate set.
+    ++stat.misses;
+    if (primary.valid) {
+        if (alternate.valid) {
+            result.victimValid = true;
+            result.victimDirty = alternate.dirty;
+            result.victimAddr = alternate.block;
+        }
+        alternate = primary;
+        alternate.rehashed = true;
+    }
+    primary.block = block;
+    primary.valid = true;
+    primary.dirty = is_write;
+    primary.rehashed = false;
+    return result;
+}
+
+bool
+ColumnAssocCache::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+SetAssocCache::InvalidateResult
+ColumnAssocCache::invalidate(Addr addr)
+{
+    SetAssocCache::InvalidateResult result;
+    if (Line *line = find(addr)) {
+        result.present = true;
+        result.dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        line->rehashed = false;
+    }
+    return result;
+}
+
+void
+ColumnAssocCache::markDirty(Addr addr)
+{
+    if (Line *line = find(addr))
+        line->dirty = true;
+}
+
+} // namespace rampage

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Column-associative cache (Agarwal & Pudar, ISCA '93) — cited by the
+ * paper (§3.2) as an alternative way of buying associativity cheaply:
+ * a direct-mapped array in which a block that conflicts under the
+ * primary index may live under a second index (the primary index with
+ * its top bit flipped), found by a sequential "rehash" probe.
+ *
+ * Behaviour on an access to address a with primary set b(a) and
+ * alternate set f(a):
+ *
+ *  1. probe b(a): tag match => first-time hit (direct-mapped speed);
+ *  2. if the resident of b(a) is itself a rehashed block, it is the
+ *     least useful occupant: replace it in place (no second probe —
+ *     the requested block cannot be under f(a));
+ *  3. otherwise probe f(a): a match is a rehash hit — the two blocks
+ *     swap slots so the winner hits at direct-mapped speed next time;
+ *  4. a miss in both: the occupant of f(a) is evicted, b(a)'s
+ *     occupant moves to f(a) with its rehash bit set, and the new
+ *     block fills b(a).
+ *
+ * The enclosing hierarchy charges one extra L2 access time for every
+ * rehash probe and swap.
+ */
+
+#ifndef RAMPAGE_CACHE_COLUMN_ASSOC_HH
+#define RAMPAGE_CACHE_COLUMN_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh" // CacheAccessResult
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Statistics specific to the column-associative organisation. */
+struct ColumnAssocStats
+{
+    std::uint64_t firstHits = 0;  ///< hits on the primary probe
+    std::uint64_t rehashHits = 0; ///< hits on the alternate probe
+    std::uint64_t misses = 0;
+    std::uint64_t inPlaceReplacements = 0; ///< case 2 fast replaces
+
+    std::uint64_t hits() const { return firstHits + rehashHits; }
+};
+
+/** Column-associative tag store. */
+class ColumnAssocCache
+{
+  public:
+    /**
+     * @param size_bytes total capacity (power of two).
+     * @param block_bytes block size (power of two).
+     */
+    ColumnAssocCache(std::uint64_t size_bytes, std::uint64_t block_bytes);
+
+    /**
+     * Look up `addr`, allocating on a miss.  `rehash_probe_out` is
+     * set when the access needed the second (alternate-set) probe —
+     * on a rehash hit or on a full miss — so the caller can charge
+     * the extra access time.
+     */
+    CacheAccessResult access(Addr addr, bool is_write,
+                             bool &rehash_probe_out);
+
+    /** @return true when either slot holds the block (no change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the block if present; reports its dirty state. */
+    SetAssocCache::InvalidateResult invalidate(Addr addr);
+
+    /** Mark the block dirty if present. */
+    void markDirty(Addr addr);
+
+    /** Block-aligned base of the block containing addr. */
+    Addr blockAddr(Addr addr) const;
+
+    std::uint64_t numSets() const { return nSets; }
+    const ColumnAssocStats &stats() const { return stat; }
+
+  private:
+    struct Line
+    {
+        Addr block = 0;   ///< full block address (identity)
+        bool valid = false;
+        bool dirty = false;
+        bool rehashed = false; ///< stored under its alternate set
+    };
+
+    std::uint64_t primarySet(Addr addr) const;
+    std::uint64_t alternateSet(std::uint64_t set) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+
+    std::uint64_t nSets;
+    unsigned blockBits;
+    unsigned indexBits;
+    std::vector<Line> lines;
+    ColumnAssocStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CACHE_COLUMN_ASSOC_HH

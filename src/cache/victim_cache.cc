@@ -1,0 +1,95 @@
+#include "cache/victim_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+VictimCache::VictimCache(unsigned entries, std::uint64_t block_bytes)
+{
+    RAMPAGE_ASSERT(entries > 0, "victim cache needs at least one entry");
+    if (!isPowerOfTwo(block_bytes))
+        fatal("victim cache block size must be a power of two");
+    entriesVec.assign(entries, Entry{});
+    blockMaskBits = floorLog2(block_bytes);
+}
+
+VictimCache::Displaced
+VictimCache::insert(Addr block_addr, bool dirty)
+{
+    Addr aligned = alignDown(block_addr, blockMaskBits);
+    ++seq;
+
+    // Refresh in place if already present (can happen when the same
+    // block bounces between the main cache and the buffer).
+    for (Entry &entry : entriesVec) {
+        if (entry.valid && entry.addr == aligned) {
+            entry.dirty = entry.dirty || dirty;
+            entry.stamp = seq;
+            return Displaced{};
+        }
+    }
+
+    // Take an invalid slot, else displace the oldest (FIFO).
+    Entry *slot = nullptr;
+    for (Entry &entry : entriesVec) {
+        if (!entry.valid) {
+            slot = &entry;
+            break;
+        }
+    }
+    Displaced displaced;
+    if (!slot) {
+        slot = &entriesVec[0];
+        for (Entry &entry : entriesVec)
+            if (entry.stamp < slot->stamp)
+                slot = &entry;
+        displaced.valid = true;
+        displaced.dirty = slot->dirty;
+        displaced.addr = slot->addr;
+    }
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->addr = aligned;
+    slot->stamp = seq;
+    return displaced;
+}
+
+VictimCache::Extracted
+VictimCache::extract(Addr block_addr)
+{
+    Addr aligned = alignDown(block_addr, blockMaskBits);
+    ++lookupCount;
+    for (Entry &entry : entriesVec) {
+        if (entry.valid && entry.addr == aligned) {
+            Extracted result{true, entry.dirty};
+            entry.valid = false;
+            entry.dirty = false;
+            ++hitCount;
+            return result;
+        }
+    }
+    return Extracted{};
+}
+
+bool
+VictimCache::probe(Addr block_addr) const
+{
+    Addr aligned = alignDown(block_addr, blockMaskBits);
+    for (const Entry &entry : entriesVec)
+        if (entry.valid && entry.addr == aligned)
+            return true;
+    return false;
+}
+
+void
+VictimCache::flush()
+{
+    for (Entry &entry : entriesVec) {
+        entry.valid = false;
+        entry.dirty = false;
+    }
+}
+
+} // namespace rampage

@@ -1,0 +1,229 @@
+#include "core/conventional.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+CacheParams
+l2Params(const ConventionalConfig &cfg)
+{
+    CacheParams params;
+    params.name = "L2";
+    params.sizeBytes = cfg.l2SizeBytes;
+    params.blockBytes = cfg.l2BlockBytes;
+    params.assoc = cfg.l2Assoc;
+    params.repl = cfg.l2Repl;
+    params.seed = 103;
+    return params;
+}
+
+} // namespace
+
+ConventionalHierarchy::ConventionalHierarchy(
+    const ConventionalConfig &config)
+    : Hierarchy(config.common),
+      ccfg(config),
+      l2Cache(l2Params(config)),
+      dir(config.common.dramPageBytes)
+{
+    if (ccfg.l2BlockBytes < cfg.l1BlockBytes)
+        fatal("L2 block (%llu) smaller than L1 block (%llu)",
+              static_cast<unsigned long long>(ccfg.l2BlockBytes),
+              static_cast<unsigned long long>(cfg.l1BlockBytes));
+    dramPageBits = floorLog2(cfg.dramPageBytes);
+    if (ccfg.l2Style == ConventionalConfig::L2Style::ColumnAssoc) {
+        columnL2 = std::make_unique<ColumnAssocCache>(ccfg.l2SizeBytes,
+                                                      ccfg.l2BlockBytes);
+        if (ccfg.victimEntries > 0)
+            fatal("victim cache is not modelled behind a "
+                  "column-associative L2");
+    }
+    if (ccfg.victimEntries > 0)
+        victim = std::make_unique<VictimCache>(ccfg.victimEntries,
+                                               ccfg.l2BlockBytes);
+}
+
+std::string
+ConventionalHierarchy::name() const
+{
+    if (columnL2)
+        return "column-assoc L2";
+    if (ccfg.l2Assoc == 1)
+        return victim ? "baseline+victim" : "baseline";
+    return std::to_string(ccfg.l2Assoc) + "-way L2";
+}
+
+const ColumnAssocStats &
+ConventionalHierarchy::columnStats() const
+{
+    if (!columnL2)
+        fatal("columnStats() requires L2Style::ColumnAssoc");
+    return columnL2->stats();
+}
+
+Cycles
+ConventionalHierarchy::l1WritebackCost() const
+{
+    return cfg.l1WritebackCycles;
+}
+
+Addr
+ConventionalHierarchy::osPhysAddr(Addr vaddr) const
+{
+    // Page-table probe addresses are already physical (the table's
+    // DRAM image lives above 1 << 40); handler code/data is OS-virtual
+    // and maps into a fixed image at osImageBase.
+    if (vaddr >= (Addr{1} << 40))
+        return vaddr;
+    return osImageBase + (vaddr - cfg.handlerLayout.codeBase);
+}
+
+AccessOutcome
+ConventionalHierarchy::access(const MemRef &ref)
+{
+    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick dram_before = evt.dramPs;
+
+    ++evt.refs;
+    ++evt.traceRefs;
+
+    Addr paddr;
+    if (ref.pid == osPid) {
+        paddr = osPhysAddr(ref.vaddr);
+    } else {
+        std::uint64_t vpn = ref.vaddr >> dramPageBits;
+        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
+        std::uint64_t frame;
+        if (look.hit) {
+            frame = look.frame;
+        } else {
+            // TLB miss: interleave the page-table-lookup trace
+            // (§4.3); the probes are cacheable physical references
+            // into the table's memory image.
+            ++evt.tlbMisses;
+            probeScratch.clear();
+            dir.probeAddrs(ref.pid, vpn, probeScratch);
+            handlerScratch.clear();
+            handlers.tlbMiss(handlerScratch, probeScratch);
+            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
+            frame = dir.frameOf(ref.pid, vpn);
+            tlbUnit.insert(ref.pid, vpn, frame);
+        }
+        paddr = (frame << dramPageBits) | lowBits(ref.vaddr, dramPageBits);
+    }
+
+    cachedAccess(ref, paddr);
+
+    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    AccessOutcome outcome;
+    outcome.cpuPs =
+        (cyc_after - cyc_before) * cycPs + (evt.dramPs - dram_before);
+    return outcome;
+}
+
+Cycles
+ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
+{
+    Cycles cycles = cfg.l2HitCycles;
+    ++evt.l2Accesses;
+
+    if (columnL2) {
+        // Column-associative path: a rehash probe (hit via the
+        // alternate set, or a double miss) costs one more L2 access.
+        bool rehash_probe = false;
+        CacheAccessResult col =
+            columnL2->access(paddr, false, rehash_probe);
+        if (rehash_probe)
+            cycles += cfg.l2HitCycles;
+        if (col.hit)
+            return cycles;
+        ++evt.l2Misses;
+        if (col.victimValid) {
+            bool dirty = col.victimDirty;
+            Cycles flush_cycles = 0;
+            dirty |= invalidateL1Range(col.victimAddr,
+                                       ccfg.l2BlockBytes, flush_cycles);
+            if (dirty) {
+                ++evt.dramWrites;
+                addDramPs(dram().writePs(ccfg.l2BlockBytes));
+            }
+        }
+        ++evt.dramReads;
+        addDramPs(dram().readPs(ccfg.l2BlockBytes));
+        return cycles;
+    }
+
+    CacheAccessResult res = l2Cache.access(paddr, false);
+    if (res.hit)
+        return cycles;
+
+    ++evt.l2Misses;
+
+    // Handle the departing L2 victim first: maintain inclusion by
+    // invalidating its L1 blocks, then write it to DRAM when dirty.
+    if (res.victimValid) {
+        bool dirty = res.victimDirty;
+        Cycles flush_cycles = 0;
+        dirty |= invalidateL1Range(res.victimAddr, ccfg.l2BlockBytes,
+                                   flush_cycles);
+        if (victim) {
+            VictimCache::Displaced out =
+                victim->insert(res.victimAddr, dirty);
+            if (out.valid && out.dirty) {
+                ++evt.dramWrites;
+                addDramPs(dram().writePs(ccfg.l2BlockBytes));
+            }
+        } else if (dirty) {
+            ++evt.dramWrites;
+            addDramPs(dram().writePs(ccfg.l2BlockBytes));
+        }
+    }
+
+    // Fill: either swapped back from the victim cache (an extra
+    // L2-speed transfer) or streamed from DRAM.
+    bool filled = false;
+    if (victim) {
+        VictimCache::Extracted hit = victim->extract(
+            l2Cache.blockAddr(paddr));
+        if (hit.hit) {
+            ++evt.victimCacheHits;
+            cycles += cfg.l2HitCycles;
+            if (hit.dirty)
+                l2Cache.markDirty(paddr);
+            filled = true;
+        }
+    }
+    if (!filled) {
+        ++evt.dramReads;
+        addDramPs(dram().readPs(ccfg.l2BlockBytes));
+    }
+    return cycles;
+}
+
+Cycles
+ConventionalHierarchy::writebackBelow(Addr victim_addr)
+{
+    // The L1 victim's block should be present in L2 (inclusion); the
+    // 12-cycle write-back charge covers the tag update and transfer.
+    if (columnL2) {
+        if (columnL2->probe(victim_addr)) {
+            columnL2->markDirty(victim_addr);
+            return 0;
+        }
+    } else if (l2Cache.probe(victim_addr)) {
+        l2Cache.markDirty(victim_addr);
+        return 0;
+    }
+    // Inclusion anomaly (should not happen): write straight to DRAM.
+    ++evt.dramWrites;
+    addDramPs(dram().writePs(cfg.l1BlockBytes));
+    return 0;
+}
+
+} // namespace rampage

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Conventional cache hierarchy (paper §4.4 baseline and §4.7 2-way):
+ * split L1 over an inclusive L2 cache over Direct Rambus DRAM, with a
+ * TLB mapping virtual pages to DRAM physical frames (fixed 4 KB
+ * pages) and TLB misses serviced by an interleaved page-table-lookup
+ * trace.
+ */
+
+#ifndef RAMPAGE_CORE_CONVENTIONAL_HH
+#define RAMPAGE_CORE_CONVENTIONAL_HH
+
+#include <memory>
+
+#include "cache/column_assoc.hh"
+#include "cache/victim_cache.hh"
+#include "core/hierarchy.hh"
+#include "os/dram_directory.hh"
+
+namespace rampage
+{
+
+/** The conventional (cache-based) hierarchy. */
+class ConventionalHierarchy : public Hierarchy
+{
+  public:
+    explicit ConventionalHierarchy(const ConventionalConfig &config);
+
+    AccessOutcome access(const MemRef &ref) override;
+    std::string name() const override;
+    std::string l2Name() const override { return "L2"; }
+
+    const SetAssocCache &l2() const { return l2Cache; }
+    const DramDirectory &directory() const { return dir; }
+
+    /** Column-associative L2 statistics (L2Style::ColumnAssoc only). */
+    const ColumnAssocStats &columnStats() const;
+
+  protected:
+    Cycles fillFromBelow(Addr paddr, bool is_write) override;
+    Cycles writebackBelow(Addr victim_addr) override;
+    Cycles l1WritebackCost() const override;
+    Addr osPhysAddr(Addr vaddr) const override;
+
+  private:
+    /** Physical base of the OS handler code/data image in DRAM. */
+    static constexpr Addr osImageBase = Addr{1} << 41;
+
+    ConventionalConfig ccfg;
+    SetAssocCache l2Cache;
+    std::unique_ptr<ColumnAssocCache> columnL2;
+    std::unique_ptr<VictimCache> victim;
+    DramDirectory dir;
+    unsigned dramPageBits;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_CONVENTIONAL_HH

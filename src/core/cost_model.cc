@@ -1,0 +1,65 @@
+#include "core/cost_model.hh"
+
+#include "util/units.hh"
+
+namespace rampage
+{
+
+EventCounts &
+EventCounts::operator+=(const EventCounts &other)
+{
+    l1iCycles += other.l1iCycles;
+    l1dCycles += other.l1dCycles;
+    l2Cycles += other.l2Cycles;
+    dramPs += other.dramPs;
+    refs += other.refs;
+    traceRefs += other.traceRefs;
+    overheadRefs += other.overheadRefs;
+    instrFetches += other.instrFetches;
+    l1iMisses += other.l1iMisses;
+    l1dMisses += other.l1dMisses;
+    l1Writebacks += other.l1Writebacks;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    dramReads += other.dramReads;
+    dramWrites += other.dramWrites;
+    tlbMisses += other.tlbMisses;
+    tlbMissOverheadRefs += other.tlbMissOverheadRefs;
+    faultOverheadRefs += other.faultOverheadRefs;
+    inclusionProbes += other.inclusionProbes;
+    inclusionWritebacks += other.inclusionWritebacks;
+    contextSwitches += other.contextSwitches;
+    victimCacheHits += other.victimCacheHits;
+    return *this;
+}
+
+double
+EventCounts::overheadRatio() const
+{
+    if (traceRefs == 0)
+        return 0.0;
+    return static_cast<double>(tlbMissOverheadRefs + faultOverheadRefs) /
+           static_cast<double>(traceRefs);
+}
+
+TimeBreakdown
+priceEvents(const EventCounts &counts, std::uint64_t issue_hz,
+            Tick extra_stall_ps)
+{
+    Tick cycle = cycleTimePs(issue_hz);
+    TimeBreakdown breakdown;
+    breakdown.add(TimeLevel::L1I, counts.l1iCycles * cycle);
+    breakdown.add(TimeLevel::L1D, counts.l1dCycles * cycle);
+    breakdown.add(TimeLevel::L2, counts.l2Cycles * cycle);
+    breakdown.add(TimeLevel::Dram, counts.dramPs + extra_stall_ps);
+    return breakdown;
+}
+
+Tick
+totalTimePs(const EventCounts &counts, std::uint64_t issue_hz,
+            Tick extra_stall_ps)
+{
+    return priceEvents(counts, issue_hz, extra_stall_ps).total();
+}
+
+} // namespace rampage

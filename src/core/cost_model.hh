@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Pricing of event counts into simulated time (see events.hh for the
+ * frequency-separation rationale).
+ */
+
+#ifndef RAMPAGE_CORE_COST_MODEL_HH
+#define RAMPAGE_CORE_COST_MODEL_HH
+
+#include "core/events.hh"
+#include "stats/time_breakdown.hh"
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/**
+ * Price a behavioural run at an issue rate.
+ *
+ * @param counts the run's events.
+ * @param issue_hz CPU issue rate (SRAM levels scale with it).
+ * @param extra_stall_ps additional absolute stall time (the
+ *        context-switch-on-miss CPU idle; 0 for blocking runs).
+ *        Charged to the DRAM level, since that is what the CPU was
+ *        waiting for.
+ */
+TimeBreakdown priceEvents(const EventCounts &counts,
+                          std::uint64_t issue_hz,
+                          Tick extra_stall_ps = 0);
+
+/** Total simulated time at an issue rate. */
+Tick totalTimePs(const EventCounts &counts, std::uint64_t issue_hz,
+                 Tick extra_stall_ps = 0);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_COST_MODEL_HH

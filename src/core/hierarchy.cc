@@ -1,0 +1,175 @@
+#include "core/hierarchy.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+CacheParams
+l1Params(const CommonConfig &cfg, const char *name, std::uint64_t seed)
+{
+    CacheParams params;
+    params.name = name;
+    params.sizeBytes = cfg.l1SizeBytes;
+    params.blockBytes = cfg.l1BlockBytes;
+    params.assoc = cfg.l1Assoc;
+    params.repl = ReplPolicy::LRU;
+    params.seed = seed;
+    return params;
+}
+
+} // namespace
+
+Tick
+CommonConfig::cyclePs() const
+{
+    return cycleTimePs(issueHz);
+}
+
+Hierarchy::Hierarchy(const CommonConfig &config)
+    : cfg(config),
+      cycPs(config.cyclePs()),
+      l1iCache(l1Params(config, "L1i", 101)),
+      l1dCache(l1Params(config, "L1d", 102)),
+      tlbUnit(config.tlb),
+      rambusModel(config.rambus),
+      sdramModel(config.sdram),
+      handlers(config.handlerLayout, config.handlerCosts)
+{
+}
+
+TimeBreakdown
+Hierarchy::breakdown(std::uint64_t issue_hz) const
+{
+    return priceEvents(evt, issue_hz);
+}
+
+Tick
+Hierarchy::totalPs(std::uint64_t issue_hz) const
+{
+    return breakdown(issue_hz).total();
+}
+
+Cycles
+Hierarchy::cachedAccess(const MemRef &ref, Addr paddr)
+{
+    Cycles before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+
+    bool is_fetch = ref.isInstr();
+    bool is_write = ref.isWrite();
+    if (is_fetch) {
+        // Instruction issue: the only cost of a fully-hitting stream
+        // (§4.3: "where there are no misses, only instruction fetches
+        // add to simulated run time").
+        ++evt.instrFetches;
+        evt.l1iCycles += cfg.l1HitCycles;
+    }
+    // TLB and L1 data hits are fully pipelined: zero time.  Stores
+    // enjoy perfect write buffering (§4.3), so a hitting store is
+    // also free; it merely dirties the L1 block.
+
+    SetAssocCache &l1 = is_fetch ? l1iCache : l1dCache;
+    CacheAccessResult res = l1.access(paddr, is_write && !is_fetch);
+    if (!res.hit) {
+        if (is_fetch)
+            ++evt.l1iMisses;
+        else
+            ++evt.l1dMisses;
+
+        // A dirty L1 victim is written back to the level below before
+        // the fill (write-back, write-allocate L1).
+        if (res.victimValid && res.victimDirty) {
+            ++evt.l1Writebacks;
+            evt.l2Cycles += l1WritebackCost();
+            evt.l2Cycles += writebackBelow(res.victimAddr);
+        }
+        evt.l2Cycles += fillFromBelow(paddr, is_write && !is_fetch);
+    }
+    return evt.l1iCycles + evt.l1dCycles + evt.l2Cycles - before;
+}
+
+bool
+Hierarchy::invalidateL1Range(Addr base, std::uint64_t bytes,
+                             Cycles &cycles_out)
+{
+    bool flushed_dirty = false;
+    Cycles cycles = 0;
+    for (Addr block = base; block < base + bytes;
+         block += cfg.l1BlockBytes) {
+        // Both L1 caches are probed at hit time (§4.3: "the given hit
+        // times are however used when replacements or maintaining
+        // inclusion are simulated").
+        evt.l1iCycles += cfg.l1HitCycles;
+        evt.l1dCycles += cfg.l1HitCycles;
+        evt.inclusionProbes += 2;
+        l1iCache.invalidate(block);
+        auto inv = l1dCache.invalidate(block);
+        if (inv.present && inv.dirty) {
+            // The L1 copy was newer: flush it into the departing
+            // block so the DRAM write carries current data.
+            ++evt.inclusionWritebacks;
+            cycles += l1WritebackCost();
+            flushed_dirty = true;
+        }
+    }
+    evt.l2Cycles += cycles;
+    cycles_out = cycles;
+    return flushed_dirty;
+}
+
+Tick
+Hierarchy::runHandlerRefs(const std::vector<MemRef> &refs,
+                          OverheadKind kind)
+{
+    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick dram_before = evt.dramPs;
+
+    for (const MemRef &ref : refs) {
+        RAMPAGE_ASSERT(ref.pid == osPid, "handler trace must use osPid");
+        ++evt.refs;
+        ++evt.overheadRefs;
+        switch (kind) {
+          case OverheadKind::TlbMiss:
+            ++evt.tlbMissOverheadRefs;
+            break;
+          case OverheadKind::PageFault:
+            ++evt.faultOverheadRefs;
+            break;
+          case OverheadKind::ContextSwitch:
+            break;
+        }
+        cachedAccess(ref, osPhysAddr(ref.vaddr));
+    }
+
+    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    return (cyc_after - cyc_before) * cycPs + (evt.dramPs - dram_before);
+}
+
+Tick
+Hierarchy::dramBurstPs(std::uint64_t bytes, std::uint64_t count) const
+{
+    if (cfg.dramKind == CommonConfig::DramKind::DirectRambus &&
+        cfg.rambus.pipelineDepth > 1) {
+        return rambusModel.burstPs(bytes, count);
+    }
+    Tick total = 0;
+    for (std::uint64_t i = 0; i < count; ++i)
+        total += dram().readPs(bytes);
+    return total;
+}
+
+Tick
+Hierarchy::runContextSwitchTrace()
+{
+    handlerScratch.clear();
+    handlers.contextSwitch(handlerScratch);
+    ++evt.contextSwitches;
+    return runHandlerRefs(handlerScratch, OverheadKind::ContextSwitch);
+}
+
+} // namespace rampage

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Memory-hierarchy base: the machinery shared by the conventional
+ * cache hierarchy and RAMpage — the split direct-mapped L1, the TLB,
+ * the Direct Rambus channel, handler-trace interleaving and event
+ * accounting.
+ *
+ * A hierarchy consumes references one at a time and reports, per
+ * reference, how much CPU-inline time it cost and how much DRAM
+ * transfer time a context-switch-on-miss scheduler could overlap.
+ * Which references hit or miss is independent of the issue rate, so
+ * one behavioural run can be re-priced across the paper's whole
+ * 200 MHz - 4 GHz sweep (see src/core/events.hh).
+ */
+
+#ifndef RAMPAGE_CORE_HIERARCHY_HH
+#define RAMPAGE_CORE_HIERARCHY_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/config.hh"
+#include "core/cost_model.hh"
+#include "core/events.hh"
+#include "dram/rambus.hh"
+#include "dram/sdram.hh"
+#include "tlb/tlb.hh"
+#include "trace/handlers.hh"
+#include "trace/record.hh"
+
+namespace rampage
+{
+
+/** Per-reference outcome. */
+struct AccessOutcome
+{
+    /** Time the CPU is busy or blocked in-line for this reference. */
+    Tick cpuPs = 0;
+    /**
+     * DRAM page-transfer time initiated by this reference that a
+     * context-switch-on-miss scheduler may overlap with other work
+     * (zero for conventional hierarchies, which block on every DRAM
+     * transaction).
+     */
+    Tick deferPs = 0;
+    /** The reference page-faulted out of the SRAM main memory. */
+    bool pageFault = false;
+};
+
+/** Abstract simulated memory hierarchy. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const CommonConfig &config);
+    virtual ~Hierarchy() = default;
+
+    Hierarchy(const Hierarchy &) = delete;
+    Hierarchy &operator=(const Hierarchy &) = delete;
+
+    /** Process one benchmark-trace reference. */
+    virtual AccessOutcome access(const MemRef &ref) = 0;
+
+    /**
+     * Interleave the ~400-reference context-switch trace (§4.6).
+     * @return CPU time consumed.
+     */
+    Tick runContextSwitchTrace();
+
+    /** Display name ("baseline", "2-way L2", "RAMpage", ...). */
+    virtual std::string name() const = 0;
+
+    /** Label for the third hierarchy level ("L2" or "SRAM MM"). */
+    virtual std::string l2Name() const = 0;
+
+    const EventCounts &counts() const { return evt; }
+    const CommonConfig &commonConfig() const { return cfg; }
+    const Tlb &tlb() const { return tlbUnit; }
+    const SetAssocCache &l1i() const { return l1iCache; }
+    const SetAssocCache &l1d() const { return l1dCache; }
+
+    /** Price this run's events at an issue rate (blocking runs). */
+    TimeBreakdown breakdown(std::uint64_t issue_hz) const;
+
+    /** Total simulated time at an issue rate (blocking runs). */
+    Tick totalPs(std::uint64_t issue_hz) const;
+
+  protected:
+    /** Category a handler-trace reference is accounted under. */
+    enum class OverheadKind
+    {
+        TlbMiss,
+        PageFault,
+        ContextSwitch,
+    };
+
+    /**
+     * Run a handler reference stream through the hierarchy.
+     * Handler references never recurse into further handler work
+     * (OS pages bypass the TLB and are always resident).
+     * @return CPU time consumed.
+     */
+    Tick runHandlerRefs(const std::vector<MemRef> &refs,
+                        OverheadKind kind);
+
+    /**
+     * The L1 + lower-level walk for a reference whose physical
+     * address is known.  Charges issue time for fetches, probes L1,
+     * and on a miss calls fillFromBelow() for the lower level.
+     * @return cycles consumed (cycle-denominated only).
+     */
+    Cycles cachedAccess(const MemRef &ref, Addr paddr);
+
+    /**
+     * Lower-level access on an L1 miss: look up the L2 cache or SRAM
+     * main memory at `paddr` and fill.  `writeback_addr` is the
+     * block-aligned L1 victim needing write-back below (or noAddr).
+     * @return cycles consumed (DRAM time accrues via addDramPs).
+     */
+    virtual Cycles fillFromBelow(Addr paddr, bool is_write) = 0;
+
+    /** Handle a dirty L1 victim's write-back to the level below. */
+    virtual Cycles writebackBelow(Addr victim_addr) = 0;
+
+    /**
+     * Translate an operating-system virtual address to its physical
+     * address.  OS references bypass the TLB (MIPS kseg0 semantics):
+     * under RAMpage they map directly into the pinned SRAM reserve,
+     * conventionally into a fixed DRAM image.
+     */
+    virtual Addr osPhysAddr(Addr vaddr) const = 0;
+
+    /**
+     * Invalidate every L1 block within [base, base+bytes), charging
+     * one probe cycle per block per cache, and the L1 write-back
+     * cost for each dirty data block flushed.
+     * @return true when a dirty L1D block was flushed (the enclosing
+     *         victim must be written to DRAM even if clean below).
+     */
+    bool invalidateL1Range(Addr base, std::uint64_t bytes,
+                           Cycles &cycles_out);
+
+    /** Accrue DRAM transaction time. */
+    void
+    addDramPs(Tick ps)
+    {
+        evt.dramPs += ps;
+    }
+
+    /** The selected DRAM timing model (§3.3). */
+    const DramModel &
+    dram() const
+    {
+        return cfg.dramKind == CommonConfig::DramKind::Sdram
+                   ? static_cast<const DramModel &>(sdramModel)
+                   : static_cast<const DramModel &>(rambusModel);
+    }
+
+    /**
+     * Price `count` back-to-back page-sized transactions: a pipelined
+     * Rambus channel (§6.3) overlaps their access latencies; every
+     * other configuration serializes them.
+     */
+    Tick dramBurstPs(std::uint64_t bytes, std::uint64_t count) const;
+
+    CommonConfig cfg;
+    Tick cycPs;          ///< cycle time at the configured issue rate
+    SetAssocCache l1iCache;
+    SetAssocCache l1dCache;
+    Tlb tlbUnit;
+    DirectRambus rambusModel;
+    Sdram sdramModel;
+    HandlerTraces handlers;
+    EventCounts evt;
+
+    /** Write-back cycles for this hierarchy (12 conv., 9 RAMpage). */
+    virtual Cycles l1WritebackCost() const = 0;
+
+    /** Scratch buffer reused by handler-trace synthesis. */
+    std::vector<MemRef> handlerScratch;
+    std::vector<Addr> probeScratch;
+
+    static constexpr Addr noAddr = ~Addr{0};
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_HIERARCHY_HH

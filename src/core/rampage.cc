@@ -1,0 +1,179 @@
+#include "core/rampage.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+RampageHierarchy::RampageHierarchy(const RampageConfig &config)
+    : Hierarchy(config.common),
+      rcfg(config),
+      pagerUnit(config.pager),
+      dir(config.common.dramPageBytes)
+{
+    if (config.pager.pageBytes < cfg.l1BlockBytes)
+        fatal("SRAM page (%llu) smaller than the L1 block (%llu)",
+              static_cast<unsigned long long>(config.pager.pageBytes),
+              static_cast<unsigned long long>(cfg.l1BlockBytes));
+    if (config.pager.pageBytes > cfg.dramPageBytes)
+        fatal("SRAM page larger than the DRAM page: a fault would span "
+              "DRAM pages");
+    pageBits = floorLog2(config.pager.pageBytes);
+    if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
+        fatal("pager OS region must start at the handler code base");
+}
+
+std::string
+RampageHierarchy::name() const
+{
+    return rcfg.switchOnMiss ? "RAMpage+switch" : "RAMpage";
+}
+
+Cycles
+RampageHierarchy::l1WritebackCost() const
+{
+    // 9 cycles: no L2 tag to update (§4.3).
+    return cfg.l1WritebackCyclesRampage;
+}
+
+Addr
+RampageHierarchy::osPhysAddr(Addr vaddr) const
+{
+    return pagerUnit.osPhysAddr(vaddr);
+}
+
+AccessOutcome
+RampageHierarchy::access(const MemRef &ref)
+{
+    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick dram_before = evt.dramPs;
+
+    ++evt.refs;
+    ++evt.traceRefs;
+
+    AccessOutcome outcome;
+    Addr paddr;
+    if (ref.pid == osPid) {
+        paddr = osPhysAddr(ref.vaddr);
+    } else {
+        std::uint64_t vpn = ref.vaddr >> pageBits;
+        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
+        std::uint64_t frame;
+        if (look.hit) {
+            frame = look.frame;
+        } else {
+            // TLB miss: walk the pinned inverted page table.  The
+            // walk never references DRAM (§2.3) — unless the page
+            // itself has faulted out of the SRAM main memory.
+            ++evt.tlbMisses;
+            probeScratch.clear();
+            IptLookup walk = pagerUnit.lookup(ref.pid, vpn, &probeScratch);
+            handlerScratch.clear();
+            handlers.tlbMiss(handlerScratch, probeScratch);
+            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
+
+            if (walk.found) {
+                frame = walk.frame;
+            } else {
+                outcome.pageFault = true;
+                frame = servicePageFault(ref.pid, vpn, outcome.deferPs);
+            }
+            tlbUnit.insert(ref.pid, vpn, frame);
+        }
+        pagerUnit.touch(frame);
+        paddr = pagerUnit.physAddr(frame, lowBits(ref.vaddr, pageBits));
+    }
+
+    cachedAccess(ref, paddr);
+
+    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick total = (cyc_after - cyc_before) * cycPs +
+                 (evt.dramPs - dram_before);
+    RAMPAGE_ASSERT(total >= outcome.deferPs,
+                   "deferred time exceeds the access total");
+    outcome.cpuPs = total - outcome.deferPs;
+    return outcome;
+}
+
+Cycles
+RampageHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
+{
+    // The SRAM main memory is a plain byte-addressed RAM: an L1 miss
+    // is a 4-bus-cycle (12 CPU cycle) transfer with no tag check.
+    // Residency is guaranteed — translation faulted the page in
+    // before the L1 was probed.
+    ++evt.l2Accesses;
+    pagerUnit.touch(paddr / pagerUnit.pageBytes());
+    return cfg.l2HitCycles;
+}
+
+Cycles
+RampageHierarchy::writebackBelow(Addr victim_addr)
+{
+    // A dirty L1 block drains into its SRAM page, dirtying the page;
+    // the 9-cycle charge (no tag update) is applied by the caller.
+    std::uint64_t frame = victim_addr / pagerUnit.pageBytes();
+    pagerUnit.markDirty(frame);
+    pagerUnit.touch(frame);
+    return 0;
+}
+
+std::uint64_t
+RampageHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
+                                   Tick &defer_ps_out)
+{
+    ++evt.l2Misses; // SRAM main-memory page faults
+    PageFaultResult fault = pagerUnit.handleFault(pid, vpn);
+
+    // The fault handler body, interleaved through the hierarchy; its
+    // table probes hit the pinned reserve.
+    handlerScratch.clear();
+    handlers.pageFault(handlerScratch, fault.probes);
+    runHandlerRefs(handlerScratch, OverheadKind::PageFault);
+
+    // The replacement policy's frame-table scan (the clock hand's
+    // travel) costs one cycle per inspected entry on top of the fixed
+    // handler body.
+    evt.l1iCycles += fault.scanCost;
+
+    Tick defer = 0;
+    std::uint64_t page_bytes = pagerUnit.pageBytes();
+
+    bool write_victim = false;
+    if (fault.victimValid) {
+        // Flush the victim's TLB entry (§2.3) and its L1 blocks
+        // (inclusion between L1 and the SRAM main memory).
+        tlbUnit.invalidate(fault.victimPid, fault.victimVpn);
+        Addr victim_base = fault.frame * page_bytes;
+        Cycles flush_cycles = 0;
+        write_victim = fault.victimDirty;
+        write_victim |=
+            invalidateL1Range(victim_base, page_bytes, flush_cycles);
+    }
+
+    // Price the DRAM traffic: the dirty victim streams out and the
+    // faulted page streams in (DRAM homes are resolved inside the
+    // handler body — the translation is off the critical path, §2.3,
+    // and DRAM is infinite so the lookup always hits).  With the
+    // §6.3 pipelined-Rambus extension enabled, the read's access
+    // latency hides behind the victim write's data beats.
+    dir.physAddr(pid, vpn << pageBits); // allocate the DRAM home
+    if (write_victim) {
+        ++evt.dramWrites;
+        ++evt.dramReads;
+        Tick both = dramBurstPs(page_bytes, 2);
+        addDramPs(both);
+        defer += both;
+    } else {
+        ++evt.dramReads;
+        Tick read_ps = dram().readPs(page_bytes);
+        addDramPs(read_ps);
+        defer += read_ps;
+    }
+
+    defer_ps_out = rcfg.switchOnMiss ? defer : 0;
+    return fault.frame;
+}
+
+} // namespace rampage

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The RAMpage hierarchy (paper §2, §4.5): the lowest SRAM level is a
+ * software-managed paged main memory (no tags, fully associative by
+ * construction), DRAM is a paging device behind it, the TLB caches
+ * virtual -> SRAM translations, and all management — TLB miss
+ * walks, page-fault service, replacement — runs as interleaved
+ * handler traces against the pinned operating-system reserve.
+ *
+ * Optionally takes a context switch on a miss to DRAM (§4.6): the
+ * fault's page transfer is reported as deferrable time so the
+ * simulator can overlap it with another process's execution.
+ */
+
+#ifndef RAMPAGE_CORE_RAMPAGE_HH
+#define RAMPAGE_CORE_RAMPAGE_HH
+
+#include "core/hierarchy.hh"
+#include "os/dram_directory.hh"
+#include "os/pager.hh"
+
+namespace rampage
+{
+
+/** The RAMpage hierarchy. */
+class RampageHierarchy : public Hierarchy
+{
+  public:
+    explicit RampageHierarchy(const RampageConfig &config);
+
+    AccessOutcome access(const MemRef &ref) override;
+    std::string name() const override;
+    std::string l2Name() const override { return "SRAM MM"; }
+
+    const SramPager &pager() const { return pagerUnit; }
+    const DramDirectory &directory() const { return dir; }
+    const RampageConfig &config() const { return rcfg; }
+
+  protected:
+    Cycles fillFromBelow(Addr paddr, bool is_write) override;
+    Cycles writebackBelow(Addr victim_addr) override;
+    Cycles l1WritebackCost() const override;
+    Addr osPhysAddr(Addr vaddr) const override;
+
+  private:
+    /**
+     * Service a page fault for (pid, vpn): run the fault handler
+     * trace, write back the victim page, flush the victim's TLB entry
+     * and L1 blocks, and stream the new page from DRAM.
+     * @param defer_ps_out receives the overlappable transfer time.
+     * @return the frame now holding the page.
+     */
+    std::uint64_t servicePageFault(Pid pid, std::uint64_t vpn,
+                                   Tick &defer_ps_out);
+
+    RampageConfig rcfg;
+    SramPager pagerUnit;
+    DramDirectory dir; ///< the DRAM paging device's directory
+    unsigned pageBits;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_RAMPAGE_HH

@@ -1,0 +1,149 @@
+#include "core/rampage_var.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+VarRampageHierarchy::VarRampageHierarchy(const VarRampageConfig &config)
+    : Hierarchy(config.common),
+      rcfg(config),
+      pagerUnit(config.pager),
+      dir(config.common.dramPageBytes)
+{
+    if (config.pager.baseFrameBytes < cfg.l1BlockBytes)
+        fatal("base frame smaller than the L1 block");
+    auto check = [&](std::uint64_t bytes) {
+        if (bytes > cfg.dramPageBytes)
+            fatal("SRAM page larger than the DRAM page");
+    };
+    check(config.pager.defaultPageBytes);
+    for (const auto &[pid, bytes] : config.pager.pageBytesByPid)
+        check(bytes);
+    if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
+        fatal("pager OS region must start at the handler code base");
+}
+
+Cycles
+VarRampageHierarchy::l1WritebackCost() const
+{
+    return cfg.l1WritebackCyclesRampage;
+}
+
+Addr
+VarRampageHierarchy::osPhysAddr(Addr vaddr) const
+{
+    return pagerUnit.osPhysAddr(vaddr);
+}
+
+AccessOutcome
+VarRampageHierarchy::access(const MemRef &ref)
+{
+    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick dram_before = evt.dramPs;
+
+    ++evt.refs;
+    ++evt.traceRefs;
+
+    AccessOutcome outcome;
+    Addr paddr;
+    if (ref.pid == osPid) {
+        paddr = osPhysAddr(ref.vaddr);
+    } else {
+        unsigned page_bits = floorLog2(pagerUnit.pageBytes(ref.pid));
+        std::uint64_t vpn = ref.vaddr >> page_bits;
+        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
+        std::uint64_t start_frame;
+        if (look.hit) {
+            start_frame = look.frame;
+        } else {
+            ++evt.tlbMisses;
+            probeScratch.clear();
+            VarPager::Lookup walk =
+                pagerUnit.lookup(ref.pid, vpn, &probeScratch);
+            handlerScratch.clear();
+            handlers.tlbMiss(handlerScratch, probeScratch);
+            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
+
+            if (walk.found) {
+                start_frame = walk.startFrame;
+            } else {
+                outcome.pageFault = true;
+                start_frame =
+                    servicePageFault(ref.pid, vpn, outcome.deferPs);
+            }
+            tlbUnit.insert(ref.pid, vpn, start_frame);
+        }
+        pagerUnit.touchFrame(start_frame);
+        paddr = pagerUnit.physAddr(start_frame,
+                                   lowBits(ref.vaddr, page_bits));
+    }
+
+    cachedAccess(ref, paddr);
+
+    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick total = (cyc_after - cyc_before) * cycPs +
+                 (evt.dramPs - dram_before);
+    RAMPAGE_ASSERT(total >= outcome.deferPs,
+                   "deferred time exceeds the access total");
+    outcome.cpuPs = total - outcome.deferPs;
+    return outcome;
+}
+
+Cycles
+VarRampageHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
+{
+    ++evt.l2Accesses;
+    pagerUnit.touchFrame(paddr / pagerUnit.baseFrameBytes());
+    return cfg.l2HitCycles;
+}
+
+Cycles
+VarRampageHierarchy::writebackBelow(Addr victim_addr)
+{
+    std::uint64_t frame = victim_addr / pagerUnit.baseFrameBytes();
+    pagerUnit.markDirtyFrame(frame);
+    pagerUnit.touchFrame(frame);
+    return 0;
+}
+
+std::uint64_t
+VarRampageHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
+                                      Tick &defer_ps_out)
+{
+    ++evt.l2Misses;
+    VarFaultResult fault = pagerUnit.handleFault(pid, vpn);
+
+    handlerScratch.clear();
+    handlers.pageFault(handlerScratch, fault.probes);
+    runHandlerRefs(handlerScratch, OverheadKind::PageFault);
+    evt.l1iCycles += fault.scanCost;
+
+    Tick defer = 0;
+    for (const VarFaultVictim &victim : fault.victims) {
+        tlbUnit.invalidate(victim.pid, victim.vpn);
+        Addr base = victim.startFrame * pagerUnit.baseFrameBytes();
+        Cycles flush_cycles = 0;
+        bool dirty = victim.dirty;
+        dirty |= invalidateL1Range(base, victim.bytes, flush_cycles);
+        if (dirty) {
+            ++evt.dramWrites;
+            Tick write_ps = dram().writePs(victim.bytes);
+            addDramPs(write_ps);
+            defer += write_ps;
+        }
+    }
+
+    std::uint64_t page_bytes = pagerUnit.pageBytes(pid);
+    dir.physAddr(pid, vpn * page_bytes); // allocate the DRAM home
+    ++evt.dramReads;
+    Tick read_ps = dram().readPs(page_bytes);
+    addDramPs(read_ps);
+    defer += read_ps;
+
+    defer_ps_out = rcfg.switchOnMiss ? defer : 0;
+    return fault.startFrame;
+}
+
+} // namespace rampage

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAMpage with per-process (variable) SRAM page sizes — the paper's
+ * §6.2/§6.3 "dynamic tuning" extension, built on the variable-size
+ * pager (src/os/var_pager.hh).  The TLB requirement matches MIPS:
+ * entries that translate pages of different sizes.
+ */
+
+#ifndef RAMPAGE_CORE_RAMPAGE_VAR_HH
+#define RAMPAGE_CORE_RAMPAGE_VAR_HH
+
+#include "core/hierarchy.hh"
+#include "os/dram_directory.hh"
+#include "os/var_pager.hh"
+
+namespace rampage
+{
+
+/** Configuration of the variable-page-size RAMpage system. */
+struct VarRampageConfig
+{
+    CommonConfig common{};
+    VarPagerParams pager{};
+    bool switchOnMiss = false;
+};
+
+/** RAMpage hierarchy with a per-pid SRAM page size. */
+class VarRampageHierarchy : public Hierarchy
+{
+  public:
+    explicit VarRampageHierarchy(const VarRampageConfig &config);
+
+    AccessOutcome access(const MemRef &ref) override;
+    std::string name() const override { return "RAMpage-var"; }
+    std::string l2Name() const override { return "SRAM MM"; }
+
+    const VarPager &pager() const { return pagerUnit; }
+
+  protected:
+    Cycles fillFromBelow(Addr paddr, bool is_write) override;
+    Cycles writebackBelow(Addr victim_addr) override;
+    Cycles l1WritebackCost() const override;
+    Addr osPhysAddr(Addr vaddr) const override;
+
+  private:
+    /** Service a fault; may evict several smaller pages. */
+    std::uint64_t servicePageFault(Pid pid, std::uint64_t vpn,
+                                   Tick &defer_ps_out);
+
+    VarRampageConfig rcfg;
+    VarPager pagerUnit;
+    DramDirectory dir;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_RAMPAGE_VAR_HH

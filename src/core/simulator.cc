@@ -1,0 +1,123 @@
+#include "core/simulator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+double
+SimResult::seconds() const
+{
+    return static_cast<double>(elapsedPs) / psPerSec;
+}
+
+Simulator::Simulator(Hierarchy &hierarchy,
+                     std::vector<std::unique_ptr<TraceSource>> workload,
+                     const SimConfig &config)
+    : hier(hierarchy), sources(std::move(workload)), cfg(config)
+{
+    RAMPAGE_ASSERT(!sources.empty(), "simulator needs a workload");
+    RAMPAGE_ASSERT(cfg.quantumRefs > 0, "quantum must be positive");
+}
+
+MemRef
+Simulator::pull(std::size_t index)
+{
+    MemRef ref;
+    if (!sources[index]->next(ref)) {
+        sources[index]->reset();
+        if (!sources[index]->next(ref))
+            panic("trace source '%s' empty after reset",
+                  sources[index]->name().c_str());
+    }
+    return ref;
+}
+
+SimResult
+Simulator::run()
+{
+    return cfg.switchOnMiss ? runSwitchOnMiss() : runBlocking();
+}
+
+SimResult
+Simulator::runBlocking()
+{
+    Tick now = 0;
+    std::size_t current = 0;
+    std::uint64_t in_slice = 0;
+
+    for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
+        if (in_slice == 0 && cfg.insertSwitchTrace)
+            now += hier.runContextSwitchTrace();
+
+        MemRef ref = pull(current);
+        AccessOutcome out = hier.access(ref);
+        now += out.cpuPs + out.deferPs;
+
+        if (++in_slice >= cfg.quantumRefs) {
+            in_slice = 0;
+            current = (current + 1) % sources.size();
+        }
+    }
+
+    SimResult result;
+    result.elapsedPs = now;
+    result.counts = hier.counts();
+    result.systemName = hier.name();
+    result.issueHz = hier.commonConfig().issueHz;
+    return result;
+}
+
+SimResult
+Simulator::runSwitchOnMiss()
+{
+    Scheduler sched(sources.size(), cfg.quantumRefs);
+    Tick now = 0;
+    Tick channel_free_at = 0;
+
+    if (cfg.insertSwitchTrace)
+        now += hier.runContextSwitchTrace();
+
+    for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
+        MemRef ref = pull(sched.current());
+        AccessOutcome out = hier.access(ref);
+        now += out.cpuPs;
+
+        bool quantum_expired = sched.onRef();
+
+        if (out.pageFault && out.deferPs > 0) {
+            // The handler has queued the transfer; the single Rambus
+            // channel serializes outstanding page moves (§2.4 models
+            // no pipelining of references).
+            Tick start = std::max(now, channel_free_at);
+            Tick done = start + out.deferPs;
+            channel_free_at = done;
+
+            if (cfg.insertSwitchTrace)
+                now += hier.runContextSwitchTrace();
+            SchedPick pick = sched.blockCurrent(now, done);
+            now = std::max(now, pick.resumeAt);
+        } else if (quantum_expired) {
+            if (cfg.insertSwitchTrace)
+                now += hier.runContextSwitchTrace();
+            SchedPick pick = sched.rotate(now);
+            now = std::max(now, pick.resumeAt);
+        }
+    }
+
+    // Any transfer still in flight must complete before the run ends.
+    now = std::max(now, channel_free_at);
+
+    SimResult result;
+    result.elapsedPs = now;
+    result.stallPs = sched.stats().stallTime;
+    result.counts = hier.counts();
+    result.sched = sched.stats();
+    result.systemName = hier.name();
+    result.issueHz = hier.commonConfig().issueHz;
+    return result;
+}
+
+} // namespace rampage

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The simulation driver: feeds the multiprogrammed workload through a
+ * hierarchy, inserting the context-switch trace at time-slice
+ * boundaries (§4.6), and — for RAMpage with context switches on
+ * misses — running the timing-coupled schedule where a faulting
+ * process blocks on its page transfer while others execute, with the
+ * single Rambus channel serializing outstanding transfers.
+ */
+
+#ifndef RAMPAGE_CORE_SIMULATOR_HH
+#define RAMPAGE_CORE_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/hierarchy.hh"
+#include "os/scheduler.hh"
+#include "trace/source.hh"
+
+namespace rampage
+{
+
+/** Driver configuration. */
+struct SimConfig
+{
+    /** Benchmark-trace references to simulate. */
+    std::uint64_t maxRefs = 24'000'000;
+    /** References per time slice (paper: 500 000 at full scale). */
+    std::uint64_t quantumRefs = 120'000;
+    /** Insert the ~400-reference context-switch trace at each slice. */
+    bool insertSwitchTrace = true;
+    /**
+     * Context-switch on page faults (RAMpage only, §4.6): overlap
+     * page transfers with other processes' execution.
+     */
+    bool switchOnMiss = false;
+};
+
+/** Result of one simulation. */
+struct SimResult
+{
+    /** Elapsed simulated time at the hierarchy's issue rate. */
+    Tick elapsedPs = 0;
+    /** CPU idle time waiting for transfers (switch-on-miss only). */
+    Tick stallPs = 0;
+    /** The run's event counts (re-priceable for blocking runs). */
+    EventCounts counts;
+    /** Scheduler statistics (switch-on-miss only). */
+    SchedStats sched;
+    std::string systemName;
+    std::uint64_t issueHz = 0;
+
+    /** Elapsed seconds, as the paper's tables report. */
+    double seconds() const;
+};
+
+/** Feeds a workload through one hierarchy. */
+class Simulator
+{
+  public:
+    /**
+     * @param hierarchy the system under test (not owned).
+     * @param workload the trace streams (owned); exhausted streams
+     *        are rewound and replayed.
+     */
+    Simulator(Hierarchy &hierarchy,
+              std::vector<std::unique_ptr<TraceSource>> workload,
+              const SimConfig &config);
+
+    /** Run to completion and report. */
+    SimResult run();
+
+  private:
+    /** Pull the next reference from stream `index`, replaying at end. */
+    MemRef pull(std::size_t index);
+
+    SimResult runBlocking();
+    SimResult runSwitchOnMiss();
+
+    Hierarchy &hier;
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    SimConfig cfg;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_SIMULATOR_HH

@@ -1,0 +1,142 @@
+#include "core/sweep.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "trace/benchmarks.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+const char *
+envOrNull(const char *name)
+{
+    const char *value = std::getenv(name);
+    return (value && *value) ? value : nullptr;
+}
+
+} // namespace
+
+ExperimentScale
+experimentScale()
+{
+    ExperimentScale scale;
+    if (envOrNull("RAMPAGE_FULL")) {
+        // Paper scale (§4.2): 1.1 G references, 500 K-reference slices.
+        scale.refs = 1'100'000'000;
+        scale.quantumRefs = 500'000;
+    }
+    if (const char *refs = envOrNull("RAMPAGE_REFS"))
+        scale.refs = std::strtoull(refs, nullptr, 10);
+    if (const char *quantum = envOrNull("RAMPAGE_QUANTUM"))
+        scale.quantumRefs = std::strtoull(quantum, nullptr, 10);
+    if (scale.refs == 0 || scale.quantumRefs == 0)
+        fatal("RAMPAGE_REFS / RAMPAGE_QUANTUM must be positive");
+    return scale;
+}
+
+std::vector<std::uint64_t>
+issueRates()
+{
+    if (const char *env = envOrNull("RAMPAGE_RATES")) {
+        std::vector<std::uint64_t> rates;
+        std::string text(env);
+        std::size_t pos = 0;
+        while (pos < text.size()) {
+            std::size_t comma = text.find(',', pos);
+            if (comma == std::string::npos)
+                comma = text.size();
+            rates.push_back(
+                parseFrequency(text.substr(pos, comma - pos)));
+            pos = comma + 1;
+        }
+        if (rates.empty())
+            fatal("RAMPAGE_RATES is empty");
+        return rates;
+    }
+    // The paper sweeps 200 MHz to 4 GHz (§4.3).
+    return {200'000'000ull, 500'000'000ull, 1'000'000'000ull,
+            2'000'000'000ull, 4'000'000'000ull};
+}
+
+std::vector<std::uint64_t>
+blockSizeSweep()
+{
+    return {128, 256, 512, 1024, 2048, 4096};
+}
+
+CommonConfig
+defaultCommon(std::uint64_t issue_hz)
+{
+    CommonConfig common;
+    common.issueHz = issue_hz;
+    return common;
+}
+
+ConventionalConfig
+baselineConfig(std::uint64_t issue_hz, std::uint64_t l2_block_bytes)
+{
+    ConventionalConfig config;
+    config.common = defaultCommon(issue_hz);
+    config.l2BlockBytes = l2_block_bytes;
+    config.l2Assoc = 1;
+    return config;
+}
+
+ConventionalConfig
+twoWayConfig(std::uint64_t issue_hz, std::uint64_t l2_block_bytes)
+{
+    ConventionalConfig config = baselineConfig(issue_hz, l2_block_bytes);
+    config.l2Assoc = 2;
+    config.l2Repl = ReplPolicy::Random;
+    return config;
+}
+
+RampageConfig
+rampageConfig(std::uint64_t issue_hz, std::uint64_t page_bytes,
+              bool switch_on_miss)
+{
+    RampageConfig config;
+    config.common = defaultCommon(issue_hz);
+    config.pager.pageBytes = page_bytes;
+    config.switchOnMiss = switch_on_miss;
+    return config;
+}
+
+SimConfig
+defaultSimConfig(bool switch_on_miss)
+{
+    ExperimentScale scale = experimentScale();
+    SimConfig sim;
+    sim.maxRefs = scale.refs;
+    sim.quantumRefs = scale.quantumRefs;
+    sim.switchOnMiss = switch_on_miss;
+    return sim;
+}
+
+SimResult
+simulateConventional(const ConventionalConfig &config, const SimConfig &sim)
+{
+    ConventionalHierarchy hierarchy(config);
+    Simulator simulator(hierarchy, makeWorkload(), sim);
+    return simulator.run();
+}
+
+SimResult
+simulateRampage(const RampageConfig &config, const SimConfig &sim)
+{
+    RampageHierarchy hierarchy(config);
+    SimConfig effective = sim;
+    effective.switchOnMiss = config.switchOnMiss;
+    Simulator simulator(hierarchy, makeWorkload(), effective);
+    return simulator.run();
+}
+
+} // namespace rampage

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment scaffolding shared by the benches, examples and
+ * integration tests: canonical system configurations (paper §4),
+ * environment-controlled run scale, and one-call runners that build a
+ * hierarchy plus the Table 2 workload and simulate it.
+ *
+ * Scale knobs (environment variables):
+ *  - RAMPAGE_REFS=<n>     benchmark references per run (default 24 M)
+ *  - RAMPAGE_QUANTUM=<n>  references per time slice (default 120 K)
+ *  - RAMPAGE_FULL=1       paper scale: 1.1 G references, 500 K quantum
+ *  - RAMPAGE_RATES=a,b,c  issue rates (default 200MHz,500MHz,1GHz,
+ *                         2GHz,4GHz)
+ */
+
+#ifndef RAMPAGE_CORE_SWEEP_HH
+#define RAMPAGE_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/simulator.hh"
+
+namespace rampage
+{
+
+/** Run-scale parameters resolved from the environment. */
+struct ExperimentScale
+{
+    std::uint64_t refs = 24'000'000;
+    std::uint64_t quantumRefs = 120'000;
+};
+
+/** Resolve the run scale from the environment (see file comment). */
+ExperimentScale experimentScale();
+
+/** Issue rates to sweep (RAMPAGE_RATES or the paper-like default). */
+std::vector<std::uint64_t> issueRates();
+
+/** The paper's block/page size sweep: 128 B ... 4 KB. */
+std::vector<std::uint64_t> blockSizeSweep();
+
+/** Common parameters at an issue rate (§4.3). */
+CommonConfig defaultCommon(std::uint64_t issue_hz);
+
+/** The §4.4 baseline: direct-mapped 4 MB L2. */
+ConventionalConfig baselineConfig(std::uint64_t issue_hz,
+                                  std::uint64_t l2_block_bytes);
+
+/** The §4.7 system: 2-way random-replacement 4 MB L2. */
+ConventionalConfig twoWayConfig(std::uint64_t issue_hz,
+                                std::uint64_t l2_block_bytes);
+
+/** The §4.5 RAMpage system at an SRAM page size. */
+RampageConfig rampageConfig(std::uint64_t issue_hz,
+                            std::uint64_t page_bytes,
+                            bool switch_on_miss = false);
+
+/** SimConfig at the environment scale. */
+SimConfig defaultSimConfig(bool switch_on_miss = false);
+
+/** Build, run and report a conventional system on the §4.2 workload. */
+SimResult simulateConventional(const ConventionalConfig &config,
+                               const SimConfig &sim);
+
+/** Build, run and report a RAMpage system on the §4.2 workload. */
+SimResult simulateRampage(const RampageConfig &config,
+                          const SimConfig &sim);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_SWEEP_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Disk timing model used only for the paper's Table 1 comparison
+ * (§3.5): 10 ms latency, 40 MB/s streaming.  It exists to quantify the
+ * paper's argument that DRAM shares disk's property of being far more
+ * efficient at large transfer units.
+ */
+
+#ifndef RAMPAGE_DRAM_DISK_HH
+#define RAMPAGE_DRAM_DISK_HH
+
+#include "dram/dram_model.hh"
+
+namespace rampage
+{
+
+/** Configuration of the Table 1 disk. */
+struct DiskConfig
+{
+    /** Positioning latency (paper: 10 ms). */
+    Tick latencyPs = 10 * psPerMs;
+    /** Streaming rate in bytes per second (paper: 40 MB/s, decimal). */
+    double bytesPerSecond = 40e6;
+};
+
+/** Simple latency + streaming-rate disk. */
+class Disk : public DramModel
+{
+  public:
+    explicit Disk(const DiskConfig &config = DiskConfig{});
+
+    Tick readPs(std::uint64_t bytes) const override;
+    Tick writePs(std::uint64_t bytes) const override;
+    double peakBandwidth() const override;
+    std::string name() const override { return "Disk"; }
+
+  private:
+    DiskConfig cfg;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_DRAM_DISK_HH

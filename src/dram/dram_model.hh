@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Abstract timing interface for the DRAM level of the hierarchy.
+ *
+ * The paper models DRAM purely by transaction timing (latency plus a
+ * streaming rate); capacity is infinite (no misses to disk).  Concrete
+ * models are Direct Rambus (the paper's device, §4.3) and SDRAM (the
+ * §3.3 comparison point).
+ */
+
+#ifndef RAMPAGE_DRAM_DRAM_MODEL_HH
+#define RAMPAGE_DRAM_DRAM_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Timing model of one DRAM transaction stream. */
+class DramModel
+{
+  public:
+    virtual ~DramModel() = default;
+
+    /** Time to read `bytes` contiguous bytes in one transaction. */
+    virtual Tick readPs(std::uint64_t bytes) const = 0;
+
+    /** Time to write `bytes` contiguous bytes in one transaction. */
+    virtual Tick writePs(std::uint64_t bytes) const = 0;
+
+    /** Peak streaming bandwidth in bytes per second. */
+    virtual double peakBandwidth() const = 0;
+
+    /** Human-readable model name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Fraction of peak bandwidth achieved by a transaction of the
+     * given size (the paper's Table 1 "efficiency" metric).
+     */
+    double efficiency(std::uint64_t bytes) const;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_DRAM_DRAM_MODEL_HH

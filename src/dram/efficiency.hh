@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The paper's Table 1: bandwidth efficiency of Direct Rambus (with and
+ * without pipelining) versus a disk across transfer sizes, plus the
+ * §3.5 "instructions lost per transfer" illustration.
+ */
+
+#ifndef RAMPAGE_DRAM_EFFICIENCY_HH
+#define RAMPAGE_DRAM_EFFICIENCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** One Table 1 row. */
+struct EfficiencyRow
+{
+    std::uint64_t bytes;          ///< transfer unit
+    double rambusEfficiency;      ///< non-pipelined Direct Rambus
+    double rambusPipelined;       ///< pipelined Direct Rambus (§6.3)
+    double diskEfficiency;        ///< 10 ms / 40 MB/s disk
+};
+
+/**
+ * Compute Table 1 for the given transfer sizes (defaults to powers of
+ * four from 2 B to 4 MB, the range the paper's discussion spans).
+ */
+std::vector<EfficiencyRow>
+computeEfficiencyTable(const std::vector<std::uint64_t> &sizes = {});
+
+/**
+ * Instructions lost to one transfer of `bytes` at `issue_hz` — the
+ * paper's example: a 4 KB disk transfer costs ~10 M instructions at
+ * 1 GHz, the same Direct Rambus transfer ~2,600.
+ */
+double instructionsPerTransfer(Tick transfer_ps, std::uint64_t issue_hz);
+
+} // namespace rampage
+
+#endif // RAMPAGE_DRAM_EFFICIENCY_HH

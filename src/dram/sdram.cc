@@ -1,0 +1,34 @@
+#include "dram/sdram.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+Sdram::Sdram(const SdramConfig &config) : cfg(config)
+{
+    RAMPAGE_ASSERT(cfg.busBytes > 0, "bus width must be positive");
+    RAMPAGE_ASSERT(cfg.busCyclePs > 0, "bus cycle must be positive");
+}
+
+Tick
+Sdram::readPs(std::uint64_t bytes) const
+{
+    return cfg.accessLatencyPs + divCeil(bytes, cfg.busBytes) * cfg.busCyclePs;
+}
+
+Tick
+Sdram::writePs(std::uint64_t bytes) const
+{
+    return readPs(bytes);
+}
+
+double
+Sdram::peakBandwidth() const
+{
+    return static_cast<double>(cfg.busBytes) /
+           (static_cast<double>(cfg.busCyclePs) / psPerSec);
+}
+
+} // namespace rampage

@@ -1,0 +1,77 @@
+#include "os/dram_directory.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+DramDirectory::DramDirectory(std::uint64_t page_bytes, Addr table_base,
+                             std::uint64_t phys_pages)
+    : pageSize(page_bytes), tableBase(table_base)
+{
+    if (!isPowerOfTwo(page_bytes))
+        fatal("DRAM page size must be a power of two");
+    if (!isPowerOfTwo(phys_pages))
+        fatal("physical frame pool must be a power of two");
+    pageBits = floorLog2(page_bytes);
+    used.assign(phys_pages, false);
+}
+
+std::uint64_t
+DramDirectory::keyOf(Pid pid, std::uint64_t vpn)
+{
+    return (static_cast<std::uint64_t>(pid) << 48) ^ vpn;
+}
+
+std::uint64_t
+DramDirectory::frameOf(Pid pid, std::uint64_t vpn, bool *allocated_out)
+{
+    std::uint64_t key = keyOf(pid, vpn);
+    auto [it, inserted] = map.try_emplace(key, 0);
+    if (inserted) {
+        if (nAllocated >= used.size())
+            fatal("DRAM frame pool exhausted (%llu frames): raise "
+                  "phys_pages for this workload",
+                  static_cast<unsigned long long>(used.size()));
+        // Randomized placement: hash the page identity into the frame
+        // pool and linearly probe to the first free frame.
+        std::uint64_t mix = key * 0xd6e8feb86659fd93ull;
+        mix ^= mix >> 32;
+        std::uint64_t frame = mix & (used.size() - 1);
+        while (used[frame])
+            frame = (frame + 1) & (used.size() - 1);
+        used[frame] = true;
+        ++nAllocated;
+        it->second = frame;
+    }
+    if (allocated_out)
+        *allocated_out = inserted;
+    return it->second;
+}
+
+Addr
+DramDirectory::physAddr(Pid pid, Addr vaddr)
+{
+    std::uint64_t frame = frameOf(pid, vaddr >> pageBits);
+    return (frame << pageBits) | lowBits(vaddr, pageBits);
+}
+
+void
+DramDirectory::probeAddrs(Pid pid, std::uint64_t vpn,
+                          std::vector<Addr> &out) const
+{
+    // Inverted-table image: a hash anchor word, then the probed
+    // entry.  The hash mirrors the SRAM table's mixing so probe
+    // addresses spread over the table the same way.
+    std::uint64_t key = vpn * 0x9e3779b97f4a7c15ull;
+    key ^= static_cast<std::uint64_t>(pid) * 0xc2b2ae3d27d4eb4full;
+    key ^= key >> 29;
+    // A generous fixed table extent: 64 K anchors + entries.
+    std::uint64_t bucket = key & 0xffff;
+    constexpr std::uint64_t entry_bytes = 20; // matches iptEntryBytes
+    out.push_back(tableBase + bucket * 8);
+    out.push_back(tableBase + 64 * kib * 8 + bucket * entry_bytes);
+}
+
+} // namespace rampage

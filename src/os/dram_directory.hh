@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM page directory: the allocate-on-first-touch mapping from
+ * (pid, virtual page) to DRAM physical frames.
+ *
+ * Serves two roles, matching the paper:
+ *
+ *  - under the conventional hierarchy it is the operating system's
+ *    page table: the TLB caches its translations (fixed 4 KB pages),
+ *    and the TLB-miss handler's table probes are ordinary cacheable
+ *    physical references into the table's memory image;
+ *  - under RAMpage it is the DRAM *paging device* directory (§2.4),
+ *    consulted only when a page faults out of the SRAM main memory.
+ *
+ * DRAM is modelled as infinite (no misses to disk, §4.3): frames are
+ * never reclaimed.  Placement is *randomized* (hashed first-touch
+ * with linear probing), modelling an operating system that does no
+ * cache-conscious page coloring — precisely the situation in which a
+ * direct-mapped L2 suffers the conflict misses that associativity
+ * (hardware 2-way, or RAMpage's full software associativity) removes
+ * (§3.2 cites Kessler & Hill on placement).  Per the paper §2.4, the
+ * directory uses the same inverted (hash-probed) organization as the
+ * SRAM main memory's table.
+ */
+
+#ifndef RAMPAGE_OS_DRAM_DIRECTORY_HH
+#define RAMPAGE_OS_DRAM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** DRAM frame mapping with first-touch allocation. */
+class DramDirectory
+{
+  public:
+    /**
+     * @param page_bytes DRAM page size (paper: fixed 4 KB).
+     * @param table_base physical address of the table image, placed
+     *        far above any allocatable frame so probes never alias
+     *        program data.
+     * @param phys_pages size of the physical frame pool placement
+     *        randomizes over (default 64 Ki frames = 256 MB); must
+     *        be a power of two and exceed the workload's footprint.
+     */
+    explicit DramDirectory(std::uint64_t page_bytes = 4096,
+                           Addr table_base = Addr{1} << 40,
+                           std::uint64_t phys_pages = 64 * 1024);
+
+    /**
+     * Frame for (pid, vpn), allocated on first touch.
+     * @param allocated_out set true when this call allocated.
+     */
+    std::uint64_t frameOf(Pid pid, std::uint64_t vpn,
+                          bool *allocated_out = nullptr);
+
+    /** Translate a full virtual address to a DRAM physical address. */
+    Addr physAddr(Pid pid, Addr vaddr);
+
+    /**
+     * Physical addresses the page-table lookup for (pid, vpn)
+     * touches: the hash anchor and the probed entry.  Used to build
+     * the TLB-miss handler's data references under the conventional
+     * hierarchy.
+     */
+    void probeAddrs(Pid pid, std::uint64_t vpn,
+                    std::vector<Addr> &out) const;
+
+    std::uint64_t pageBytes() const { return pageSize; }
+    std::uint64_t allocatedFrames() const { return nAllocated; }
+    std::uint64_t allocatedBytes() const { return nAllocated * pageSize; }
+    std::uint64_t physPages() const { return used.size(); }
+
+  private:
+    static std::uint64_t keyOf(Pid pid, std::uint64_t vpn);
+
+    std::uint64_t pageSize;
+    unsigned pageBits;
+    Addr tableBase;
+    std::unordered_map<std::uint64_t, std::uint64_t> map;
+    std::vector<bool> used; ///< frame occupancy for probing
+    std::uint64_t nAllocated = 0;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_OS_DRAM_DIRECTORY_HH

@@ -1,0 +1,120 @@
+#include "os/pager.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+SramPager::SramPager(const PagerParams &params) : prm(params)
+{
+    if (!isPowerOfTwo(prm.pageBytes))
+        fatal("SRAM page size must be a power of two");
+    if (prm.baseSramBytes % prm.pageBytes != 0)
+        fatal("SRAM capacity must be a multiple of the page size");
+
+    // Capacity: cache-equivalent size plus the reclaimed tag bytes
+    // (paper §4.5).  The bonus is rounded down to whole pages.
+    std::uint64_t blocks = prm.baseSramBytes / prm.pageBytes;
+    std::uint64_t bonus = blocks * prm.tagBytesPerBlock;
+    totalBytes = prm.baseSramBytes + alignDown(bonus, floorLog2(prm.pageBytes));
+    nFrames = totalBytes / prm.pageBytes;
+
+    // The table is sized for every frame; the pinned reserve is the
+    // table image plus the fixed OS code/data, rounded up to pages.
+    tableVbase = prm.osVirtBase + prm.osFixedBytes;
+    ipt = std::make_unique<InvertedPageTable>(nFrames, tableVbase);
+    nOsFrames = divCeil(prm.osFixedBytes + ipt->tableBytes(),
+                        prm.pageBytes);
+    if (nOsFrames >= nFrames)
+        fatal("operating-system reserve (%llu pages) consumes the whole "
+              "SRAM (%llu pages)",
+              static_cast<unsigned long long>(nOsFrames),
+              static_cast<unsigned long long>(nFrames));
+
+    repl = makePageReplacement(prm.repl, nFrames, nOsFrames, prm.seed,
+                               prm.standbyPages);
+    dirty.assign(nFrames, false);
+    nextFreeFrame = nOsFrames;
+}
+
+IptLookup
+SramPager::lookup(Pid pid, std::uint64_t vpn,
+                  std::vector<Addr> *probes) const
+{
+    return ipt->lookup(pid, vpn, probes);
+}
+
+void
+SramPager::touch(std::uint64_t frame)
+{
+    repl->touch(frame);
+}
+
+void
+SramPager::markDirty(std::uint64_t frame)
+{
+    RAMPAGE_ASSERT(frame < nFrames, "frame out of range");
+    dirty[frame] = true;
+}
+
+bool
+SramPager::isDirty(std::uint64_t frame) const
+{
+    RAMPAGE_ASSERT(frame < nFrames, "frame out of range");
+    return dirty[frame];
+}
+
+PageFaultResult
+SramPager::handleFault(Pid pid, std::uint64_t vpn)
+{
+    PageFaultResult result;
+    ++stat.faults;
+
+    // The handler re-walks the table (the TLB miss that preceded the
+    // fault already did, but the fault path validates before acting).
+    IptLookup walk = ipt->lookup(pid, vpn, &result.probes);
+    RAMPAGE_ASSERT(!walk.found, "fault raised for a resident page");
+
+    std::uint64_t frame;
+    if (nextFreeFrame < nFrames) {
+        // Cold fill: frames are handed out in order until the SRAM is
+        // fully populated, as in the paper's warm-up discussion §4.2.
+        frame = nextFreeFrame++;
+        result.scanCost = 1;
+        ++stat.coldFills;
+    } else {
+        frame = repl->pickVictim(&result.scanCost);
+        RAMPAGE_ASSERT(frame >= nOsFrames, "victim from the pinned reserve");
+    }
+
+    if (ipt->mapped(frame)) {
+        result.victimValid = true;
+        result.victimPid = ipt->framePid(frame);
+        result.victimVpn = ipt->frameVpn(frame);
+        result.victimDirty = dirty[frame];
+        if (dirty[frame])
+            ++stat.dirtyWritebacks;
+        // The handler updates the victim's table entry too.
+        result.probes.push_back(ipt->entryAddr(frame));
+        ipt->remove(frame);
+    }
+
+    dirty[frame] = false;
+    ipt->insert(frame, pid, vpn);
+    repl->fill(frame);
+    result.probes.push_back(ipt->entryAddr(frame));
+    result.frame = frame;
+    return result;
+}
+
+Addr
+SramPager::osPhysAddr(Addr os_vaddr) const
+{
+    RAMPAGE_ASSERT(os_vaddr >= prm.osVirtBase && os_vaddr < osVirtEnd(),
+                   "address outside the pinned OS region");
+    // The reserve occupies frames [0, nOsFrames) verbatim.
+    return os_vaddr - prm.osVirtBase;
+}
+
+} // namespace rampage

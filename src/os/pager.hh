@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The RAMpage SRAM main-memory pager (paper §2.2, §4.5): the
+ * software-managed, fully-associative paged view of the SRAM that a
+ * conventional hierarchy would use as its lowest-level cache.
+ *
+ * Capacity follows the paper exactly: the cache-equivalent 4 MB plus
+ * the bytes a cache of that size would have spent on tags
+ * (4 B per block, i.e. 4.125 MB total at 128 B pages, scaling down
+ * with page size).  A pinned operating-system reserve at the bottom
+ * of the frame space holds the handler code/data and the inverted
+ * page table, so TLB misses and page-fault handling never touch DRAM
+ * except for the faulted transfer itself (§2.3).
+ *
+ * The pager is a pure placement/replacement engine: it answers
+ * residency lookups and services faults, reporting everything the
+ * hierarchy needs to charge time (table probe addresses for the
+ * handler trace, the victim page for write-back and inclusion
+ * flushes, and the clock hand's scan length).
+ */
+
+#ifndef RAMPAGE_OS_PAGER_HH
+#define RAMPAGE_OS_PAGER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "os/inverted_page_table.hh"
+#include "os/page_replacement.hh"
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Static configuration of the SRAM main memory. */
+struct PagerParams
+{
+    /** SRAM page size (the paper sweeps 128 B - 4 KB). */
+    std::uint64_t pageBytes = 1024;
+    /** Cache-equivalent SRAM capacity (paper: 4 MB). */
+    std::uint64_t baseSramBytes = 4 * mib;
+    /**
+     * Tag bytes per page that the equivalent cache would have spent;
+     * RAMpage gets them back as usable capacity (paper §4.5: +128 KB
+     * at 128 B pages).
+     */
+    std::uint64_t tagBytesPerBlock = 4;
+    /** Replacement policy (paper: clock). */
+    PageReplKind repl = PageReplKind::Clock;
+    /** Standby list length for PageReplKind::Standby. */
+    std::uint64_t standbyPages = 16;
+    std::uint64_t seed = 11;
+    /** Fixed OS image (handler code + data) pinned besides the table. */
+    std::uint64_t osFixedBytes = 12 * kib;
+    /** Virtual base of the pinned OS region (code, data, then table). */
+    Addr osVirtBase = 0x0001'0000;
+};
+
+/** Outcome of servicing a page fault. */
+struct PageFaultResult
+{
+    std::uint64_t frame = 0;      ///< frame now holding the page
+    bool victimValid = false;     ///< an occupied frame was reclaimed
+    bool victimDirty = false;     ///< ... and must be written to DRAM
+    Pid victimPid = 0;
+    std::uint64_t victimVpn = 0;
+    unsigned scanCost = 0;        ///< replacement-policy scan length
+    /** Table words the fault handling touched (for the handler trace). */
+    std::vector<Addr> probes;
+};
+
+/** Pager statistics. */
+struct PagerStats
+{
+    std::uint64_t faults = 0;
+    std::uint64_t dirtyWritebacks = 0;
+    std::uint64_t coldFills = 0; ///< faults that found a free frame
+};
+
+/** The SRAM main memory manager. */
+class SramPager
+{
+  public:
+    explicit SramPager(const PagerParams &params);
+
+    /** Total SRAM size (cache-equivalent + reclaimed tag bytes). */
+    std::uint64_t sramBytes() const { return totalBytes; }
+
+    /** Total page frames. */
+    std::uint64_t totalFrames() const { return nFrames; }
+
+    /** Pinned operating-system frames at the bottom of the space. */
+    std::uint64_t osFrames() const { return nOsFrames; }
+
+    /** Frames available to user pages. */
+    std::uint64_t userFrames() const { return nFrames - nOsFrames; }
+
+    std::uint64_t pageBytes() const { return prm.pageBytes; }
+
+    /**
+     * Residency lookup (the TLB-miss handler's table walk).
+     * @param probes when non-null receives the table words touched.
+     */
+    IptLookup lookup(Pid pid, std::uint64_t vpn,
+                     std::vector<Addr> *probes = nullptr) const;
+
+    /** Record a reference to a resident frame (replacement state). */
+    void touch(std::uint64_t frame);
+
+    /** Mark a resident frame dirty (a store hit it). */
+    void markDirty(std::uint64_t frame);
+
+    /** @return dirty state of a frame. */
+    bool isDirty(std::uint64_t frame) const;
+
+    /**
+     * Service a fault for (pid, vpn): choose a victim (never pinned),
+     * unmap it, and map the new page.  The caller charges DRAM
+     * transfer time, flushes the victim's TLB entry and maintains L1
+     * inclusion using the returned details.
+     */
+    PageFaultResult handleFault(Pid pid, std::uint64_t vpn);
+
+    /** Physical SRAM address of an offset within a frame. */
+    Addr
+    physAddr(std::uint64_t frame, Addr offset) const
+    {
+        return frame * prm.pageBytes + offset;
+    }
+
+    /**
+     * Translate a virtual address in the pinned OS region to its SRAM
+     * physical address.  OS references bypass the TLB (they are
+     * direct-mapped into the reserve, like MIPS kseg0), which is how
+     * the pinned-handler guarantee of §2.3 is realized.
+     */
+    Addr osPhysAddr(Addr os_vaddr) const;
+
+    /** Extent of the pinned OS virtual region. */
+    Addr osVirtBase() const { return prm.osVirtBase; }
+    Addr osVirtEnd() const { return prm.osVirtBase + nOsFrames * prm.pageBytes; }
+
+    /** Virtual base address of the inverted page table image. */
+    Addr tableVirtBase() const { return tableVbase; }
+
+    const PagerParams &params() const { return prm; }
+    const PagerStats &stats() const { return stat; }
+    const InvertedPageTable &table() const { return *ipt; }
+    const PageReplacementPolicy &policy() const { return *repl; }
+
+  private:
+    PagerParams prm;
+    std::uint64_t totalBytes;
+    std::uint64_t nFrames;
+    std::uint64_t nOsFrames;
+    Addr tableVbase;
+    std::unique_ptr<InvertedPageTable> ipt;
+    std::unique_ptr<PageReplacementPolicy> repl;
+    std::vector<bool> dirty;
+    std::uint64_t nextFreeFrame; ///< cold-fill cursor
+    PagerStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_OS_PAGER_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Multiprogramming scheduler for context-switch-on-miss (paper §4.6).
+ *
+ * Under plain RAMpage and the conventional hierarchies, time slicing
+ * is pure round-robin (src/trace/interleaver.hh).  With context
+ * switches on misses, scheduling becomes timing-coupled: a process
+ * that faults to DRAM blocks until its page transfer completes, the
+ * CPU switches to another ready process, and if every process is
+ * blocked the CPU stalls until the earliest transfer finishes.  This
+ * class keeps the ready/blocked state and picks the next process;
+ * the simulator charges the context-switch trace and advances time.
+ */
+
+#ifndef RAMPAGE_OS_SCHEDULER_HH
+#define RAMPAGE_OS_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Result of a scheduling decision. */
+struct SchedPick
+{
+    std::size_t index = 0; ///< process chosen to run next
+    Tick resumeAt = 0;     ///< time the pick can start (>= now)
+    bool stalled = false;  ///< CPU idled waiting for an unblock
+};
+
+/** Scheduler statistics. */
+struct SchedStats
+{
+    std::uint64_t quantumSwitches = 0; ///< time-slice expiries
+    std::uint64_t missSwitches = 0;    ///< switches taken on faults
+    std::uint64_t stalls = 0;          ///< all-blocked CPU idles
+    Tick stallTime = 0;                ///< total idle picoseconds
+};
+
+/** Round-robin scheduler with blocked-on-fault states. */
+class Scheduler
+{
+  public:
+    /**
+     * @param nprocs number of processes (trace streams).
+     * @param quantum_refs references per time slice (paper: 500 000).
+     */
+    Scheduler(std::size_t nprocs, std::uint64_t quantum_refs);
+
+    /** Currently running process. */
+    std::size_t current() const { return running; }
+
+    /**
+     * Account one executed reference against the quantum.
+     * @retval true the quantum just expired (caller should charge a
+     *         context switch and call rotate()).
+     */
+    bool onRef();
+
+    /**
+     * Time-slice switch: advance round-robin to the next ready
+     * process.  If none is ready the CPU stalls until the earliest
+     * unblock.
+     */
+    SchedPick rotate(Tick now);
+
+    /**
+     * Block the running process until `until` (its page transfer
+     * completes) and pick the next process to run.
+     */
+    SchedPick blockCurrent(Tick now, Tick until);
+
+    /** @return true if process `index` is ready at time `now`. */
+    bool ready(std::size_t index, Tick now) const;
+
+    /** Number of ready processes at time `now`. */
+    std::size_t readyCount(Tick now) const;
+
+    std::size_t processCount() const { return blockedUntil.size(); }
+    std::uint64_t quantum() const { return quantumRefs; }
+    const SchedStats &stats() const { return stat; }
+
+  private:
+    /**
+     * Pick the next ready process after `from` in round-robin order,
+     * stalling to the earliest unblock when everyone is blocked.
+     */
+    SchedPick pickFrom(std::size_t from, Tick now);
+
+    std::vector<Tick> blockedUntil; ///< 0 = ready
+    std::size_t running = 0;
+    std::uint64_t quantumRefs;
+    std::uint64_t refsInSlice = 0;
+    SchedStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_OS_SCHEDULER_HH

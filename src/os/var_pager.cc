@@ -1,0 +1,244 @@
+#include "os/var_pager.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+VarPager::VarPager(const VarPagerParams &params) : prm(params)
+{
+    if (!isPowerOfTwo(prm.baseFrameBytes))
+        fatal("base frame size must be a power of two");
+    if (prm.baseSramBytes % prm.baseFrameBytes != 0)
+        fatal("SRAM capacity must be a multiple of the base frame");
+    auto check_size = [&](std::uint64_t bytes) {
+        if (!isPowerOfTwo(bytes) || bytes < prm.baseFrameBytes)
+            fatal("page size %llu invalid for base frame %llu",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(prm.baseFrameBytes));
+    };
+    check_size(prm.defaultPageBytes);
+    for (const auto &[pid, bytes] : prm.pageBytesByPid)
+        check_size(bytes);
+
+    std::uint64_t blocks = prm.baseSramBytes / prm.baseFrameBytes;
+    std::uint64_t bonus = blocks * prm.tagBytesPerBlock;
+    totalBytes = prm.baseSramBytes +
+                 alignDown(bonus, floorLog2(prm.baseFrameBytes));
+    nFrames = totalBytes / prm.baseFrameBytes;
+
+    // Same reserve accounting as the fixed pager: fixed OS image plus
+    // ~20 B of table per base frame (anchors folded into the figure).
+    tableVbase = prm.osVirtBase + prm.osFixedBytes;
+    std::uint64_t table_bytes = nFrames * 20 + (nFrames / 4) * 8;
+    nOsFrames = divCeil(prm.osFixedBytes + table_bytes,
+                        prm.baseFrameBytes);
+    if (nOsFrames >= nFrames)
+        fatal("operating-system reserve consumes the whole SRAM");
+
+    frameOwner.assign(nFrames, -1);
+    nextFreeFrame = nOsFrames;
+    hand = nOsFrames;
+}
+
+std::uint64_t
+VarPager::pageBytes(Pid pid) const
+{
+    auto it = prm.pageBytesByPid.find(pid);
+    return it == prm.pageBytesByPid.end() ? prm.defaultPageBytes
+                                          : it->second;
+}
+
+std::uint64_t
+VarPager::pageFrames(Pid pid) const
+{
+    return pageBytes(pid) / prm.baseFrameBytes;
+}
+
+std::uint64_t
+VarPager::keyOf(Pid pid, std::uint64_t vpn)
+{
+    return (static_cast<std::uint64_t>(pid) << 44) ^ vpn;
+}
+
+Addr
+VarPager::probeAddr(Pid pid, std::uint64_t vpn) const
+{
+    // Synthesized table-word address for the handler trace: spread
+    // over the pinned table image like the fixed pager's hash chains.
+    std::uint64_t mix = keyOf(pid, vpn) * 0x9e3779b97f4a7c15ull;
+    mix ^= mix >> 31;
+    std::uint64_t span = nFrames * 20;
+    return tableVbase + (mix % span) / 20 * 20;
+}
+
+VarPager::Lookup
+VarPager::lookup(Pid pid, std::uint64_t vpn,
+                 std::vector<Addr> *probes) const
+{
+    if (probes) {
+        probes->push_back(probeAddr(pid, vpn));
+        probes->push_back(probeAddr(pid, vpn ^ 0x5555));
+    }
+    auto it = table.find(keyOf(pid, vpn));
+    if (it == table.end())
+        return Lookup{};
+    return Lookup{true, pages[it->second].start};
+}
+
+void
+VarPager::touchFrame(std::uint64_t base_frame)
+{
+    RAMPAGE_ASSERT(base_frame < nFrames, "frame out of range");
+    std::int32_t slot = frameOwner[base_frame];
+    if (slot >= 0)
+        pages[static_cast<std::uint32_t>(slot)].referenced = true;
+}
+
+void
+VarPager::markDirtyFrame(std::uint64_t base_frame)
+{
+    RAMPAGE_ASSERT(base_frame < nFrames, "frame out of range");
+    std::int32_t slot = frameOwner[base_frame];
+    if (slot >= 0)
+        pages[static_cast<std::uint32_t>(slot)].dirty = true;
+}
+
+void
+VarPager::evictWindow(std::uint64_t start, std::uint64_t frames,
+                      VarFaultResult &result)
+{
+    for (std::uint64_t f = start; f < start + frames; ++f) {
+        std::int32_t slot = frameOwner[f];
+        if (slot < 0)
+            continue;
+        Page &page = pages[static_cast<std::uint32_t>(slot)];
+        VarFaultVictim victim;
+        victim.pid = page.pid;
+        victim.vpn = page.vpn;
+        victim.startFrame = page.start;
+        victim.frames = page.frames;
+        victim.bytes = page.frames * prm.baseFrameBytes;
+        victim.dirty = page.dirty;
+        result.victims.push_back(victim);
+        result.probes.push_back(probeAddr(page.pid, page.vpn));
+        if (page.dirty)
+            ++stat.dirtyWritebacks;
+        ++stat.victimsEvicted;
+
+        // Unmap the whole page (it may extend beyond the window).
+        for (std::uint64_t g = page.start; g < page.start + page.frames;
+             ++g)
+            frameOwner[g] = -1;
+        table.erase(keyOf(page.pid, page.vpn));
+        page.valid = false;
+        freeSlots.push_back(static_cast<std::uint32_t>(slot));
+        --nResident;
+    }
+}
+
+VarFaultResult
+VarPager::handleFault(Pid pid, std::uint64_t vpn)
+{
+    VarFaultResult result;
+    ++stat.faults;
+    result.probes.push_back(probeAddr(pid, vpn));
+
+    std::uint64_t k = pageFrames(pid);
+    std::uint64_t start;
+
+    // Cold fill: bump-allocate an aligned run while space remains.
+    std::uint64_t aligned_next =
+        (nextFreeFrame + k - 1) / k * k; // align up to k
+    if (aligned_next + k <= nFrames) {
+        start = aligned_next;
+        nextFreeFrame = aligned_next + k;
+        result.scanCost = 1;
+    } else {
+        // Window clock: find a k-aligned window whose pages are all
+        // unreferenced (second chance clears marks as the hand moves).
+        std::uint64_t first_window = divCeil(nOsFrames, k) * k;
+        if (first_window + k > nFrames)
+            fatal("page size %llu too large for the evictable SRAM",
+                  static_cast<unsigned long long>(k *
+                                                  prm.baseFrameBytes));
+        if (hand < first_window || hand + k > nFrames)
+            hand = first_window;
+        hand = hand / k * k;
+
+        std::uint64_t windows = (nFrames - first_window) / k;
+        unsigned scanned = 0;
+        std::uint64_t chosen = first_window;
+        bool found = false;
+        for (std::uint64_t step = 0; step < 2 * windows + 1; ++step) {
+            std::uint64_t w = hand;
+            hand += k;
+            if (hand + k > nFrames)
+                hand = first_window;
+            ++scanned;
+
+            bool referenced = false;
+            for (std::uint64_t f = w; f < w + k; ++f) {
+                std::int32_t slot = frameOwner[f];
+                if (slot >= 0 &&
+                    pages[static_cast<std::uint32_t>(slot)].referenced)
+                    referenced = true;
+            }
+            if (referenced) {
+                // Second chance for every page in the window.
+                for (std::uint64_t f = w; f < w + k; ++f) {
+                    std::int32_t slot = frameOwner[f];
+                    if (slot >= 0)
+                        pages[static_cast<std::uint32_t>(slot)]
+                            .referenced = false;
+                }
+            } else {
+                chosen = w;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            panic("window clock failed to choose a victim window");
+        result.scanCost = scanned;
+        evictWindow(chosen, k, result);
+        start = chosen;
+    }
+
+    // Map the new page.
+    std::uint32_t slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(pages.size());
+        pages.push_back(Page{});
+    }
+    Page &page = pages[slot];
+    page.pid = pid;
+    page.vpn = vpn;
+    page.start = start;
+    page.frames = k;
+    page.dirty = false;
+    page.referenced = true;
+    page.valid = true;
+    for (std::uint64_t f = start; f < start + k; ++f)
+        frameOwner[f] = static_cast<std::int32_t>(slot);
+    table[keyOf(pid, vpn)] = slot;
+    ++nResident;
+
+    result.probes.push_back(probeAddr(pid, vpn));
+    result.startFrame = start;
+    return result;
+}
+
+Addr
+VarPager::osPhysAddr(Addr os_vaddr) const
+{
+    RAMPAGE_ASSERT(os_vaddr >= prm.osVirtBase && os_vaddr < osVirtEnd(),
+                   "address outside the pinned OS region");
+    return os_vaddr - prm.osVirtBase;
+}
+
+} // namespace rampage

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Variable-page-size SRAM pager — the paper's §6.2/§6.3 "dynamic
+ * tuning" extension: "other possibilities ... include the ability to
+ * change block size dynamically. The only hardware support needed for
+ * this is a TLB capable of managing variable page sizes (already an
+ * option on some architectures such as MIPS)."
+ *
+ * Each process is assigned its own SRAM page size (a power-of-two
+ * multiple of a base frame).  The SRAM is managed at base-frame
+ * granularity:
+ *
+ *  - a page of size k base frames occupies k contiguous frames
+ *    aligned to k (so the TLB translation stays a mask, as on MIPS);
+ *  - replacement is a window clock: the hand inspects k-aligned
+ *    windows, gives referenced pages a second chance, and evicts
+ *    every page overlapping the chosen window (larger victims are
+ *    evicted whole);
+ *  - cold fill is bump allocation with alignment, so mixing sizes
+ *    costs real fragmentation — the honest price of the flexibility.
+ *
+ * The pinned operating-system reserve follows the same accounting as
+ * the fixed-size pager (handler image + ~20 B table entry per frame).
+ */
+
+#ifndef RAMPAGE_OS_VAR_PAGER_HH
+#define RAMPAGE_OS_VAR_PAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Configuration of the variable-page-size SRAM main memory. */
+struct VarPagerParams
+{
+    /** Base frame: granularity and the smallest page size. */
+    std::uint64_t baseFrameBytes = 512;
+    /** Cache-equivalent SRAM capacity (paper: 4 MB). */
+    std::uint64_t baseSramBytes = 4 * mib;
+    /** Reclaimed tag bytes per base frame (paper §4.5). */
+    std::uint64_t tagBytesPerBlock = 4;
+    /** Page size for pids without an explicit entry. */
+    std::uint64_t defaultPageBytes = 1024;
+    /** Per-pid page sizes (powers of two in [base, dramPage]). */
+    std::unordered_map<Pid, std::uint64_t> pageBytesByPid;
+    /** Fixed OS image (handler code + data). */
+    std::uint64_t osFixedBytes = 12 * kib;
+    Addr osVirtBase = 0x0001'0000;
+};
+
+/** One evicted page during a variable-size fault. */
+struct VarFaultVictim
+{
+    Pid pid = 0;
+    std::uint64_t vpn = 0;
+    std::uint64_t startFrame = 0;
+    std::uint64_t frames = 0; ///< length in base frames
+    std::uint64_t bytes = 0;
+    bool dirty = false;
+};
+
+/** Outcome of a variable-size page fault. */
+struct VarFaultResult
+{
+    std::uint64_t startFrame = 0;
+    unsigned scanCost = 0;
+    std::vector<VarFaultVictim> victims;
+    /** Table words touched (for the handler trace). */
+    std::vector<Addr> probes;
+};
+
+/** Pager statistics. */
+struct VarPagerStats
+{
+    std::uint64_t faults = 0;
+    std::uint64_t victimsEvicted = 0;
+    std::uint64_t dirtyWritebacks = 0;
+};
+
+/** The variable-page-size SRAM main-memory manager. */
+class VarPager
+{
+  public:
+    explicit VarPager(const VarPagerParams &params);
+
+    /** Page size for a pid. */
+    std::uint64_t pageBytes(Pid pid) const;
+
+    /** Page size in base frames for a pid. */
+    std::uint64_t pageFrames(Pid pid) const;
+
+    std::uint64_t baseFrameBytes() const { return prm.baseFrameBytes; }
+    std::uint64_t totalFrames() const { return nFrames; }
+    std::uint64_t osFrames() const { return nOsFrames; }
+    std::uint64_t sramBytes() const { return totalBytes; }
+
+    /** Residency lookup; fills probe addresses for the handler. */
+    struct Lookup
+    {
+        bool found = false;
+        std::uint64_t startFrame = 0;
+    };
+    Lookup lookup(Pid pid, std::uint64_t vpn,
+                  std::vector<Addr> *probes = nullptr) const;
+
+    /** Record a reference to the page owning a base frame. */
+    void touchFrame(std::uint64_t base_frame);
+
+    /** Mark the page owning a base frame dirty. */
+    void markDirtyFrame(std::uint64_t base_frame);
+
+    /** Service a fault for (pid, vpn): may evict several pages. */
+    VarFaultResult handleFault(Pid pid, std::uint64_t vpn);
+
+    /** SRAM physical address of an offset within a page. */
+    Addr
+    physAddr(std::uint64_t start_frame, Addr offset) const
+    {
+        return start_frame * prm.baseFrameBytes + offset;
+    }
+
+    /** OS region mapping (identical contract to SramPager). */
+    Addr osPhysAddr(Addr os_vaddr) const;
+    Addr osVirtBase() const { return prm.osVirtBase; }
+    Addr osVirtEnd() const
+    {
+        return prm.osVirtBase + nOsFrames * prm.baseFrameBytes;
+    }
+    Addr tableVirtBase() const { return tableVbase; }
+
+    /** Number of resident (mapped) pages. */
+    std::uint64_t residentPages() const { return nResident; }
+
+    const VarPagerStats &stats() const { return stat; }
+
+  private:
+    struct Page
+    {
+        Pid pid = 0;
+        std::uint64_t vpn = 0;
+        std::uint64_t start = 0;
+        std::uint64_t frames = 0;
+        bool dirty = false;
+        bool referenced = false;
+        bool valid = false;
+    };
+
+    static std::uint64_t keyOf(Pid pid, std::uint64_t vpn);
+    Addr probeAddr(Pid pid, std::uint64_t vpn) const;
+
+    /** Evict every page overlapping [start, start+frames). */
+    void evictWindow(std::uint64_t start, std::uint64_t frames,
+                     VarFaultResult &result);
+
+    VarPagerParams prm;
+    std::uint64_t totalBytes;
+    std::uint64_t nFrames;
+    std::uint64_t nOsFrames;
+    Addr tableVbase;
+
+    std::vector<std::int32_t> frameOwner; ///< page slot or -1
+    std::vector<Page> pages;              ///< slot-allocated
+    std::vector<std::uint32_t> freeSlots;
+    std::unordered_map<std::uint64_t, std::uint32_t> table;
+    std::uint64_t nResident = 0;
+
+    std::uint64_t nextFreeFrame; ///< cold-fill bump cursor
+    std::uint64_t hand;          ///< window-clock hand
+    VarPagerStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_OS_VAR_PAGER_HH

@@ -1,0 +1,115 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/bitops.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+std::size_t
+bucketIndex(std::uint64_t value)
+{
+    return value == 0 ? 0 : floorLog2(value);
+}
+
+} // namespace
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    std::size_t idx = bucketIndex(value);
+    if (idx >= buckets.size())
+        buckets.resize(idx + 1, 0);
+    buckets[idx] += weight;
+    totalSamples += weight;
+    totalSum += value * weight;
+}
+
+double
+Log2Histogram::mean() const
+{
+    if (totalSamples == 0)
+        return 0.0;
+    return static_cast<double>(totalSum) /
+           static_cast<double>(totalSamples);
+}
+
+std::uint64_t
+Log2Histogram::bucketFor(std::uint64_t value) const
+{
+    std::size_t idx = bucketIndex(value);
+    return idx < buckets.size() ? buckets[idx] : 0;
+}
+
+std::string
+Log2Histogram::render() const
+{
+    std::string out;
+    char line[96];
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        std::uint64_t lo = i == 0 ? 0 : (std::uint64_t{1} << i);
+        std::uint64_t hi = (std::uint64_t{1} << (i + 1)) - 1;
+        std::snprintf(line, sizeof(line), "%12llu - %12llu: %llu\n",
+                      static_cast<unsigned long long>(lo),
+                      static_cast<unsigned long long>(hi),
+                      static_cast<unsigned long long>(buckets[i]));
+        out += line;
+    }
+    return out;
+}
+
+void
+Log2Histogram::reset()
+{
+    buckets.clear();
+    totalSamples = 0;
+    totalSum = 0;
+}
+
+void
+RunningStats::add(double value)
+{
+    if (n == 0) {
+        lo = hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    sum += value;
+    ++n;
+}
+
+double
+RunningStats::min() const
+{
+    return n == 0 ? 0.0 : lo;
+}
+
+double
+RunningStats::max() const
+{
+    return n == 0 ? 0.0 : hi;
+}
+
+double
+RunningStats::mean() const
+{
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    sum = 0.0;
+    lo = hi = 0.0;
+}
+
+} // namespace rampage

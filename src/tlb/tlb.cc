@@ -1,0 +1,143 @@
+#include "tlb/tlb.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+double
+TlbStats::missRatio() const
+{
+    std::uint64_t total = lookups();
+    return total == 0 ? 0.0
+                      : static_cast<double>(misses) /
+                            static_cast<double>(total);
+}
+
+Tlb::Tlb(const TlbParams &params) : prm(params), rng(params.seed)
+{
+    if (prm.entries == 0)
+        fatal("TLB must have at least one entry");
+    nWays = prm.assoc == 0 ? prm.entries : prm.assoc;
+    if (nWays > prm.entries || prm.entries % nWays != 0)
+        fatal("TLB associativity %u incompatible with %u entries",
+              nWays, prm.entries);
+    nSets = prm.entries / nWays;
+    if (!isPowerOfTwo(nSets))
+        fatal("TLB set count must be a power of two");
+    entries.assign(prm.entries, Entry{});
+}
+
+std::uint64_t
+Tlb::setOf(Pid pid, std::uint64_t vpn) const
+{
+    // Mix pid into the index so processes do not collide trivially.
+    std::uint64_t key = vpn ^ (static_cast<std::uint64_t>(pid) << 13);
+    return key & (nSets - 1);
+}
+
+Tlb::Entry *
+Tlb::find(Pid pid, std::uint64_t vpn)
+{
+    Entry *base = &entries[setOf(pid, vpn) * nWays];
+    for (unsigned w = 0; w < nWays; ++w) {
+        Entry &entry = base[w];
+        if (entry.valid && entry.pid == pid && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const Tlb::Entry *
+Tlb::find(Pid pid, std::uint64_t vpn) const
+{
+    return const_cast<Tlb *>(this)->find(pid, vpn);
+}
+
+TlbLookup
+Tlb::lookup(Pid pid, std::uint64_t vpn)
+{
+    ++useCounter;
+    Entry *entry = find(pid, vpn);
+    if (entry) {
+        ++stat.hits;
+        if (prm.lruReplacement)
+            entry->stamp = useCounter;
+        return TlbLookup{true, entry->frame};
+    }
+    ++stat.misses;
+    return TlbLookup{};
+}
+
+bool
+Tlb::probe(Pid pid, std::uint64_t vpn) const
+{
+    return find(pid, vpn) != nullptr;
+}
+
+void
+Tlb::insert(Pid pid, std::uint64_t vpn, std::uint64_t frame)
+{
+    ++useCounter;
+    // Refresh in place when the mapping is already present.
+    if (Entry *entry = find(pid, vpn)) {
+        entry->frame = frame;
+        entry->stamp = useCounter;
+        return;
+    }
+
+    Entry *base = &entries[setOf(pid, vpn) * nWays];
+    Entry *slot = nullptr;
+    for (unsigned w = 0; w < nWays; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+    if (!slot) {
+        if (prm.lruReplacement) {
+            slot = base;
+            for (unsigned w = 1; w < nWays; ++w)
+                if (base[w].stamp < slot->stamp)
+                    slot = &base[w];
+        } else {
+            slot = &base[rng.below(nWays)];
+        }
+    }
+    slot->valid = true;
+    slot->pid = pid;
+    slot->vpn = vpn;
+    slot->frame = frame;
+    slot->stamp = useCounter;
+}
+
+bool
+Tlb::invalidate(Pid pid, std::uint64_t vpn)
+{
+    Entry *entry = find(pid, vpn);
+    if (!entry)
+        return false;
+    entry->valid = false;
+    ++stat.flushes;
+    return true;
+}
+
+void
+Tlb::flushAll()
+{
+    for (Entry &entry : entries)
+        entry.valid = false;
+}
+
+unsigned
+Tlb::validEntries() const
+{
+    unsigned count = 0;
+    for (const Entry &entry : entries)
+        if (entry.valid)
+            ++count;
+    return count;
+}
+
+} // namespace rampage

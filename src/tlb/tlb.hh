@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Translation lookaside buffer model (paper §2.3, §4.3).
+ *
+ * The paper's TLB: 64 entries, fully associative, random replacement,
+ * 1-cycle (pipelined) hit.  Under the conventional hierarchy it maps
+ * virtual pages to DRAM physical frames (fixed 4 KB pages); under
+ * RAMpage it maps virtual pages to *SRAM main memory* frames at the
+ * current SRAM page size, and an entry is flushed whenever its page
+ * is replaced from the SRAM main memory.
+ *
+ * Set-associative geometries are supported for the §6.3 future-work
+ * configuration (1 K entries, 2-way).
+ */
+
+#ifndef RAMPAGE_TLB_TLB_HH
+#define RAMPAGE_TLB_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** TLB geometry and policy. */
+struct TlbParams
+{
+    unsigned entries = 64; ///< total entries (paper: 64)
+    unsigned assoc = 0;    ///< 0 = fully associative (paper), else ways
+    bool lruReplacement = false; ///< false = random (paper)
+    std::uint64_t seed = 7;
+};
+
+/** TLB statistics. */
+struct TlbStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flushes = 0; ///< single-entry invalidations
+
+    std::uint64_t lookups() const { return hits + misses; }
+    double missRatio() const;
+};
+
+/** Result of a TLB lookup. */
+struct TlbLookup
+{
+    bool hit = false;
+    std::uint64_t frame = 0; ///< translated frame number on hit
+};
+
+/**
+ * The TLB.  Entries are keyed on (pid, virtual page number) and hold
+ * a frame number whose meaning belongs to the enclosing hierarchy
+ * (DRAM frame conventionally, SRAM frame under RAMpage).
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbParams &params = TlbParams{});
+
+    /** Translate; counts a hit or a miss. */
+    TlbLookup lookup(Pid pid, std::uint64_t vpn);
+
+    /** Probe without statistics or LRU update. */
+    bool probe(Pid pid, std::uint64_t vpn) const;
+
+    /** Install (pid, vpn) -> frame, replacing per policy. */
+    void insert(Pid pid, std::uint64_t vpn, std::uint64_t frame);
+
+    /**
+     * Invalidate the entry for (pid, vpn) if present (used when a
+     * RAMpage SRAM page is replaced, §2.3).
+     * @retval true an entry was flushed.
+     */
+    bool invalidate(Pid pid, std::uint64_t vpn);
+
+    /** Drop every entry. */
+    void flushAll();
+
+    /** Number of currently valid entries. */
+    unsigned validEntries() const;
+
+    const TlbParams &params() const { return prm; }
+    const TlbStats &stats() const { return stat; }
+    void clearStats() { stat = TlbStats{}; }
+
+  private:
+    struct Entry
+    {
+        Pid pid = 0;
+        std::uint64_t vpn = 0;
+        std::uint64_t frame = 0;
+        std::uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t setOf(Pid pid, std::uint64_t vpn) const;
+    Entry *find(Pid pid, std::uint64_t vpn);
+    const Entry *find(Pid pid, std::uint64_t vpn) const;
+
+    TlbParams prm;
+    unsigned nWays;
+    std::uint64_t nSets;
+    std::vector<Entry> entries; ///< set-major
+    std::uint64_t useCounter = 0;
+    Rng rng;
+    TlbStats stat;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_TLB_TLB_HH

@@ -1,0 +1,107 @@
+#include "trace/benchmarks.hh"
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+/**
+ * Build one profile.  dataPerInstr is derived from Table 2's
+ * instruction and total reference counts (total/instr - 1), so the
+ * synthetic streams reproduce the published fetch/data mix exactly.
+ */
+ProgramProfile
+make(const char *name, const char *desc, double instr_m, double total_m,
+     std::uint64_t code_kb, std::uint64_t global_kb, std::uint64_t heap_kb,
+     double stream_fraction, unsigned stream_stride, double hot_data_prob,
+     std::uint64_t seed)
+{
+    ProgramProfile p;
+    p.name = name;
+    p.description = desc;
+    p.instrMillions = instr_m;
+    p.totalMillions = total_m;
+    p.dataPerInstr = total_m / instr_m - 1.0;
+    p.codeBytes = code_kb * kib;
+    p.globalBytes = global_kb * kib;
+    p.heapBytes = heap_kb * kib;
+    p.streamFraction = stream_fraction;
+    p.streamStride = stream_stride;
+    p.hotDataProb = hot_data_prob;
+    p.seed = 0x52414d50u + seed * 0x9e3779b9u; // "RAMP" + golden salt
+    return p;
+}
+
+/**
+ * The roster.  Footprints are not published in the paper; they are
+ * chosen per program class (SPECfp92 array codes stream through
+ * multi-megabyte heaps, the integer codes and Unix utilities work in
+ * hundreds of kilobytes) so the combined working set pressures the
+ * 4 MB lowest SRAM level as the paper's 1.1 G-reference workload does.
+ */
+std::vector<ProgramProfile>
+buildRoster()
+{
+    std::vector<ProgramProfile> roster;
+    //                 name         description                 Minstr Mrefs  code glob  heap   strm  strd  hot   seed
+    roster.push_back(make("alvinn", "neural net training (fp92)", 59.0, 72.8, 160, 256, 2048, 0.65, 8, 0.97, 1));
+    roster.push_back(make("awk", "unix text utility", 62.8, 86.4, 256, 128, 512, 0.05, 4, 0.99, 2));
+    roster.push_back(make("cexp", "C compiler (int92)", 28.5, 37.5, 512, 192, 768, 0.02, 4, 0.99, 3));
+    roster.push_back(make("compress", "file compression (int92)", 8.0, 10.5, 96, 448, 512, 0.30, 4, 0.98, 4));
+    roster.push_back(make("ear", "human ear simulator (fp92)", 65.0, 80.4, 192, 128, 1024, 0.55, 8, 0.97, 5));
+    roster.push_back(make("gcc", "C compiler (int92)", 78.8, 100.0, 1024, 256, 1536, 0.02, 4, 0.985, 6));
+    roster.push_back(make("hydro2d", "physics computation (fp92)", 8.2, 11.0, 160, 128, 2560, 0.70, 8, 0.96, 7));
+    roster.push_back(make("mdljdp2", "solves motion eqns (fp92)", 65.0, 84.2, 160, 128, 1536, 0.50, 8, 0.97, 8));
+    roster.push_back(make("mdljsp2", "solves motion eqns (fp92)", 65.0, 77.0, 160, 128, 1536, 0.50, 4, 0.97, 9));
+    roster.push_back(make("nasa7", "NASA applications (fp92)", 65.0, 99.7, 224, 192, 4096, 0.75, 8, 0.95, 10));
+    roster.push_back(make("ora", "ray tracing (fp92)", 65.0, 82.9, 128, 96, 512, 0.10, 8, 0.995, 11));
+    roster.push_back(make("sed", "unix text utility", 7.7, 9.8, 128, 64, 256, 0.08, 4, 0.995, 12));
+    roster.push_back(make("su2cor", "physics computation (fp92)", 65.0, 88.8, 192, 128, 3072, 0.65, 8, 0.96, 13));
+    roster.push_back(make("swm256", "physics computation (fp92)", 65.0, 87.4, 128, 128, 3584, 0.78, 8, 0.95, 14));
+    roster.push_back(make("tex", "unix text utility", 50.3, 66.8, 512, 256, 1024, 0.05, 4, 0.99, 15));
+    roster.push_back(make("uncompress", "file decompression (int92)", 5.7, 7.5, 96, 448, 512, 0.30, 4, 0.98, 16));
+    roster.push_back(make("wave5", "solves particle equations", 65.0, 78.3, 192, 128, 2560, 0.60, 8, 0.96, 17));
+    roster.push_back(make("yacc", "unix text utility", 9.7, 12.1, 192, 96, 384, 0.05, 4, 0.995, 18));
+    return roster;
+}
+
+} // namespace
+
+const std::vector<ProgramProfile> &
+benchmarkRoster()
+{
+    static const std::vector<ProgramProfile> roster = buildRoster();
+    return roster;
+}
+
+const ProgramProfile &
+benchmarkProfile(const std::string &name)
+{
+    for (const auto &profile : benchmarkRoster())
+        if (profile.name == name)
+            return profile;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<std::unique_ptr<TraceSource>>
+makeWorkload(std::uint64_t seed_salt)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    const auto &roster = benchmarkRoster();
+    sources.reserve(roster.size());
+    Pid pid = 0;
+    for (const auto &entry : roster) {
+        ProgramProfile profile = entry;
+        profile.seed += seed_salt * 0x6a09e667f3bcc909ull;
+        sources.push_back(
+            std::make_unique<SyntheticProgram>(profile, pid));
+        ++pid;
+    }
+    return sources;
+}
+
+} // namespace rampage

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Table 2 benchmark roster: eighteen program profiles named after
+ * the traces the paper pulled from the NMSU Tracebase (SPEC92 codes
+ * and Unix text utilities), with instruction/data mixes matched to the
+ * published per-trace reference counts and footprints chosen to load a
+ * 4 MB lowest SRAM level the way the paper's workload does.
+ */
+
+#ifndef RAMPAGE_TRACE_BENCHMARKS_HH
+#define RAMPAGE_TRACE_BENCHMARKS_HH
+
+#include <memory>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace rampage
+{
+
+/** The full Table 2 roster, in the paper's order. */
+const std::vector<ProgramProfile> &benchmarkRoster();
+
+/** Look up one profile by name; fatal() when unknown. */
+const ProgramProfile &benchmarkProfile(const std::string &name);
+
+/**
+ * Instantiate the multiprogramming workload: one SyntheticProgram per
+ * roster entry, pids assigned in roster order starting at 0.
+ *
+ * @param seed_salt mixed into each program's seed so distinct
+ *        experiments can decorrelate their workloads if desired
+ *        (benches use 0 so every table sees the identical workload).
+ */
+std::vector<std::unique_ptr<TraceSource>>
+makeWorkload(std::uint64_t seed_salt = 0);
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_BENCHMARKS_HH

@@ -1,0 +1,177 @@
+#include "trace/file_format.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+/** On-disk record layout for the native format (little-endian). */
+struct PackedRef
+{
+    std::uint64_t vaddr;
+    std::uint16_t pid;
+    std::uint8_t kind;
+} __attribute__((packed));
+
+static_assert(sizeof(PackedRef) == 11, "packed trace record size");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, bool din)
+    : dinFormat(din), filePath(path)
+{
+    file = std::fopen(path.c_str(), din ? "w" : "wb");
+    if (!file)
+        fatal("cannot create trace file '%s'", path.c_str());
+    if (!dinFormat) {
+        if (std::fwrite(traceMagic, 1, sizeof(traceMagic), file) !=
+            sizeof(traceMagic))
+            fatal("cannot write trace header to '%s'", path.c_str());
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const MemRef &ref)
+{
+    RAMPAGE_ASSERT(file != nullptr, "write to closed trace file");
+    if (dinFormat) {
+        int label = ref.kind == RefKind::IFetch ? 2
+                    : ref.kind == RefKind::Store ? 1
+                                                 : 0;
+        std::fprintf(file, "%d %" PRIx64 "\n", label, ref.vaddr);
+    } else {
+        PackedRef packed;
+        packed.vaddr = ref.vaddr;
+        packed.pid = ref.pid;
+        packed.kind = static_cast<std::uint8_t>(ref.kind);
+        if (std::fwrite(&packed, sizeof(packed), 1, file) != 1)
+            fatal("short write to trace file '%s'", filePath.c_str());
+    }
+    ++written;
+}
+
+void
+TraceWriter::close()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+FileTraceSource::FileTraceSource(const std::string &path, Pid fallback_pid)
+    : filePath(path), filePid(fallback_pid)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char magic[sizeof(traceMagic)] = {};
+    std::size_t got = std::fread(magic, 1, sizeof(magic), file);
+    if (got == sizeof(magic) &&
+        std::memcmp(magic, traceMagic, sizeof(magic)) == 0) {
+        native = true;
+        dataStart = static_cast<long>(sizeof(magic));
+    } else {
+        native = false;
+        dataStart = 0;
+        std::fseek(file, 0, SEEK_SET);
+    }
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+FileTraceSource::nextNative(MemRef &ref)
+{
+    PackedRef packed;
+    if (std::fread(&packed, sizeof(packed), 1, file) != 1)
+        return false;
+    ref.vaddr = packed.vaddr;
+    ref.pid = packed.pid;
+    if (packed.kind > static_cast<std::uint8_t>(RefKind::Store))
+        fatal("corrupt record kind %u in '%s'", packed.kind,
+              filePath.c_str());
+    ref.kind = static_cast<RefKind>(packed.kind);
+    return true;
+}
+
+bool
+FileTraceSource::nextDin(MemRef &ref)
+{
+    int label = 0;
+    std::uint64_t addr = 0;
+    for (;;) {
+        int got = std::fscanf(file, "%d %" SCNx64, &label, &addr);
+        if (got == EOF)
+            return false;
+        if (got != 2) {
+            // Skip a malformed line and keep going.
+            int ch;
+            while ((ch = std::fgetc(file)) != EOF && ch != '\n') {
+            }
+            if (ch == EOF)
+                return false;
+            continue;
+        }
+        break;
+    }
+    ref.vaddr = addr;
+    ref.pid = filePid;
+    switch (label) {
+      case 0:
+        ref.kind = RefKind::Load;
+        break;
+      case 1:
+        ref.kind = RefKind::Store;
+        break;
+      case 2:
+        ref.kind = RefKind::IFetch;
+        break;
+      default:
+        // Dinero defines other labels (escapes); treat them as loads.
+        ref.kind = RefKind::Load;
+        break;
+    }
+    return true;
+}
+
+bool
+FileTraceSource::next(MemRef &ref)
+{
+    return native ? nextNative(ref) : nextDin(ref);
+}
+
+void
+FileTraceSource::reset()
+{
+    std::fseek(file, dataStart, SEEK_SET);
+}
+
+std::vector<MemRef>
+readTraceFile(const std::string &path, Pid fallback_pid)
+{
+    FileTraceSource source(path, fallback_pid);
+    std::vector<MemRef> refs;
+    MemRef ref;
+    while (source.next(ref))
+        refs.push_back(ref);
+    return refs;
+}
+
+} // namespace rampage

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace file input/output.
+ *
+ * Two formats are supported so real traces (captured with Pin,
+ * Valgrind/lackey, etc.) can replace the synthetic workload:
+ *
+ *  - the native binary format ("RPTRACE1"): a small header followed
+ *    by packed {vaddr, pid, kind} records — compact and fast;
+ *  - the classic Dinero "din" text format: one "<label> <hex-addr>"
+ *    pair per line with label 0 = read, 1 = write, 2 = ifetch, the
+ *    format of the NMSU Tracebase traces the paper used.
+ */
+
+#ifndef RAMPAGE_TRACE_FILE_FORMAT_HH
+#define RAMPAGE_TRACE_FILE_FORMAT_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace rampage
+{
+
+/** Magic bytes opening a native binary trace. */
+constexpr char traceMagic[8] = {'R', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+
+/**
+ * Write references to a trace file.  The format is chosen by the
+ * `din` flag; the native format records pids, din does not.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open `path` for writing; fatal() if the file cannot be created.
+     * @param din write Dinero text instead of native binary.
+     */
+    TraceWriter(const std::string &path, bool din = false);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one reference. */
+    void write(const MemRef &ref);
+
+    /** Flush and close; implied by destruction. */
+    void close();
+
+    /** References written so far. */
+    std::uint64_t count() const { return written; }
+
+  private:
+    std::FILE *file = nullptr;
+    bool dinFormat;
+    std::uint64_t written = 0;
+    std::string filePath;
+};
+
+/**
+ * Replayable trace-file source.  Auto-detects the format from the
+ * file's first bytes.  din traces carry no pid, so one is assigned
+ * at construction.
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /**
+     * Open `path`; fatal() when missing or unrecognized.
+     * @param fallback_pid pid for din records (native records carry
+     *        their own).
+     */
+    explicit FileTraceSource(const std::string &path,
+                             Pid fallback_pid = 0);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override { return filePath; }
+    Pid pid() const override { return filePid; }
+
+    /** True when the file was recognized as native binary. */
+    bool isNative() const { return native; }
+
+  private:
+    bool nextNative(MemRef &ref);
+    bool nextDin(MemRef &ref);
+
+    std::FILE *file = nullptr;
+    std::string filePath;
+    Pid filePid;
+    bool native = false;
+    long dataStart = 0;
+};
+
+/** Convenience: read an entire trace file into memory. */
+std::vector<MemRef> readTraceFile(const std::string &path,
+                                  Pid fallback_pid = 0);
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_FILE_FORMAT_HH

@@ -1,0 +1,62 @@
+#include "trace/interleaver.hh"
+
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+Interleaver::Interleaver(
+    std::vector<std::unique_ptr<TraceSource>> sources,
+    std::uint64_t quantum_refs)
+    : srcs(std::move(sources)), quantum(quantum_refs)
+{
+    RAMPAGE_ASSERT(!srcs.empty(), "interleaver needs at least one source");
+    RAMPAGE_ASSERT(quantum > 0, "quantum must be positive");
+}
+
+Pid
+Interleaver::pid() const
+{
+    return srcs[current]->pid();
+}
+
+bool
+Interleaver::next(MemRef &ref)
+{
+    switchFlag = false;
+    if (!started) {
+        started = true;
+        switchFlag = true;
+        ++switches;
+    } else if (inSlice >= quantum) {
+        inSlice = 0;
+        current = (current + 1) % srcs.size();
+        switchFlag = true;
+        ++switches;
+    }
+
+    if (!srcs[current]->next(ref)) {
+        // Finite source exhausted: rewind and replay, as the paper's
+        // workload replays its shorter traces over the 1.1 G run.
+        srcs[current]->reset();
+        if (!srcs[current]->next(ref))
+            panic("trace source '%s' empty even after reset",
+                  srcs[current]->name().c_str());
+    }
+    ++inSlice;
+    return true;
+}
+
+void
+Interleaver::reset()
+{
+    for (auto &src : srcs)
+        src->reset();
+    inSlice = 0;
+    current = 0;
+    switchFlag = false;
+    started = false;
+    switches = 0;
+}
+
+} // namespace rampage

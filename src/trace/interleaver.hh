@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Round-robin multiprogramming interleaver (paper §4.2): references
+ * are drawn from one program at a time, switching to the next program
+ * every `quantum` references, which models a multiprogrammed workload
+ * with a fixed time slice.  Exhausted finite sources are rewound, as
+ * the paper's 1.1 G-reference run replays its shorter traces.
+ *
+ * The interleaver reports quantum boundaries so callers can charge the
+ * context-switch trace the paper inserts between slices (§4.6).  The
+ * context-switch-on-miss scheduler in src/os/scheduler.hh supersedes
+ * this class when scheduling must react to page faults.
+ */
+
+#ifndef RAMPAGE_TRACE_INTERLEAVER_HH
+#define RAMPAGE_TRACE_INTERLEAVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace rampage
+{
+
+/** Round-robin interleaving of several trace sources. */
+class Interleaver : public TraceSource
+{
+  public:
+    /**
+     * @param sources the programs; ownership is taken.
+     * @param quantum references per time slice (paper: 500 000).
+     */
+    Interleaver(std::vector<std::unique_ptr<TraceSource>> sources,
+                std::uint64_t quantum);
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string name() const override { return "interleaved"; }
+    Pid pid() const override;
+
+    /**
+     * True exactly once per slice boundary: set when the most recent
+     * next() call started a new time slice (including the first).
+     * Callers use this to interleave the context-switch trace.
+     */
+    bool switchedProcess() const { return switchFlag; }
+
+    /** Index of the currently scheduled source. */
+    std::size_t currentIndex() const { return current; }
+
+    /** Number of slice switches so far (first slice included). */
+    std::uint64_t switchCount() const { return switches; }
+
+    /** Access to the owned sources (for inspection in tests). */
+    const std::vector<std::unique_ptr<TraceSource>> &
+    programs() const
+    {
+        return srcs;
+    }
+
+  private:
+    std::vector<std::unique_ptr<TraceSource>> srcs;
+    std::uint64_t quantum;
+    std::uint64_t inSlice = 0;
+    std::size_t current = 0;
+    bool switchFlag = false;
+    bool started = false;
+    std::uint64_t switches = 0;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_INTERLEAVER_HH

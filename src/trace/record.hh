@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The memory-reference record that flows through every simulator: one
+ * virtual address, a reference kind, and the process it belongs to.
+ *
+ * This mirrors the information content of the NMSU Tracebase R2000
+ * traces the paper drives its simulations with (§4.2): address traces
+ * of instruction fetches, loads and stores.
+ */
+
+#ifndef RAMPAGE_TRACE_RECORD_HH
+#define RAMPAGE_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** Kind of memory reference. */
+enum class RefKind : std::uint8_t
+{
+    IFetch,  ///< instruction fetch
+    Load,    ///< data read
+    Store,   ///< data write
+};
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr vaddr = 0;                 ///< virtual address
+    RefKind kind = RefKind::IFetch; ///< fetch / load / store
+    Pid pid = 0;                    ///< owning address space
+
+    bool isInstr() const { return kind == RefKind::IFetch; }
+    bool isWrite() const { return kind == RefKind::Store; }
+};
+
+/** Display name for a reference kind. */
+inline const char *
+refKindName(RefKind kind)
+{
+    switch (kind) {
+      case RefKind::IFetch:
+        return "ifetch";
+      case RefKind::Load:
+        return "load";
+      case RefKind::Store:
+        return "store";
+    }
+    return "?";
+}
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_RECORD_HH

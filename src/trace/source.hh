@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Abstract source of memory references.  Concrete sources are the
+ * synthetic program models (src/trace/synthetic.hh), trace files
+ * (src/trace/file_format.hh) and the multiprogramming interleaver
+ * (src/trace/interleaver.hh).
+ */
+
+#ifndef RAMPAGE_TRACE_SOURCE_HH
+#define RAMPAGE_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace rampage
+{
+
+/**
+ * A stream of memory references.  Sources may be finite (trace files)
+ * or endless (synthetic programs); finite sources return false from
+ * next() at end-of-stream and may be rewound with reset().
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param ref receives the reference on success.
+     * @retval true a reference was produced.
+     * @retval false the stream is exhausted.
+     */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+
+    /** Human-readable stream name (benchmark or file name). */
+    virtual std::string name() const = 0;
+
+    /** Address-space id carried by this source's references. */
+    virtual Pid pid() const = 0;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_SOURCE_HH

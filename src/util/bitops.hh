@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the cache, TLB and pager
+ * models: power-of-two checks, integer log2 and mask extraction.
+ */
+
+#ifndef RAMPAGE_UTIL_BITOPS_HH
+#define RAMPAGE_UTIL_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace rampage
+{
+
+/** @return true when value is a nonzero power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return floor(log2(value)); value must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** @return ceil(log2(value)); value must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return isPowerOfTwo(value) ? floorLog2(value) : floorLog2(value) + 1;
+}
+
+/** @return addr with the low `bits` bits cleared. */
+constexpr Addr
+alignDown(Addr addr, unsigned bits)
+{
+    return addr & ~((Addr{1} << bits) - 1);
+}
+
+/** @return the low `bits` bits of addr. */
+constexpr Addr
+lowBits(Addr addr, unsigned bits)
+{
+    return addr & ((Addr{1} << bits) - 1);
+}
+
+/** @return value divided by a power-of-two divisor, rounded up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t value, std::uint64_t divisor)
+{
+    return (value + divisor - 1) / divisor;
+}
+
+} // namespace rampage
+
+#endif // RAMPAGE_UTIL_BITOPS_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Two error channels with distinct intents:
+ *  - panic():  an internal simulator invariant broke (a bug in this
+ *              code base); aborts so a debugger/core dump is useful.
+ *  - fatal():  the *user's* configuration or input is unusable; exits
+ *              with status 1.
+ *
+ * Two advisory channels:
+ *  - warn():   something is modelled approximately and might matter.
+ *  - inform(): plain status output.
+ */
+
+#ifndef RAMPAGE_UTIL_LOGGING_HH
+#define RAMPAGE_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace rampage
+{
+
+/**
+ * Abort with a formatted message. Call when an internal invariant is
+ * violated — i.e. a simulator bug, never a user error.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit(1) with a formatted message. Call when the simulation cannot
+ * continue because of a user-supplied configuration or input problem.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about approximate or suspicious modelling. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Suppress / restore warn() and inform() output (used by tests and by
+ * benches that format their own tables).
+ */
+void setQuiet(bool quiet);
+
+/** @return true while advisory output is suppressed. */
+bool quiet();
+
+} // namespace rampage
+
+/**
+ * Check a simulator invariant; panics with location info on failure.
+ * Unlike assert() this is active in release builds — the simulator is
+ * always expected to self-check its core invariants.
+ */
+#define RAMPAGE_ASSERT(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::rampage::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                             __FILE__, __LINE__, msg);                     \
+        }                                                                  \
+    } while (0)
+
+#endif // RAMPAGE_UTIL_LOGGING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (random cache/TLB
+ * replacement, synthetic trace generation) draws from an explicitly
+ * seeded Rng instance so that runs are bit-reproducible. std::mt19937
+ * is avoided because its heavy state makes per-object generators
+ * wasteful; this is the xoshiro256** generator seeded via splitmix64.
+ */
+
+#ifndef RAMPAGE_UTIL_RANDOM_HH
+#define RAMPAGE_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace rampage
+{
+
+/**
+ * Small, fast, seedable PRNG (xoshiro256**).
+ *
+ * Statistically strong enough for replacement-policy and workload
+ * randomness while being a few instructions per draw.
+ */
+class Rng
+{
+  public:
+    /** Seed deterministically; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return a uniformly distributed 64-bit value. */
+    std::uint64_t next();
+
+    /**
+     * @return a uniform integer in [0, bound); bound must be nonzero.
+     * Uses Lemire's multiply-shift rejection-free mapping (the tiny
+     * modulo bias is irrelevant at simulator scales).
+     */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return a uniform double in [0, 1). */
+    double unit();
+
+    /** @return true with probability p (clamped to [0, 1]). */
+    bool chance(double p);
+
+    /**
+     * @return a sample from a bounded geometric-ish distribution in
+     * [0, bound), biased toward 0 with the given mean fraction; used
+     * for temporally-skewed working set sampling.
+     */
+    std::uint64_t skewedBelow(std::uint64_t bound, double hot_fraction,
+                              double hot_probability);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_UTIL_RANDOM_HH

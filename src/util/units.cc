@@ -1,0 +1,147 @@
+#include "util/units.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+/**
+ * Split "<number><suffix>" into its numeric value and lower-cased
+ * suffix; fatal() on an empty or non-numeric prefix.
+ */
+void
+splitNumberSuffix(const std::string &text, double &number,
+                  std::string &suffix)
+{
+    std::size_t pos = 0;
+    try {
+        number = std::stod(text, &pos);
+    } catch (...) {
+        fatal("cannot parse quantity '%s'", text.c_str());
+    }
+    if (pos == 0)
+        fatal("cannot parse quantity '%s'", text.c_str());
+    suffix.clear();
+    for (std::size_t i = pos; i < text.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(text[i])))
+            suffix.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(text[i]))));
+    }
+}
+
+} // namespace
+
+std::uint64_t
+parseByteSize(const std::string &text)
+{
+    double number = 0.0;
+    std::string suffix;
+    splitNumberSuffix(text, number, suffix);
+
+    double scale = 1.0;
+    if (suffix.empty() || suffix == "b") {
+        scale = 1.0;
+    } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+        scale = static_cast<double>(kib);
+    } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+        scale = static_cast<double>(mib);
+    } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+        scale = static_cast<double>(gib);
+    } else {
+        fatal("unknown byte-size suffix in '%s'", text.c_str());
+    }
+    double bytes = number * scale;
+    if (bytes < 0 || bytes != std::floor(bytes))
+        fatal("byte size '%s' is not a whole number of bytes",
+              text.c_str());
+    return static_cast<std::uint64_t>(bytes);
+}
+
+std::uint64_t
+parseFrequency(const std::string &text)
+{
+    double number = 0.0;
+    std::string suffix;
+    splitNumberSuffix(text, number, suffix);
+
+    double scale = 1.0;
+    if (suffix.empty() || suffix == "hz") {
+        scale = 1.0;
+    } else if (suffix == "khz") {
+        scale = 1e3;
+    } else if (suffix == "mhz") {
+        scale = 1e6;
+    } else if (suffix == "ghz") {
+        scale = 1e9;
+    } else {
+        fatal("unknown frequency suffix in '%s'", text.c_str());
+    }
+    double hz = number * scale;
+    if (hz <= 0)
+        fatal("frequency '%s' must be positive", text.c_str());
+    return static_cast<std::uint64_t>(hz + 0.5);
+}
+
+std::string
+formatByteSize(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= gib && bytes % gib == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGB",
+                      static_cast<unsigned long long>(bytes / gib));
+    else if (bytes >= mib && bytes % mib == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes / mib));
+    else if (bytes >= kib && bytes % kib == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes / kib));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+std::string
+formatFrequency(std::uint64_t hz)
+{
+    char buf[32];
+    if (hz >= 1000000000ull && hz % 1000000000ull == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGHz",
+                      static_cast<unsigned long long>(hz / 1000000000ull));
+    else if (hz >= 1000000ull && hz % 1000000ull == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMHz",
+                      static_cast<unsigned long long>(hz / 1000000ull));
+    else if (hz >= 1000ull && hz % 1000ull == 0)
+        std::snprintf(buf, sizeof(buf), "%llukHz",
+                      static_cast<unsigned long long>(hz / 1000ull));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluHz",
+                      static_cast<unsigned long long>(hz));
+    return buf;
+}
+
+std::string
+formatSeconds(Tick ps, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f",
+                  precision, static_cast<double>(ps) / psPerSec);
+    return buf;
+}
+
+Tick
+cycleTimePs(std::uint64_t hz)
+{
+    RAMPAGE_ASSERT(hz > 0, "issue rate must be positive");
+    // Round to nearest picosecond; all paper rates divide 1e12 evenly.
+    return (psPerSec + hz / 2) / hz;
+}
+
+} // namespace rampage

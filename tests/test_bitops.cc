@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for util/bitops.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(4095));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+    EXPECT_EQ(floorLog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(4095), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+}
+
+TEST(Bitops, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x12345, 12), 0x12000u);
+    EXPECT_EQ(alignDown(0x12000, 12), 0x12000u);
+    EXPECT_EQ(alignDown(0x12fff, 12), 0x12000u);
+    EXPECT_EQ(alignDown(0xabc, 0), 0xabcu);
+}
+
+TEST(Bitops, LowBits)
+{
+    EXPECT_EQ(lowBits(0x12345, 12), 0x345u);
+    EXPECT_EQ(lowBits(0x12345, 0), 0u);
+    EXPECT_EQ(lowBits(0xffff, 8), 0xffu);
+}
+
+TEST(Bitops, AlignAndLowBitsPartition)
+{
+    // alignDown + lowBits reassemble the original address.
+    for (Addr addr : {Addr{0}, Addr{1}, Addr{0x12345678}, ~Addr{0} >> 1}) {
+        for (unsigned bits : {0u, 5u, 12u, 20u}) {
+            EXPECT_EQ(alignDown(addr, bits) | lowBits(addr, bits), addr);
+            EXPECT_EQ(alignDown(addr, bits) + lowBits(addr, bits), addr);
+        }
+    }
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(4096, 128), 32u);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit and property tests for the column-associative cache (§3.2,
+ * Agarwal & Pudar) and its integration behind the conventional
+ * hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/column_assoc.hh"
+#include "core/conventional.hh"
+#include "core/sweep.hh"
+#include "util/random.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(ColumnAssoc, FirstTimeHit)
+{
+    ColumnAssocCache cache(1024, 32);
+    bool rehash = false;
+    EXPECT_FALSE(cache.access(0x100, false, rehash).hit);
+    EXPECT_TRUE(cache.access(0x100, false, rehash).hit);
+    EXPECT_FALSE(rehash) << "resident block must hit on first probe";
+    EXPECT_EQ(cache.stats().firstHits, 1u);
+}
+
+TEST(ColumnAssoc, ConflictingPairCoexists)
+{
+    // 1 KB / 32 B => 32 sets; addresses 1 KB apart share a primary
+    // set.  A direct-mapped cache ping-pongs; column-associativity
+    // keeps both via the alternate set.
+    ColumnAssocCache cache(1024, 32);
+    bool rehash = false;
+    cache.access(0x0000, false, rehash);
+    cache.access(0x0400, false, rehash); // conflict: demotes 0x0000
+    EXPECT_TRUE(cache.probe(0x0000));
+    EXPECT_TRUE(cache.probe(0x0400));
+    // Accessing the demoted block is a rehash hit with a swap.
+    auto res = cache.access(0x0000, false, rehash);
+    EXPECT_TRUE(res.hit);
+    EXPECT_TRUE(rehash);
+    EXPECT_EQ(cache.stats().rehashHits, 1u);
+    // After the swap it hits first-time again.
+    cache.access(0x0000, false, rehash);
+    EXPECT_FALSE(rehash);
+}
+
+TEST(ColumnAssoc, RehashedOccupantReplacedInPlace)
+{
+    ColumnAssocCache cache(1024, 32);
+    bool rehash = false;
+    cache.access(0x0000, false, rehash); // primary set 0
+    cache.access(0x0400, false, rehash); // 0x0000 demoted to alt set
+    // 0x0000 now sits rehashed in set 16 (0 ^ 16).  An access whose
+    // *primary* set is 16 finds a rehashed occupant: in-place replace
+    // without a second probe.
+    auto res = cache.access(0x0200, false, rehash); // primary set 16
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(rehash);
+    EXPECT_TRUE(res.victimValid);
+    EXPECT_EQ(res.victimAddr, 0x0000u);
+    EXPECT_EQ(cache.stats().inPlaceReplacements, 1u);
+}
+
+TEST(ColumnAssoc, DirtyStateFollowsSwaps)
+{
+    ColumnAssocCache cache(1024, 32);
+    bool rehash = false;
+    cache.access(0x0000, true, rehash);  // dirty
+    cache.access(0x0400, false, rehash); // demote dirty block
+    auto res = cache.access(0x0000, false, rehash); // swap back
+    EXPECT_TRUE(res.hit);
+    // Evicting it eventually must report dirty.
+    auto inv = cache.invalidate(0x0000);
+    EXPECT_TRUE(inv.present);
+    EXPECT_TRUE(inv.dirty);
+    EXPECT_FALSE(cache.probe(0x0000));
+}
+
+TEST(ColumnAssoc, MissRateBetweenDirectMappedAndTwoWay)
+{
+    // The design's claim: close to 2-way miss rates at near
+    // direct-mapped cost.  Random block traffic with reuse.
+    Rng rng(41);
+    std::vector<Addr> pool;
+    for (int i = 0; i < 48; ++i)
+        pool.push_back(rng.below(1 << 20) & ~Addr{31});
+
+    CacheParams dm_params;
+    dm_params.sizeBytes = 1024;
+    dm_params.blockBytes = 32;
+    dm_params.assoc = 1;
+    SetAssocCache dm(dm_params);
+    dm_params.assoc = 2;
+    SetAssocCache two_way(dm_params);
+    ColumnAssocCache column(1024, 32);
+
+    Rng traffic(43);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = pool[traffic.skewedBelow(pool.size(), 0.3, 0.8)];
+        dm.access(addr, false);
+        two_way.access(addr, false);
+        bool rehash = false;
+        column.access(addr, false, rehash);
+    }
+    EXPECT_LT(column.stats().misses, dm.stats().misses);
+    // Within striking distance of 2-way (the published result).
+    EXPECT_LT(column.stats().misses, 2 * two_way.stats().misses);
+}
+
+TEST(ColumnAssoc, ProbeConsistentUnderChurn)
+{
+    ColumnAssocCache cache(512, 32);
+    Rng rng(47);
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = rng.below(1 << 16) & ~Addr{3};
+        bool rehash = false;
+        auto res = cache.access(addr, rng.chance(0.3), rehash);
+        ASSERT_TRUE(cache.probe(addr));
+        if (res.victimValid &&
+            cache.blockAddr(res.victimAddr) != cache.blockAddr(addr)) {
+            ASSERT_FALSE(cache.probe(res.victimAddr));
+        }
+    }
+    EXPECT_EQ(cache.stats().hits() + cache.stats().misses, 20000u);
+}
+
+TEST(ColumnAssocHierarchy, IntegratesAndNames)
+{
+    ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 1024);
+    cfg.l2Style = ConventionalConfig::L2Style::ColumnAssoc;
+    ConventionalHierarchy hier(cfg);
+    EXPECT_EQ(hier.name(), "column-assoc L2");
+    MemRef ref{0x10000000, RefKind::Load, 0};
+    hier.access(ref);
+    EXPECT_GE(hier.counts().l2Misses, 1u);
+    EXPECT_GE(hier.columnStats().misses, 1u);
+}
+
+TEST(ColumnAssocHierarchy, FewerMissesThanDirectMapped)
+{
+    auto run = [](ConventionalConfig::L2Style style) {
+        ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 4096);
+        cfg.l2Style = style;
+        ConventionalHierarchy hier(cfg);
+        Rng rng(11);
+        std::vector<Addr> pages;
+        for (int i = 0; i < 2500; ++i)
+            pages.push_back(0x10000000 + rng.below(1 << 24));
+        for (int round = 0; round < 4; ++round)
+            for (Addr page : pages) {
+                MemRef ref{page & ~Addr{3}, RefKind::Load, 0};
+                hier.access(ref);
+            }
+        return hier.counts().l2Misses;
+    };
+    EXPECT_LT(run(ConventionalConfig::L2Style::ColumnAssoc),
+              run(ConventionalConfig::L2Style::SetAssoc));
+}
+
+} // namespace
+} // namespace rampage

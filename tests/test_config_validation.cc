@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Configuration-validation tests: every unusable configuration must
+ * fail fast through fatal() (exit code 1) with a diagnostic, never
+ * crash or silently mis-simulate.  Uses gtest death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/column_assoc.hh"
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "core/sweep.hh"
+#include "os/pager.hh"
+#include "tlb/tlb.hh"
+#include "util/units.hh"
+
+namespace rampage
+{
+namespace
+{
+
+using ::testing::ExitedWithCode;
+
+TEST(ConfigValidation, CacheBlockMustBePowerOfTwo)
+{
+    CacheParams params;
+    params.blockBytes = 48;
+    EXPECT_EXIT({ SetAssocCache cache(params); },
+                ExitedWithCode(1), "power of two");
+}
+
+TEST(ConfigValidation, CacheSizeMustBeBlockMultiple)
+{
+    CacheParams params;
+    params.sizeBytes = 1000;
+    params.blockBytes = 64;
+    EXPECT_EXIT({ SetAssocCache cache(params); },
+                ExitedWithCode(1), "multiple");
+}
+
+TEST(ConfigValidation, CacheAssociativityBounded)
+{
+    CacheParams params;
+    params.sizeBytes = 128;
+    params.blockBytes = 32;
+    params.assoc = 8; // only 4 blocks exist
+    EXPECT_EXIT({ SetAssocCache cache(params); },
+                ExitedWithCode(1), "associativity");
+}
+
+TEST(ConfigValidation, TlbGeometry)
+{
+    TlbParams params;
+    params.entries = 64;
+    params.assoc = 48; // does not divide 64
+    EXPECT_EXIT({ Tlb tlb(params); }, ExitedWithCode(1), "")
+        << "incompatible TLB geometry must be fatal";
+}
+
+TEST(ConfigValidation, PagerPageSizePowerOfTwo)
+{
+    PagerParams params;
+    params.pageBytes = 3000;
+    EXPECT_EXIT({ SramPager pager(params); },
+                ExitedWithCode(1), "power of two");
+}
+
+TEST(ConfigValidation, PagerReserveCannotSwallowSram)
+{
+    // The table (~20 B/frame) plus a 12 KB fixed image cannot fit in
+    // an SRAM this small: 4 KiB = 32 frames of 128 B, and the fixed
+    // image alone needs 96 frames.
+    PagerParams params;
+    params.pageBytes = 128;
+    params.baseSramBytes = 4 * kib;
+    params.osFixedBytes = 12 * kib;
+    EXPECT_EXIT({ SramPager pager(params); },
+                ExitedWithCode(1), "reserve");
+}
+
+TEST(ConfigValidation, RampagePageAtLeastL1Block)
+{
+    RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
+    cfg.pager.pageBytes = 16; // below the 32 B L1 block
+    EXPECT_EXIT({ RampageHierarchy hier(cfg); },
+                ExitedWithCode(1), "");
+}
+
+TEST(ConfigValidation, RampagePageAtMostDramPage)
+{
+    RampageConfig cfg = rampageConfig(1'000'000'000ull, 8192);
+    EXPECT_EXIT({ RampageHierarchy hier(cfg); },
+                ExitedWithCode(1), "DRAM page");
+}
+
+TEST(ConfigValidation, ConventionalL2BlockAtLeastL1Block)
+{
+    ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 16);
+    EXPECT_EXIT({ ConventionalHierarchy hier(cfg); },
+                ExitedWithCode(1), "smaller");
+}
+
+TEST(ConfigValidation, VictimCacheBehindColumnAssocRejected)
+{
+    ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 1024);
+    cfg.l2Style = ConventionalConfig::L2Style::ColumnAssoc;
+    cfg.victimEntries = 4;
+    EXPECT_EXIT({ ConventionalHierarchy hier(cfg); },
+                ExitedWithCode(1), "victim");
+}
+
+TEST(ConfigValidation, ColumnAssocNeedsTwoSets)
+{
+    EXPECT_EXIT({ ColumnAssocCache cache(32, 32); },
+                ExitedWithCode(1), "two sets");
+}
+
+TEST(ConfigValidation, MalformedQuantitiesAreFatal)
+{
+    EXPECT_EXIT({ parseByteSize("twelve"); }, ExitedWithCode(1),
+                "cannot parse");
+    EXPECT_EXIT({ parseByteSize("4XB"); }, ExitedWithCode(1), "suffix");
+    EXPECT_EXIT({ parseFrequency("-3GHz"); }, ExitedWithCode(1),
+                "positive");
+}
+
+} // namespace
+} // namespace rampage

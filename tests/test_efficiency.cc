@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the Table 1 efficiency math across device configurations
+ * (complementing the model-level tests in test_rambus.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/disk.hh"
+#include "dram/efficiency.hh"
+#include "dram/rambus.hh"
+#include "dram/sdram.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(Efficiency, DefinitionMatchesHandComputation)
+{
+    DirectRambus rambus;
+    // efficiency = ideal streaming time / actual time.
+    for (std::uint64_t bytes : {2ull, 64ull, 4096ull}) {
+        double ideal_ps = static_cast<double>(bytes) / 1.6e9 * 1e12;
+        double actual_ps = static_cast<double>(rambus.readPs(bytes));
+        EXPECT_NEAR(rambus.efficiency(bytes), ideal_ps / actual_ps, 1e-9);
+    }
+}
+
+TEST(Efficiency, ZeroBytesIsZero)
+{
+    DirectRambus rambus;
+    Disk disk;
+    EXPECT_DOUBLE_EQ(rambus.efficiency(0), 0.0);
+    EXPECT_DOUBLE_EQ(disk.efficiency(0), 0.0);
+}
+
+TEST(Efficiency, DiskCrossoverScale)
+{
+    // The paper's §3.5 point: disk needs ~MB-scale transfers for the
+    // efficiency Rambus reaches at ~KB scale.
+    Disk disk;
+    DirectRambus rambus;
+    double rambus_at_4k = rambus.efficiency(4096);
+    EXPECT_GT(rambus_at_4k, 0.9);
+    EXPECT_LT(disk.efficiency(4096), 0.02);
+    // Disk only catches up at hundreds of MB.
+    EXPECT_GT(disk.efficiency(400'000'000), 0.5);
+}
+
+TEST(Efficiency, SdramTracksRambusAtBlockSizes)
+{
+    // §3.3: the non-pipelined Rambus model "has similar
+    // characteristics to an SDRAM implementation".
+    Sdram sdram;
+    DirectRambus rambus;
+    for (std::uint64_t bytes : {128ull, 512ull, 4096ull}) {
+        EXPECT_NEAR(sdram.efficiency(bytes), rambus.efficiency(bytes),
+                    0.05);
+    }
+}
+
+TEST(Efficiency, HalfEfficiencyPoint)
+{
+    // Efficiency hits 50 % when streaming time equals latency:
+    // 50 ns / 0.625 ns-per-byte = 80 bytes for Direct Rambus.
+    DirectRambus rambus;
+    EXPECT_NEAR(rambus.efficiency(80), 0.5, 1e-9);
+}
+
+TEST(Efficiency, InstructionsScaleWithIssueRate)
+{
+    DirectRambus rambus;
+    Tick t = rambus.readPs(1024);
+    EXPECT_NEAR(instructionsPerTransfer(t, 4'000'000'000ull),
+                4.0 * instructionsPerTransfer(t, 1'000'000'000ull), 1e-6);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Behavioural tests for the conventional cache hierarchy (§4.4/§4.7):
+ * timing per the paper's cost model, TLB interleaving, inclusion
+ * maintenance and write-back traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/conventional.hh"
+#include "core/sweep.hh"
+#include "util/random.hh"
+
+namespace rampage
+{
+namespace
+{
+
+constexpr std::uint64_t oneGhz = 1'000'000'000ull;
+
+MemRef
+fetch(Addr addr, Pid pid = 0)
+{
+    return MemRef{addr, RefKind::IFetch, pid};
+}
+
+MemRef
+load(Addr addr, Pid pid = 0)
+{
+    return MemRef{addr, RefKind::Load, pid};
+}
+
+MemRef
+store(Addr addr, Pid pid = 0)
+{
+    return MemRef{addr, RefKind::Store, pid};
+}
+
+TEST(Conventional, FirstFetchPaysTlbL1L2AndDram)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto out = hier.access(fetch(0x400000));
+    const EventCounts &c = hier.counts();
+    EXPECT_EQ(c.tlbMisses, 1u);
+    // The handler trace itself misses L1/L2 cold, so misses and DRAM
+    // reads exceed the user reference's own: at least one 128 B read
+    // (50 ns + 64 beats = 130 ns) apiece.
+    EXPECT_GE(c.l1iMisses, 1u);
+    EXPECT_GE(c.l2Misses, 1u);
+    EXPECT_GE(c.dramReads, 1u);
+    EXPECT_GE(c.dramPs, 130'000u);
+    EXPECT_EQ(c.dramPs, c.dramReads * 130'000u + c.dramWrites * 130'000u);
+    // The TLB-miss handler interleaved real references.
+    EXPECT_GT(c.overheadRefs, 0u);
+    EXPECT_GT(out.cpuPs, 130'000u);
+    EXPECT_EQ(out.deferPs, 0u); // conventional never defers
+}
+
+TEST(Conventional, SteadyStateFetchCostsOneCycle)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    hier.access(fetch(0x400000)); // warm everything
+    auto out = hier.access(fetch(0x400004));
+    // Same L1 block, TLB warm: exactly one issue cycle (1000 ps).
+    EXPECT_EQ(out.cpuPs, 1000u);
+}
+
+TEST(Conventional, DataHitIsFree)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    hier.access(load(0x10000000)); // warm TLB + caches
+    auto out = hier.access(load(0x10000004));
+    // §4.3: TLB and L1 data hits are fully pipelined.
+    EXPECT_EQ(out.cpuPs, 0u);
+}
+
+TEST(Conventional, L1MissL2HitCostsTwelveCycles)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 4096));
+    hier.access(load(0x10000000)); // fills a whole 4 KB L2 block
+    std::uint64_t misses_before = hier.counts().l2Misses;
+    std::uint64_t accesses_before = hier.counts().l2Accesses;
+    // A different L1 block within the same L2 block: L1 miss, L2 hit.
+    auto out = hier.access(load(0x10000400));
+    EXPECT_EQ(out.cpuPs, 12'000u); // 12 cycles at 1 GHz
+    EXPECT_EQ(hier.counts().l2Misses, misses_before);
+    EXPECT_EQ(hier.counts().l2Accesses, accesses_before + 1);
+}
+
+TEST(Conventional, StoreHitBuffersPerfectly)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    hier.access(load(0x10000000));
+    auto out = hier.access(store(0x10000008));
+    EXPECT_EQ(out.cpuPs, 0u); // perfect write buffering (§4.3)
+}
+
+TEST(Conventional, DirtyL1VictimWritesBack)
+{
+    ConventionalConfig cfg = baselineConfig(oneGhz, 4096);
+    ConventionalHierarchy hier(cfg);
+    // Dirty one L1 block, then load the same page offset of many
+    // other pages: page placement is randomized, but 64 pages over
+    // the 4 page-sized L1 column slots make a conflict with the
+    // dirty block (and hence a write-back) a statistical certainty.
+    hier.access(store(0x10000000)); // miss, allocate, dirty
+    std::uint64_t wb_before = hier.counts().l1Writebacks;
+    for (Addr page = 1; page <= 64; ++page)
+        hier.access(load(0x10000000 + page * 4096));
+    EXPECT_GE(hier.counts().l1Writebacks, wb_before + 1);
+}
+
+TEST(Conventional, InclusionInvariantUnderRandomTraffic)
+{
+    // Property: every valid L1 block is contained in an L2 block
+    // (inclusion, §4.3).  Drive random traffic, then audit by probing
+    // both against a recorded address set.
+    ConventionalHierarchy hier(twoWayConfig(oneGhz, 256));
+    Rng rng(17);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 30000; ++i) {
+        Addr vaddr = 0x10000000 + (rng.below(1 << 22) & ~Addr{3});
+        addrs.push_back(vaddr);
+        MemRef ref;
+        ref.vaddr = vaddr;
+        ref.pid = 0;
+        double kind = rng.unit();
+        ref.kind = kind < 0.5 ? RefKind::Load
+                   : kind < 0.75 ? RefKind::Store
+                                 : RefKind::IFetch;
+        hier.access(ref);
+    }
+    // Audit: anything in L1 must be in L2.  We can't recover the
+    // physical address from the virtual trivially here, so probe the
+    // caches over the L2's full index space via the recorded set.
+    // Instead, use the hierarchies' own caches: walk the L1 by
+    // probing each recorded address through the same translation the
+    // hierarchy used (the directory is deterministic).
+    auto &dir = const_cast<DramDirectory &>(hier.directory());
+    unsigned violations = 0;
+    for (Addr vaddr : addrs) {
+        Addr paddr = dir.physAddr(0, vaddr);
+        if ((hier.l1i().probe(paddr) || hier.l1d().probe(paddr)) &&
+            !hier.l2().probe(paddr))
+            ++violations;
+    }
+    EXPECT_EQ(violations, 0u);
+}
+
+TEST(Conventional, TlbMissRateDropsWhenWarm)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    // Loop over 16 pages; after the first pass the 64-entry TLB holds
+    // them all.
+    for (int round = 0; round < 10; ++round)
+        for (Addr page = 0; page < 16; ++page)
+            hier.access(load(0x10000000 + page * 4096));
+    EXPECT_EQ(hier.counts().tlbMisses, 16u);
+}
+
+TEST(Conventional, DistinctPidsDoNotShareTranslations)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    hier.access(load(0x10000000, 1));
+    hier.access(load(0x10000000, 2));
+    EXPECT_EQ(hier.counts().tlbMisses, 2u);
+}
+
+TEST(Conventional, TwoWayReducesConflictMisses)
+{
+    // Two physical pages that collide in a direct-mapped L2 ping-pong
+    // under alternation; 2-way absorbs them.  Generate enough random
+    // pages that collisions certainly occur.
+    auto run = [](unsigned assoc) {
+        ConventionalConfig cfg = baselineConfig(oneGhz, 4096);
+        cfg.l2Assoc = assoc;
+        cfg.l2Repl = ReplPolicy::LRU;
+        ConventionalHierarchy hier(cfg);
+        Rng rng(5);
+        std::vector<Addr> pages;
+        for (int i = 0; i < 2500; ++i)
+            pages.push_back(0x10000000 + rng.below(1 << 24));
+        for (int round = 0; round < 4; ++round)
+            for (Addr page : pages)
+                hier.access(load(page & ~Addr{3}));
+        return hier.counts().l2Misses;
+    };
+    EXPECT_GT(run(1), run(2));
+}
+
+TEST(Conventional, VictimCacheRecoversConflictMisses)
+{
+    auto run = [](unsigned victim_entries) {
+        ConventionalConfig cfg = baselineConfig(oneGhz, 4096);
+        cfg.victimEntries = victim_entries;
+        ConventionalHierarchy hier(cfg);
+        Rng rng(5);
+        std::vector<Addr> pages;
+        for (int i = 0; i < 2000; ++i)
+            pages.push_back(0x10000000 + rng.below(1 << 24));
+        for (int round = 0; round < 4; ++round)
+            for (Addr page : pages)
+                hier.access(load(page & ~Addr{3}));
+        return hier.counts();
+    };
+    EventCounts plain = run(0);
+    EventCounts with_victim = run(8);
+    EXPECT_GT(with_victim.victimCacheHits, 0u);
+    EXPECT_LT(with_victim.dramReads, plain.dramReads);
+}
+
+TEST(Conventional, ContextSwitchTraceCharged)
+{
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    Tick t = hier.runContextSwitchTrace();
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(hier.counts().contextSwitches, 1u);
+    // ~400 references, none counted as TLB/fault overhead (Fig 4).
+    EXPECT_GE(hier.counts().overheadRefs, 380u);
+    EXPECT_EQ(hier.counts().tlbMissOverheadRefs, 0u);
+}
+
+TEST(Conventional, NamesReflectGeometry)
+{
+    EXPECT_EQ(ConventionalHierarchy(baselineConfig(oneGhz, 128)).name(),
+              "baseline");
+    EXPECT_EQ(ConventionalHierarchy(twoWayConfig(oneGhz, 128)).name(),
+              "2-way L2");
+    EXPECT_EQ(ConventionalHierarchy(baselineConfig(oneGhz, 128)).l2Name(),
+              "L2");
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * End-to-end integration tests: small-scale versions of the paper's
+ * experiments asserting the *qualitative* results hold (the benches
+ * regenerate the full tables; these guard the shapes in CI time).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "trace/benchmarks.hh"
+
+namespace rampage
+{
+namespace
+{
+
+constexpr std::uint64_t oneGhz = 1'000'000'000ull;
+constexpr std::uint64_t fourGhz = 4'000'000'000ull;
+
+SimConfig
+integrationSim()
+{
+    SimConfig sim;
+    sim.maxRefs = 1'500'000;
+    sim.quantumRefs = 60'000;
+    return sim;
+}
+
+SimResult
+runBaseline(std::uint64_t block)
+{
+    return simulateConventional(baselineConfig(oneGhz, block),
+                                integrationSim());
+}
+
+SimResult
+runRampage(std::uint64_t page)
+{
+    return simulateRampage(rampageConfig(oneGhz, page),
+                           integrationSim());
+}
+
+TEST(Integration, RampageFullyAssociativeMissesBelowDirectMapped)
+{
+    // §1: "RAMpage is able to achieve full associativity ... the
+    // resulting reduction in misses" — at equal transfer size the
+    // paged SRAM must miss less than the direct-mapped cache.
+    for (std::uint64_t size : {512ull, 1024ull, 4096ull}) {
+        SimResult cache = runBaseline(size);
+        SimResult paged = runRampage(size);
+        EXPECT_LT(paged.counts.l2Misses, cache.counts.l2Misses)
+            << "at block/page " << size;
+    }
+}
+
+TEST(Integration, TwoWayMissesBetweenDirectMappedAndRampage)
+{
+    // §4.7/§5.5: hardware 2-way associativity removes some of the
+    // conflict misses full (software) associativity removes.
+    std::uint64_t block = 2048;
+    SimResult dm = runBaseline(block);
+    SimResult two = simulateConventional(twoWayConfig(oneGhz, block),
+                                         integrationSim());
+    SimResult paged = runRampage(block);
+    EXPECT_LT(two.counts.l2Misses, dm.counts.l2Misses);
+    EXPECT_LE(paged.counts.l2Misses, two.counts.l2Misses);
+}
+
+TEST(Integration, RampageTlbOverheadFallsWithPageSize)
+{
+    // Figure 4's RAMpage curve: handler overhead collapses as the
+    // SRAM page (and so the TLB reach) grows.
+    double small = runRampage(128).counts.overheadRatio();
+    double mid = runRampage(1024).counts.overheadRatio();
+    double large = runRampage(4096).counts.overheadRatio();
+    EXPECT_GT(small, 3 * mid);
+    EXPECT_GT(mid, large);
+}
+
+TEST(Integration, BaselineOverheadFlatAcrossBlockSizes)
+{
+    // Figure 4's baseline: "the same across all block sizes" — the
+    // conventional TLB maps fixed 4 KB DRAM pages.
+    double at128 = runBaseline(128).counts.overheadRatio();
+    double at4096 = runBaseline(4096).counts.overheadRatio();
+    EXPECT_NEAR(at128, at4096, 0.2 * at128 + 1e-6);
+    EXPECT_LT(at128, 0.10); // small, unlike RAMpage at 128 B
+}
+
+TEST(Integration, DramFractionGrowsWithIssueRate)
+{
+    // Figures 2 vs 3: scaling the CPU without scaling DRAM pushes
+    // time into the DRAM level.
+    SimResult result = runBaseline(1024);
+    double slow = priceEvents(result.counts, 200'000'000ull)
+                      .fraction(TimeLevel::Dram);
+    double fast = priceEvents(result.counts, fourGhz)
+                      .fraction(TimeLevel::Dram);
+    EXPECT_GT(fast, 2 * slow);
+}
+
+TEST(Integration, RampageSpendsSmallerDramFractionThanBaseline)
+{
+    // Figures 2-3: the software-managed hierarchy is more tolerant
+    // of DRAM latency (smaller DRAM share at its best page size).
+    SimResult cache = runBaseline(1024);
+    SimResult paged = runRampage(1024);
+    double cache_dram = priceEvents(cache.counts, fourGhz)
+                            .fraction(TimeLevel::Dram);
+    double paged_dram = priceEvents(paged.counts, fourGhz)
+                            .fraction(TimeLevel::Dram);
+    EXPECT_LT(paged_dram, cache_dram);
+}
+
+TEST(Integration, RampageAdvantageGrowsWithSpeedGap)
+{
+    // The headline (§5.2): RAMpage's best time improves on the
+    // baseline's best as the issue rate grows.
+    SimResult cache = runBaseline(128);   // baseline's best block
+    SimResult paged = runRampage(1024);   // RAMpage's best page
+    double ratio_slow =
+        static_cast<double>(totalTimePs(cache.counts, 200'000'000ull)) /
+        static_cast<double>(totalTimePs(paged.counts, 200'000'000ull));
+    double ratio_fast =
+        static_cast<double>(totalTimePs(cache.counts, fourGhz)) /
+        static_cast<double>(totalTimePs(paged.counts, fourGhz));
+    EXPECT_GT(ratio_fast, ratio_slow);
+    // At 4 GHz, RAMpage is clearly faster.
+    EXPECT_GT(ratio_fast, 1.05);
+}
+
+TEST(Integration, SwitchOnMissWinsAtHighIssueRate)
+{
+    // Table 4 at 4 GHz: overlapping transfers beats blocking.
+    SimConfig sim = integrationSim();
+    SimResult blocking = simulateRampage(
+        rampageConfig(fourGhz, 4096, false), sim);
+    SimResult switching = simulateRampage(
+        rampageConfig(fourGhz, 4096, true), sim);
+    EXPECT_LT(switching.elapsedPs, blocking.elapsedPs);
+}
+
+TEST(Integration, FullWorkloadPopulatesAllPrograms)
+{
+    // All 18 programs execute under the default interleave.
+    SimConfig sim;
+    sim.maxRefs = 18 * 30'000;
+    sim.quantumRefs = 30'000;
+    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    Simulator driver(hier, makeWorkload(), sim);
+    SimResult result = driver.run();
+    EXPECT_EQ(result.counts.contextSwitches, 18u);
+}
+
+} // namespace
+} // namespace rampage

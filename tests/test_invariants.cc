@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cross-cutting invariants of the whole simulation apparatus —
+ * properties the paper's methodology depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "trace/benchmarks.hh"
+
+namespace rampage
+{
+namespace
+{
+
+SimConfig
+smallSim()
+{
+    SimConfig sim;
+    sim.maxRefs = 400'000;
+    sim.quantumRefs = 40'000;
+    return sim;
+}
+
+/**
+ * The Table 3 re-pricing rests on this: the *behaviour* (every event
+ * count) of a blocking run is identical at every issue rate; only the
+ * pricing differs.
+ */
+TEST(Invariants, BehaviourIsIssueRateIndependent)
+{
+    auto run = [](std::uint64_t hz) {
+        return simulateConventional(baselineConfig(hz, 512), smallSim());
+    };
+    SimResult slow = run(200'000'000ull);
+    SimResult fast = run(4'000'000'000ull);
+    EXPECT_EQ(slow.counts.l1iMisses, fast.counts.l1iMisses);
+    EXPECT_EQ(slow.counts.l1dMisses, fast.counts.l1dMisses);
+    EXPECT_EQ(slow.counts.l2Misses, fast.counts.l2Misses);
+    EXPECT_EQ(slow.counts.tlbMisses, fast.counts.tlbMisses);
+    EXPECT_EQ(slow.counts.dramReads, fast.counts.dramReads);
+    EXPECT_EQ(slow.counts.dramWrites, fast.counts.dramWrites);
+    EXPECT_EQ(slow.counts.dramPs, fast.counts.dramPs);
+    EXPECT_EQ(slow.counts.l1iCycles, fast.counts.l1iCycles);
+    EXPECT_EQ(slow.counts.l2Cycles, fast.counts.l2Cycles);
+    // And the cross-pricing matches the native run exactly.
+    EXPECT_EQ(totalTimePs(slow.counts, 4'000'000'000ull),
+              fast.elapsedPs);
+    EXPECT_EQ(totalTimePs(fast.counts, 200'000'000ull),
+              slow.elapsedPs);
+}
+
+TEST(Invariants, RampageBehaviourIsIssueRateIndependent)
+{
+    auto run = [](std::uint64_t hz) {
+        return simulateRampage(rampageConfig(hz, 1024), smallSim());
+    };
+    SimResult slow = run(200'000'000ull);
+    SimResult fast = run(4'000'000'000ull);
+    EXPECT_EQ(slow.counts.l2Misses, fast.counts.l2Misses);
+    EXPECT_EQ(slow.counts.tlbMisses, fast.counts.tlbMisses);
+    EXPECT_EQ(slow.counts.dramPs, fast.counts.dramPs);
+    EXPECT_EQ(totalTimePs(slow.counts, 4'000'000'000ull),
+              fast.elapsedPs);
+}
+
+/** DRAM time accounting: every picosecond belongs to a transaction. */
+TEST(Invariants, DramTimeDecomposesIntoTransactions)
+{
+    SimResult result =
+        simulateConventional(baselineConfig(1'000'000'000ull, 256),
+                             smallSim());
+    // All conventional DRAM traffic is 256 B blocks: 50 ns + 128
+    // beats = 210 ns each.
+    Tick per_txn = 210'000;
+    EXPECT_EQ(result.counts.dramPs,
+              (result.counts.dramReads + result.counts.dramWrites) *
+                  per_txn);
+}
+
+/** Reference conservation: trace refs + overhead refs = total refs. */
+TEST(Invariants, ReferenceAccountingBalances)
+{
+    SimResult result =
+        simulateRampage(rampageConfig(1'000'000'000ull, 512), smallSim());
+    EXPECT_EQ(result.counts.refs,
+              result.counts.traceRefs + result.counts.overheadRefs);
+    EXPECT_EQ(result.counts.traceRefs, smallSim().maxRefs);
+    // Fig 4's numerator is a subset of the overhead refs (context
+    // switches are excluded).
+    EXPECT_LE(result.counts.tlbMissOverheadRefs +
+                  result.counts.faultOverheadRefs,
+              result.counts.overheadRefs);
+}
+
+/** Misses are bounded by accesses at every level. */
+TEST(Invariants, MissesBoundedByAccesses)
+{
+    for (std::uint64_t size : {128ull, 1024ull, 4096ull}) {
+        SimResult result = simulateConventional(
+            baselineConfig(1'000'000'000ull, size), smallSim());
+        const EventCounts &c = result.counts;
+        EXPECT_LE(c.l2Misses, c.l2Accesses);
+        EXPECT_LE(c.l1iMisses, c.instrFetches);
+        EXPECT_LE(c.dramReads, c.l2Misses + c.tlbMisses + 1);
+    }
+}
+
+/** Determinism end to end: identical runs, identical picoseconds. */
+TEST(Invariants, EndToEndDeterminism)
+{
+    auto run = [] {
+        return simulateRampage(
+            rampageConfig(4'000'000'000ull, 1024, true),
+            [] {
+                SimConfig sim;
+                sim.maxRefs = 300'000;
+                sim.quantumRefs = 30'000;
+                sim.switchOnMiss = true;
+                return sim;
+            }());
+    };
+    SimResult a = run();
+    SimResult b = run();
+    EXPECT_EQ(a.elapsedPs, b.elapsedPs);
+    EXPECT_EQ(a.stallPs, b.stallPs);
+    EXPECT_EQ(a.counts.l2Misses, b.counts.l2Misses);
+    EXPECT_EQ(a.sched.missSwitches, b.sched.missSwitches);
+}
+
+/**
+ * Golden regression: a pinned end-to-end scenario.  If any of these
+ * numbers move, the simulated machine changed — recalibrate against
+ * the paper (EXPERIMENTS.md) before accepting the new values.
+ */
+TEST(Invariants, GoldenScenario)
+{
+    SimConfig sim;
+    sim.maxRefs = 100'000;
+    sim.quantumRefs = 10'000;
+    SimResult result =
+        simulateRampage(rampageConfig(1'000'000'000ull, 1024), sim);
+    const EventCounts &c = result.counts;
+
+    // Structural facts that must never drift silently.
+    EXPECT_EQ(c.traceRefs, 100'000u);
+    EXPECT_EQ(c.contextSwitches, 10u);
+    EXPECT_EQ(c.dramPs,
+              (c.dramReads + c.dramWrites) * 690'000u);
+    EXPECT_EQ(result.elapsedPs, totalTimePs(c, 1'000'000'000ull));
+    // Behavioural envelope (tight but not byte-exact, so trivially
+    // benign generator tweaks surface as a conscious recalibration).
+    EXPECT_GT(c.l2Misses, 200u);
+    EXPECT_LT(c.l2Misses, 5'000u);
+    EXPECT_GT(c.tlbMisses, 300u);
+    EXPECT_LT(c.tlbMisses, 20'000u);
+}
+
+} // namespace
+} // namespace rampage

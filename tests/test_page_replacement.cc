@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for the page-replacement policies (§4.5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "os/page_replacement.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(Clock, SecondChanceSemantics)
+{
+    // 4 evictable frames (0 pinned).  Fill all, touch 1 and 3; the
+    // hand starts at 0: it clears 0's mark, clears 1's, ... and the
+    // first frame found unmarked on the second pass is 0.
+    ClockPolicy clock(4, 0);
+    for (std::uint64_t f = 0; f < 4; ++f)
+        clock.fill(f);
+    unsigned scan = 0;
+    // All referenced: first sweep clears, victim is frame 0.
+    EXPECT_EQ(clock.pickVictim(&scan), 0u);
+    EXPECT_EQ(scan, 5u); // 4 clears + 1 pick
+}
+
+TEST(Clock, TouchedFrameSurvives)
+{
+    ClockPolicy clock(4, 0);
+    for (std::uint64_t f = 0; f < 4; ++f)
+        clock.fill(f);
+    clock.pickVictim(nullptr); // victim 0; marks now clear, hand at 1
+    clock.touch(2);
+    // Hand at 1 (unmarked) -> victim 1, never 2.
+    EXPECT_EQ(clock.pickVictim(nullptr), 1u);
+    // Next: hand at 2 (marked, cleared), 3 unmarked -> victim 3.
+    EXPECT_EQ(clock.pickVictim(nullptr), 3u);
+}
+
+TEST(Clock, PinnedFramesNeverChosen)
+{
+    ClockPolicy clock(8, 3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_GE(clock.pickVictim(nullptr), 3u);
+}
+
+TEST(Fifo, EvictsOldestFill)
+{
+    FifoPolicy fifo(4, 1);
+    fifo.fill(1);
+    fifo.fill(2);
+    fifo.fill(3);
+    EXPECT_EQ(fifo.pickVictim(nullptr), 1u);
+    fifo.fill(1); // refilled: now newest
+    EXPECT_EQ(fifo.pickVictim(nullptr), 2u);
+}
+
+TEST(Lru, EvictsLeastRecentlyTouched)
+{
+    LruPolicy lru(4, 0);
+    for (std::uint64_t f = 0; f < 4; ++f)
+        lru.fill(f);
+    lru.touch(0);
+    lru.touch(2);
+    EXPECT_EQ(lru.pickVictim(nullptr), 1u);
+}
+
+TEST(Random, StaysInEvictableRange)
+{
+    RandomPolicy random(16, 4, 9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t victim = random.pickVictim(nullptr);
+        EXPECT_GE(victim, 4u);
+        EXPECT_LT(victim, 16u);
+        seen.insert(victim);
+    }
+    // All evictable frames get chosen eventually.
+    EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Standby, VictimComesFromListFront)
+{
+    StandbyPolicy standby(8, 0, 2);
+    for (std::uint64_t f = 0; f < 8; ++f)
+        standby.fill(f);
+    // First pick must nominate 3 pages (fill list of 2 + victim).
+    std::uint64_t v1 = standby.pickVictim(nullptr);
+    std::uint64_t v2 = standby.pickVictim(nullptr);
+    EXPECT_NE(v1, v2);
+}
+
+TEST(Standby, TouchRescuesNominatedPage)
+{
+    StandbyPolicy standby(8, 0, 4);
+    for (std::uint64_t f = 0; f < 8; ++f)
+        standby.fill(f);
+    std::uint64_t victim = standby.pickVictim(nullptr);
+    // Four pages now sit on the standby list.  Touch every frame: the
+    // standby pages are rescued.
+    for (std::uint64_t f = 0; f < 8; ++f)
+        if (f != victim)
+            standby.touch(f);
+    EXPECT_EQ(standby.rescues(), 4u);
+    // The policy remains functional after rescues: it still yields a
+    // valid evictable frame (frame 0 — the previously discarded and
+    // never re-touched frame — is the legitimately coldest choice).
+    std::uint64_t v2 = standby.pickVictim(nullptr);
+    EXPECT_LT(v2, 8u);
+}
+
+TEST(Factory, MakesEveryKind)
+{
+    for (PageReplKind kind :
+         {PageReplKind::Clock, PageReplKind::Fifo, PageReplKind::Random,
+          PageReplKind::Lru, PageReplKind::Standby}) {
+        auto policy = makePageReplacement(kind, 32, 4, 1, 4);
+        ASSERT_NE(policy, nullptr);
+        EXPECT_FALSE(policy->name().empty());
+        EXPECT_STREQ(pageReplKindName(kind), pageReplKindName(kind));
+    }
+}
+
+class PolicySweep : public ::testing::TestWithParam<PageReplKind>
+{
+};
+
+TEST_P(PolicySweep, VictimsAlwaysEvictableUnderChurn)
+{
+    const std::uint64_t frames = 64;
+    const std::uint64_t pinned = 8;
+    auto policy = makePageReplacement(GetParam(), frames, pinned, 3, 8);
+    Rng rng(GetParam() == PageReplKind::Random ? 1 : 2);
+
+    for (std::uint64_t f = pinned; f < frames; ++f)
+        policy->fill(f);
+
+    for (int i = 0; i < 5000; ++i) {
+        if (rng.chance(0.6)) {
+            policy->touch(pinned + rng.below(frames - pinned));
+        } else {
+            unsigned scan = 0;
+            std::uint64_t victim = policy->pickVictim(&scan);
+            ASSERT_GE(victim, pinned);
+            ASSERT_LT(victim, frames);
+            policy->fill(victim);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(PageReplKind::Clock, PageReplKind::Fifo,
+                      PageReplKind::Random, PageReplKind::Lru,
+                      PageReplKind::Standby));
+
+// The classic hierarchy: on a looping pattern slightly larger than
+// memory, LRU degenerates while clock/standby behave no worse than
+// random... exercised at the pager level in test_pager.cc; here we
+// check the scan-cost accounting is populated.
+TEST(Clock, ScanCostReported)
+{
+    ClockPolicy clock(16, 0);
+    for (std::uint64_t f = 0; f < 16; ++f)
+        clock.fill(f);
+    unsigned scan = 0;
+    clock.pickVictim(&scan);
+    EXPECT_GT(scan, 0u);
+    EXPECT_LE(scan, 33u);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing models, anchored to the numbers the
+ * paper quotes: 50 ns access, 2 bytes per 1.25 ns, 1.6 GB/s peak, a
+ * 4 KB transfer costing ~2,600 instructions at 1 GHz, and the disk
+ * comparison (10 ms, 40 MB/s => ~10 M instructions per 4 KB).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/disk.hh"
+#include "dram/efficiency.hh"
+#include "dram/rambus.hh"
+#include "dram/sdram.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(DirectRambus, PaperTimingNumbers)
+{
+    DirectRambus rambus;
+    // 50 ns before the first datum.
+    EXPECT_EQ(rambus.readPs(0), 50'000u);
+    // 2 bytes per 1.25 ns beat.
+    EXPECT_EQ(rambus.readPs(2), 50'000u + 1250u);
+    EXPECT_EQ(rambus.readPs(128), 50'000u + 64 * 1250u);
+    // The paper's example: a 4 KB transfer is 50 ns + 2048 beats
+    // = 2610 ns, i.e. ~2,600 instructions at 1 GHz.
+    EXPECT_EQ(rambus.readPs(4096), 2'610'000u);
+}
+
+TEST(DirectRambus, OddByteCountRoundsUpToBeat)
+{
+    DirectRambus rambus;
+    EXPECT_EQ(rambus.readPs(1), rambus.readPs(2));
+    EXPECT_EQ(rambus.readPs(3), rambus.readPs(4));
+}
+
+TEST(DirectRambus, WritesMatchReads)
+{
+    DirectRambus rambus;
+    for (std::uint64_t bytes : {2ull, 128ull, 4096ull})
+        EXPECT_EQ(rambus.writePs(bytes), rambus.readPs(bytes));
+}
+
+TEST(DirectRambus, PeakBandwidth)
+{
+    DirectRambus rambus;
+    // 2 B / 1.25 ns = 1.6e9 B/s (the paper's "1.5 Gbyte/s").
+    EXPECT_NEAR(rambus.peakBandwidth(), 1.6e9, 1e3);
+}
+
+TEST(DirectRambus, InstructionsPerTransferPaperExamples)
+{
+    DirectRambus rambus;
+    Disk disk;
+    // ~2,600 instructions for 4 KB over Rambus at 1 GHz.
+    EXPECT_NEAR(instructionsPerTransfer(rambus.readPs(4096), 1'000'000'000),
+                2610.0, 1.0);
+    // ~10 M instructions for 4 KB from disk at 1 GHz.
+    EXPECT_NEAR(instructionsPerTransfer(disk.readPs(4096), 1'000'000'000),
+                1.01e7, 2e5);
+}
+
+TEST(DirectRambus, EfficiencyMonotoneInSize)
+{
+    DirectRambus rambus;
+    double prev = 0.0;
+    for (std::uint64_t bytes = 2; bytes <= 1 << 20; bytes *= 2) {
+        double eff = rambus.efficiency(bytes);
+        EXPECT_GT(eff, prev);
+        EXPECT_LE(eff, 1.0);
+        prev = eff;
+    }
+    // Large transfers approach full utilization.
+    EXPECT_GT(rambus.efficiency(4 << 20), 0.98);
+    // Tiny transfers are dominated by the access latency.
+    EXPECT_LT(rambus.efficiency(2), 0.03);
+}
+
+TEST(DirectRambus, BurstNonPipelinedIsLinear)
+{
+    DirectRambus rambus;
+    EXPECT_EQ(rambus.burstPs(128, 10), 10 * rambus.readPs(128));
+    EXPECT_EQ(rambus.burstPs(128, 0), 0u);
+}
+
+TEST(DirectRambus, BurstPipelinedHidesLatency)
+{
+    RambusConfig cfg;
+    cfg.pipelineDepth = 64;
+    DirectRambus piped(cfg);
+    DirectRambus plain;
+
+    // A deep pipeline hides all but the first access latency once the
+    // stream time per transaction exceeds nothing at all: total =
+    // latency + n * stream.
+    Tick stream = piped.streamPs(128);
+    EXPECT_EQ(piped.burstPs(128, 100), 50'000u + 100 * stream);
+    EXPECT_LT(piped.burstPs(128, 100), plain.burstPs(128, 100));
+    // A single transaction costs the same either way.
+    EXPECT_EQ(piped.burstPs(128, 1), plain.burstPs(128, 1));
+}
+
+TEST(DirectRambus, BurstShallowPipelineExposesResidualLatency)
+{
+    RambusConfig cfg;
+    cfg.pipelineDepth = 2;
+    DirectRambus piped(cfg);
+    // With depth 2, each later transaction hides at most one
+    // transaction's worth of streaming behind the latency.
+    Tick stream = piped.streamPs(16); // 8 beats = 10 ns
+    Tick exposed = 50'000 - stream;
+    EXPECT_EQ(piped.burstPs(16, 3), 50'000u + 3 * stream + 2 * exposed);
+}
+
+TEST(Sdram, PaperComparablePeak)
+{
+    Sdram sdram;
+    // 128-bit bus at 10 ns = 1.6 GB/s, same peak as Direct Rambus.
+    DirectRambus rambus;
+    EXPECT_NEAR(sdram.peakBandwidth(), rambus.peakBandwidth(), 1e3);
+    // 50 ns + one bus cycle for 16 bytes.
+    EXPECT_EQ(sdram.readPs(16), 60'000u);
+    EXPECT_EQ(sdram.readPs(17), 70'000u);
+}
+
+TEST(Disk, TimingModel)
+{
+    Disk disk;
+    // 10 ms positioning dominates small transfers.
+    EXPECT_EQ(disk.readPs(0), 10 * psPerMs);
+    // 40 MB/s streaming: 4 MB takes ~0.1 s + latency.
+    EXPECT_NEAR(static_cast<double>(disk.readPs(40'000'000)),
+                static_cast<double>(10 * psPerMs + psPerSec), 1e9);
+}
+
+TEST(EfficiencyTable, PaperTable1Shape)
+{
+    auto rows = computeEfficiencyTable();
+    ASSERT_FALSE(rows.empty());
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        // Efficiency grows with the transfer unit for every device.
+        EXPECT_GE(rows[i].rambusEfficiency, rows[i - 1].rambusEfficiency);
+        EXPECT_GE(rows[i].diskEfficiency, rows[i - 1].diskEfficiency);
+    }
+    for (const auto &row : rows) {
+        // Disk is always (much) less efficient than Rambus at equal
+        // transfer sizes in this range, and pipelining never hurts.
+        EXPECT_LT(row.diskEfficiency, row.rambusEfficiency);
+        EXPECT_GE(row.rambusPipelined, row.rambusEfficiency - 1e-9);
+        EXPECT_LE(row.rambusPipelined, 1.0);
+    }
+    // The paper's §3.3 claim: pipelined Direct Rambus achieves ~95 %
+    // of peak on units as small as 2 bytes.
+    EXPECT_GT(rows.front().rambusPipelined, 0.9);
+    EXPECT_EQ(rows.front().bytes, 2u);
+}
+
+TEST(EfficiencyTable, CustomSizes)
+{
+    auto rows = computeEfficiencyTable({4096});
+    ASSERT_EQ(rows.size(), 1u);
+    // 4 KB: 2560 ns streaming vs 2610 ns total = 98 %.
+    EXPECT_NEAR(rows[0].rambusEfficiency, 2560.0 / 2610.0, 1e-6);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the experiment scaffolding: environment-driven scale,
+ * issue-rate lists and the canonical §4 configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/sweep.hh"
+
+namespace rampage
+{
+namespace
+{
+
+/** RAII environment-variable override. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : varName(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld = old != nullptr;
+        if (hadOld)
+            oldValue = old;
+        ::setenv(name, value, 1);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(varName.c_str(), oldValue.c_str(), 1);
+        else
+            ::unsetenv(varName.c_str());
+    }
+
+  private:
+    std::string varName;
+    std::string oldValue;
+    bool hadOld;
+};
+
+TEST(Sweep, DefaultScale)
+{
+    ::unsetenv("RAMPAGE_REFS");
+    ::unsetenv("RAMPAGE_QUANTUM");
+    ::unsetenv("RAMPAGE_FULL");
+    ExperimentScale scale = experimentScale();
+    EXPECT_EQ(scale.refs, 24'000'000u);
+    EXPECT_EQ(scale.quantumRefs, 120'000u);
+}
+
+TEST(Sweep, EnvOverridesScale)
+{
+    ScopedEnv refs("RAMPAGE_REFS", "5000000");
+    ScopedEnv quantum("RAMPAGE_QUANTUM", "50000");
+    ExperimentScale scale = experimentScale();
+    EXPECT_EQ(scale.refs, 5'000'000u);
+    EXPECT_EQ(scale.quantumRefs, 50'000u);
+}
+
+TEST(Sweep, FullScaleIsPaperScale)
+{
+    ScopedEnv full("RAMPAGE_FULL", "1");
+    ::unsetenv("RAMPAGE_REFS");
+    ::unsetenv("RAMPAGE_QUANTUM");
+    ExperimentScale scale = experimentScale();
+    EXPECT_EQ(scale.refs, 1'100'000'000u); // §4.2
+    EXPECT_EQ(scale.quantumRefs, 500'000u);
+}
+
+TEST(Sweep, ExplicitRefsBeatFullScale)
+{
+    ScopedEnv full("RAMPAGE_FULL", "1");
+    ScopedEnv refs("RAMPAGE_REFS", "7");
+    EXPECT_EQ(experimentScale().refs, 7u);
+}
+
+TEST(Sweep, DefaultRatesSpanPaperSweep)
+{
+    ::unsetenv("RAMPAGE_RATES");
+    auto rates = issueRates();
+    ASSERT_GE(rates.size(), 3u);
+    EXPECT_EQ(rates.front(), 200'000'000u);  // §4.3 low end
+    EXPECT_EQ(rates.back(), 4'000'000'000u); // §4.3 high end
+    for (std::size_t i = 1; i < rates.size(); ++i)
+        EXPECT_GT(rates[i], rates[i - 1]);
+}
+
+TEST(Sweep, RatesFromEnv)
+{
+    ScopedEnv env("RAMPAGE_RATES", "250MHz,1GHz");
+    auto rates = issueRates();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_EQ(rates[0], 250'000'000u);
+    EXPECT_EQ(rates[1], 1'000'000'000u);
+}
+
+TEST(Sweep, BlockSizeSweepIsPapers)
+{
+    auto sizes = blockSizeSweep();
+    ASSERT_EQ(sizes.size(), 6u);
+    EXPECT_EQ(sizes.front(), 128u);
+    EXPECT_EQ(sizes.back(), 4096u);
+}
+
+TEST(Sweep, BaselineConfigMatchesPaper)
+{
+    ConventionalConfig cfg = baselineConfig(200'000'000ull, 128);
+    EXPECT_EQ(cfg.l2SizeBytes, 4 * mib);
+    EXPECT_EQ(cfg.l2Assoc, 1u);
+    EXPECT_EQ(cfg.common.l1SizeBytes, 16 * kib);
+    EXPECT_EQ(cfg.common.l1BlockBytes, 32u);
+    EXPECT_EQ(cfg.common.tlb.entries, 64u);
+    EXPECT_EQ(cfg.common.tlb.assoc, 0u); // fully associative
+    EXPECT_EQ(cfg.common.l2HitCycles, 12u);
+    EXPECT_EQ(cfg.common.l1WritebackCycles, 12u);
+    EXPECT_EQ(cfg.common.l1WritebackCyclesRampage, 9u);
+    EXPECT_EQ(cfg.common.rambus.accessLatencyPs, 50'000u);
+    EXPECT_EQ(cfg.common.rambus.bytesPerBeat, 2u);
+    EXPECT_EQ(cfg.common.dramPageBytes, 4096u);
+}
+
+TEST(Sweep, TwoWayConfigMatchesPaper)
+{
+    ConventionalConfig cfg = twoWayConfig(1'000'000'000ull, 2048);
+    EXPECT_EQ(cfg.l2Assoc, 2u);
+    EXPECT_EQ(cfg.l2Repl, ReplPolicy::Random); // §4.7
+    EXPECT_EQ(cfg.l2BlockBytes, 2048u);
+}
+
+TEST(Sweep, RampageConfigMatchesPaper)
+{
+    RampageConfig cfg = rampageConfig(1'000'000'000ull, 128, true);
+    EXPECT_EQ(cfg.pager.pageBytes, 128u);
+    EXPECT_EQ(cfg.pager.baseSramBytes, 4 * mib);
+    EXPECT_EQ(cfg.pager.tagBytesPerBlock, 4u);
+    EXPECT_EQ(cfg.pager.repl, PageReplKind::Clock);
+    EXPECT_TRUE(cfg.switchOnMiss);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator and the Table 2 roster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "trace/benchmarks.hh"
+#include "trace/synthetic.hh"
+
+namespace rampage
+{
+namespace
+{
+
+ProgramProfile
+testProfile()
+{
+    ProgramProfile p;
+    p.name = "test";
+    p.seed = 1234;
+    p.dataPerInstr = 0.30;
+    return p;
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    SyntheticProgram a(testProfile(), 0), b(testProfile(), 0);
+    MemRef ra, rb;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra.vaddr, rb.vaddr);
+        ASSERT_EQ(ra.kind, rb.kind);
+    }
+}
+
+TEST(Synthetic, ResetReproducesStream)
+{
+    SyntheticProgram prog(testProfile(), 0);
+    std::vector<MemRef> first;
+    MemRef ref;
+    for (int i = 0; i < 5000; ++i) {
+        prog.next(ref);
+        first.push_back(ref);
+    }
+    prog.reset();
+    for (int i = 0; i < 5000; ++i) {
+        prog.next(ref);
+        ASSERT_EQ(ref.vaddr, first[i].vaddr);
+        ASSERT_EQ(ref.kind, first[i].kind);
+    }
+}
+
+TEST(Synthetic, PidStampedOnEveryRef)
+{
+    SyntheticProgram prog(testProfile(), 7);
+    MemRef ref;
+    for (int i = 0; i < 1000; ++i) {
+        prog.next(ref);
+        ASSERT_EQ(ref.pid, 7);
+    }
+    EXPECT_EQ(prog.pid(), 7);
+}
+
+TEST(Synthetic, ReferenceMixMatchesProfile)
+{
+    ProgramProfile p = testProfile();
+    p.dataPerInstr = 0.25;
+    p.storeFraction = 0.4;
+    SyntheticProgram prog(p, 0);
+    std::map<RefKind, int> counts;
+    MemRef ref;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        prog.next(ref);
+        ++counts[ref.kind];
+    }
+    double data = counts[RefKind::Load] + counts[RefKind::Store];
+    double instr = counts[RefKind::IFetch];
+    EXPECT_NEAR(data / instr, 0.25, 0.01);
+    EXPECT_NEAR(counts[RefKind::Store] / data, 0.4, 0.02);
+}
+
+TEST(Synthetic, AddressesStayInRegions)
+{
+    ProgramProfile p = testProfile();
+    SyntheticProgram prog(p, 0);
+    MemRef ref;
+    for (int i = 0; i < 100000; ++i) {
+        prog.next(ref);
+        if (ref.isInstr()) {
+            ASSERT_GE(ref.vaddr, SyntheticProgram::codeBase);
+            ASSERT_LT(ref.vaddr,
+                      SyntheticProgram::codeBase + p.codeBytes);
+            ASSERT_EQ(ref.vaddr % 4, 0u) << "unaligned fetch";
+        } else {
+            bool in_stack =
+                ref.vaddr <= SyntheticProgram::stackTop &&
+                ref.vaddr > SyntheticProgram::stackTop - p.stackBytes;
+            bool in_globals =
+                ref.vaddr >= SyntheticProgram::globalBase &&
+                ref.vaddr < SyntheticProgram::globalBase + p.globalBytes;
+            bool in_heap =
+                ref.vaddr >= SyntheticProgram::heapBase &&
+                ref.vaddr < SyntheticProgram::heapBase + p.heapBytes;
+            ASSERT_TRUE(in_stack || in_globals || in_heap)
+                << std::hex << ref.vaddr;
+        }
+    }
+}
+
+TEST(Synthetic, EndlessStream)
+{
+    SyntheticProgram prog(testProfile(), 0);
+    MemRef ref;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(prog.next(ref));
+    EXPECT_EQ(prog.generated(), 1000u);
+}
+
+TEST(Roster, HasEighteenPrograms)
+{
+    // Table 2 lists 18 traces.
+    EXPECT_EQ(benchmarkRoster().size(), 18u);
+}
+
+TEST(Roster, TotalsMatchPaperTable2)
+{
+    // The combined workload is ~1.1 G references (§4.2).
+    double total = 0;
+    for (const auto &profile : benchmarkRoster())
+        total += profile.totalMillions;
+    EXPECT_NEAR(total, 1100.0, 25.0);
+}
+
+TEST(Roster, MixDerivedFromTable2Counts)
+{
+    for (const auto &profile : benchmarkRoster()) {
+        EXPECT_NEAR(profile.dataPerInstr,
+                    profile.totalMillions / profile.instrMillions - 1.0,
+                    1e-9)
+            << profile.name;
+        EXPECT_GT(profile.dataPerInstr, 0.0) << profile.name;
+        EXPECT_LT(profile.dataPerInstr, 0.6) << profile.name;
+    }
+}
+
+TEST(Roster, LookupByName)
+{
+    const auto &gcc = benchmarkProfile("gcc");
+    EXPECT_EQ(gcc.name, "gcc");
+    EXPECT_NEAR(gcc.instrMillions, 78.8, 1e-9);
+    EXPECT_NEAR(gcc.totalMillions, 100.0, 1e-9);
+}
+
+TEST(Roster, DistinctSeedsAndPids)
+{
+    auto workload = makeWorkload();
+    ASSERT_EQ(workload.size(), 18u);
+    for (std::size_t i = 0; i < workload.size(); ++i)
+        EXPECT_EQ(workload[i]->pid(), static_cast<Pid>(i));
+    // Streams differ between programs.
+    MemRef a, b;
+    workload[0]->next(a);
+    workload[1]->next(b);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        workload[0]->next(a);
+        workload[1]->next(b);
+        if (a.vaddr == b.vaddr)
+            ++same;
+    }
+    EXPECT_LT(same, 50);
+}
+
+TEST(Roster, SaltDecorrelatesWorkloads)
+{
+    auto base = makeWorkload(0);
+    auto salted = makeWorkload(1);
+    MemRef a, b;
+    int same = 0;
+    for (int i = 0; i < 200; ++i) {
+        base[0]->next(a);
+        salted[0]->next(b);
+        if (a.vaddr == b.vaddr)
+            ++same;
+    }
+    EXPECT_LT(same, 150);
+}
+
+} // namespace
+} // namespace rampage

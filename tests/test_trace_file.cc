@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for trace file I/O (native binary and Dinero formats).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/file_format.hh"
+#include "trace/synthetic.hh"
+
+namespace rampage
+{
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/rampage_" + tag +
+           ".trace";
+}
+
+std::vector<MemRef>
+sampleRefs()
+{
+    return {
+        {0x400000, RefKind::IFetch, 1},
+        {0x10001234, RefKind::Load, 1},
+        {0x7fffe000, RefKind::Store, 2},
+        {0xdeadbeef, RefKind::Load, 65535},
+    };
+}
+
+TEST(TraceFile, NativeRoundTrip)
+{
+    std::string path = tempPath("native");
+    {
+        TraceWriter writer(path);
+        for (const MemRef &ref : sampleRefs())
+            writer.write(ref);
+        EXPECT_EQ(writer.count(), 4u);
+    }
+    FileTraceSource source(path);
+    EXPECT_TRUE(source.isNative());
+    for (const MemRef &expect : sampleRefs()) {
+        MemRef got;
+        ASSERT_TRUE(source.next(got));
+        EXPECT_EQ(got.vaddr, expect.vaddr);
+        EXPECT_EQ(got.kind, expect.kind);
+        EXPECT_EQ(got.pid, expect.pid);
+    }
+    MemRef extra;
+    EXPECT_FALSE(source.next(extra));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, DinRoundTrip)
+{
+    std::string path = tempPath("din");
+    {
+        TraceWriter writer(path, true);
+        for (const MemRef &ref : sampleRefs())
+            writer.write(ref);
+    }
+    FileTraceSource source(path, 9);
+    EXPECT_FALSE(source.isNative());
+    for (const MemRef &expect : sampleRefs()) {
+        MemRef got;
+        ASSERT_TRUE(source.next(got));
+        EXPECT_EQ(got.vaddr, expect.vaddr);
+        EXPECT_EQ(got.kind, expect.kind);
+        EXPECT_EQ(got.pid, 9); // din carries no pid
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ResetRewinds)
+{
+    std::string path = tempPath("rewind");
+    {
+        TraceWriter writer(path);
+        for (const MemRef &ref : sampleRefs())
+            writer.write(ref);
+    }
+    FileTraceSource source(path);
+    MemRef first, again;
+    ASSERT_TRUE(source.next(first));
+    source.reset();
+    ASSERT_TRUE(source.next(again));
+    EXPECT_EQ(first.vaddr, again.vaddr);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, DinSkipsMalformedLines)
+{
+    std::string path = tempPath("malformed");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "# comment line\n2 400\nnot a record\n0 abc\n");
+    std::fclose(f);
+
+    FileTraceSource source(path);
+    MemRef ref;
+    ASSERT_TRUE(source.next(ref));
+    EXPECT_EQ(ref.vaddr, 0x400u);
+    EXPECT_EQ(ref.kind, RefKind::IFetch);
+    ASSERT_TRUE(source.next(ref));
+    EXPECT_EQ(ref.vaddr, 0xabcu);
+    EXPECT_EQ(ref.kind, RefKind::Load);
+    EXPECT_FALSE(source.next(ref));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReadWholeFileHelper)
+{
+    std::string path = tempPath("whole");
+    {
+        TraceWriter writer(path);
+        for (const MemRef &ref : sampleRefs())
+            writer.write(ref);
+    }
+    auto refs = readTraceFile(path);
+    EXPECT_EQ(refs.size(), 4u);
+    EXPECT_EQ(refs[3].pid, 65535);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, SyntheticCaptureReplayEquivalence)
+{
+    // Capturing a synthetic stream to disk and replaying it yields
+    // the identical reference sequence — the mechanism by which real
+    // Pin/Valgrind traces can replace the synthetic workload.
+    ProgramProfile profile;
+    profile.name = "cap";
+    profile.seed = 55;
+    std::string path = tempPath("capture");
+    {
+        SyntheticProgram prog(profile, 3);
+        TraceWriter writer(path);
+        MemRef ref;
+        for (int i = 0; i < 2000; ++i) {
+            prog.next(ref);
+            writer.write(ref);
+        }
+    }
+    SyntheticProgram prog(profile, 3);
+    FileTraceSource replay(path);
+    MemRef live, replayed;
+    for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(prog.next(live));
+        ASSERT_TRUE(replay.next(replayed));
+        ASSERT_EQ(live.vaddr, replayed.vaddr);
+        ASSERT_EQ(live.kind, replayed.kind);
+        ASSERT_EQ(live.pid, replayed.pid);
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the variable-page-size pager and hierarchy (§6.2/§6.3
+ * dynamic-tuning extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rampage.hh"
+#include "core/rampage_var.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "trace/benchmarks.hh"
+#include "os/var_pager.hh"
+#include "util/random.hh"
+
+namespace rampage
+{
+namespace
+{
+
+VarPagerParams
+smallParams()
+{
+    VarPagerParams p;
+    p.baseFrameBytes = 512;
+    p.baseSramBytes = 64 * kib;
+    p.osFixedBytes = 8 * kib;
+    p.defaultPageBytes = 1024;
+    p.pageBytesByPid[1] = 512;
+    p.pageBytesByPid[2] = 4096;
+    return p;
+}
+
+TEST(VarPager, PerPidPageSizes)
+{
+    VarPager pager(smallParams());
+    EXPECT_EQ(pager.pageBytes(0), 1024u); // default
+    EXPECT_EQ(pager.pageBytes(1), 512u);
+    EXPECT_EQ(pager.pageBytes(2), 4096u);
+    EXPECT_EQ(pager.pageFrames(2), 8u);
+}
+
+TEST(VarPager, FaultMapsAlignedRun)
+{
+    VarPager pager(smallParams());
+    auto fault = pager.handleFault(2, 5); // 8-frame page
+    EXPECT_EQ(fault.startFrame % 8, 0u);
+    EXPECT_TRUE(fault.victims.empty()); // cold fill
+    auto look = pager.lookup(2, 5);
+    EXPECT_TRUE(look.found);
+    EXPECT_EQ(look.startFrame, fault.startFrame);
+}
+
+TEST(VarPager, MixedSizesCoexist)
+{
+    VarPager pager(smallParams());
+    pager.handleFault(1, 10); // 1 frame
+    pager.handleFault(2, 20); // 8 frames
+    pager.handleFault(0, 30); // 2 frames
+    EXPECT_TRUE(pager.lookup(1, 10).found);
+    EXPECT_TRUE(pager.lookup(2, 20).found);
+    EXPECT_TRUE(pager.lookup(0, 30).found);
+    EXPECT_EQ(pager.residentPages(), 3u);
+}
+
+TEST(VarPager, LargeFaultEvictsOverlappingSmallPages)
+{
+    VarPagerParams p = smallParams();
+    VarPager pager(p);
+    // Fill the SRAM with single-frame pages (pid 1).
+    std::uint64_t vpn = 0;
+    while (true) {
+        std::uint64_t before = pager.residentPages();
+        auto fault = pager.handleFault(1, vpn++);
+        if (!fault.victims.empty() || pager.residentPages() == before)
+            break; // started evicting => memory is full
+        if (vpn > 4096)
+            break;
+    }
+    // A big (8-frame) fault must evict several small pages at once.
+    auto fault = pager.handleFault(2, 999);
+    EXPECT_GE(fault.victims.size(), 2u);
+    for (const auto &victim : fault.victims)
+        EXPECT_FALSE(pager.lookup(victim.pid, victim.vpn).found);
+    EXPECT_TRUE(pager.lookup(2, 999).found);
+}
+
+TEST(VarPager, DirtyVictimsReported)
+{
+    VarPager pager(smallParams());
+    auto fault = pager.handleFault(1, 1);
+    pager.markDirtyFrame(fault.startFrame);
+    // Fill and force churn until page (1,1) gets evicted.
+    bool seen_dirty = false;
+    for (std::uint64_t vpn = 100; vpn < 1100; ++vpn) {
+        auto f = pager.handleFault(1, vpn);
+        for (const auto &victim : f.victims)
+            if (victim.pid == 1 && victim.vpn == 1)
+                seen_dirty = victim.dirty;
+        if (!pager.lookup(1, 1).found)
+            break;
+    }
+    EXPECT_TRUE(seen_dirty);
+    EXPECT_GE(pager.stats().dirtyWritebacks, 1u);
+}
+
+TEST(VarPager, TouchProtectsWindow)
+{
+    VarPager pager(smallParams());
+    auto hot = pager.handleFault(0, 1);
+    // Churn with constant touching; after the first full sweep the
+    // hot page must survive (window clock second chance).
+    bool evicted_after_warm = false;
+    bool warmed = false;
+    std::uint64_t start = hot.startFrame;
+    for (std::uint64_t vpn = 50; vpn < 50 + 2000; ++vpn) {
+        pager.touchFrame(start);
+        auto fault = pager.handleFault(0, vpn);
+        if (!pager.lookup(0, 1).found) {
+            if (warmed) {
+                evicted_after_warm = true;
+                break;
+            }
+            start = pager.handleFault(0, 1).startFrame;
+            warmed = true;
+        }
+        if (!fault.victims.empty())
+            warmed = true;
+    }
+    EXPECT_FALSE(evicted_after_warm);
+}
+
+TEST(VarPager, FrameAccountingConsistent)
+{
+    VarPager pager(smallParams());
+    Rng rng(3);
+    for (int i = 0; i < 3000; ++i) {
+        Pid pid = static_cast<Pid>(rng.below(3));
+        std::uint64_t vpn = rng.below(300);
+        if (!pager.lookup(pid, vpn).found)
+            pager.handleFault(pid, vpn);
+        ASSERT_TRUE(pager.lookup(pid, vpn).found);
+    }
+    EXPECT_GT(pager.residentPages(), 0u);
+    EXPECT_GT(pager.stats().faults, 0u);
+}
+
+TEST(VarHierarchy, DifferentPidsDifferentPageSizes)
+{
+    VarRampageConfig cfg;
+    cfg.common = defaultCommon(1'000'000'000ull);
+    cfg.pager = smallParams();
+    VarRampageHierarchy hier(cfg);
+
+    // pid 2 uses 4 KB pages: one fault covers the whole 4 KB.
+    MemRef ref{0x10000000, RefKind::Load, 2};
+    hier.access(ref);
+    std::uint64_t faults = hier.counts().l2Misses;
+    ref.vaddr = 0x10000f00; // same 4 KB page
+    hier.access(ref);
+    EXPECT_EQ(hier.counts().l2Misses, faults);
+
+    // pid 1 uses 512 B pages: the same two offsets fault twice.
+    ref = MemRef{0x10000000, RefKind::Load, 1};
+    hier.access(ref);
+    faults = hier.counts().l2Misses;
+    ref.vaddr = 0x10000f00; // different 512 B page
+    hier.access(ref);
+    EXPECT_EQ(hier.counts().l2Misses, faults + 1);
+}
+
+TEST(VarHierarchy, TransfersPricedAtPerPidPageSize)
+{
+    VarRampageConfig cfg;
+    cfg.common = defaultCommon(1'000'000'000ull);
+    cfg.pager = smallParams();
+    VarRampageHierarchy hier(cfg);
+
+    Tick before = hier.counts().dramPs;
+    hier.access(MemRef{0x20000000, RefKind::Load, 1}); // 512 B page
+    Tick small = hier.counts().dramPs - before;
+    EXPECT_EQ(small, 50'000u + 256 * 1250u); // 50ns + 256 beats
+
+    before = hier.counts().dramPs;
+    hier.access(MemRef{0x20000000, RefKind::Load, 2}); // 4 KB page
+    Tick large = hier.counts().dramPs - before;
+    EXPECT_EQ(large, 50'000u + 2048 * 1250u);
+}
+
+TEST(VarHierarchy, MatchesFixedPagerWhenUniform)
+{
+    // With every pid on the same page size, the variable hierarchy's
+    // fault count tracks the fixed hierarchy's (same associativity;
+    // window clock vs plain clock may differ slightly in victims).
+    SimConfig sim;
+    sim.maxRefs = 200'000;
+    sim.quantumRefs = 20'000;
+
+    VarRampageConfig vcfg;
+    vcfg.common = defaultCommon(1'000'000'000ull);
+    vcfg.pager.baseFrameBytes = 1024;
+    vcfg.pager.defaultPageBytes = 1024;
+    vcfg.pager.baseSramBytes = 512 * kib;
+    VarRampageHierarchy vhier(vcfg);
+    Simulator vsim(vhier, makeWorkload(), sim);
+    SimResult var_result = vsim.run();
+
+    RampageConfig fcfg = rampageConfig(1'000'000'000ull, 1024);
+    fcfg.pager.baseSramBytes = 512 * kib;
+    RampageHierarchy fhier(fcfg);
+    Simulator fsim(fhier, makeWorkload(), sim);
+    SimResult fixed_result = fsim.run();
+
+    double ratio = static_cast<double>(var_result.counts.l2Misses) /
+                   static_cast<double>(fixed_result.counts.l2Misses);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.25);
+}
+
+} // namespace
+} // namespace rampage

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the victim cache (§3.2 ablation hardware).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/victim_cache.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(VictimCache, InsertThenExtract)
+{
+    VictimCache vc(4, 128);
+    EXPECT_FALSE(vc.insert(0x100, false).valid);
+    auto hit = vc.extract(0x100);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_FALSE(hit.dirty);
+    // Extraction removes the entry.
+    EXPECT_FALSE(vc.extract(0x100).hit);
+}
+
+TEST(VictimCache, DirtyStatePreserved)
+{
+    VictimCache vc(2, 128);
+    vc.insert(0x200, true);
+    auto hit = vc.extract(0x280); // same 128 B block? no - different
+    EXPECT_FALSE(hit.hit);
+    hit = vc.extract(0x27f); // same block as 0x200
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.dirty);
+}
+
+TEST(VictimCache, BlockAlignment)
+{
+    VictimCache vc(2, 128);
+    vc.insert(0x17f, false);
+    EXPECT_TRUE(vc.probe(0x100));
+    EXPECT_TRUE(vc.extract(0x100).hit);
+}
+
+TEST(VictimCache, FifoDisplacement)
+{
+    VictimCache vc(2, 128);
+    EXPECT_FALSE(vc.insert(0x000, false).valid);
+    EXPECT_FALSE(vc.insert(0x080, true).valid);
+    auto out = vc.insert(0x100, false); // displaces oldest (0x000)
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(out.addr, 0x000u);
+    EXPECT_FALSE(out.dirty);
+    EXPECT_FALSE(vc.probe(0x000));
+    EXPECT_TRUE(vc.probe(0x080));
+
+    out = vc.insert(0x180, false); // displaces 0x080 (dirty)
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(out.addr, 0x080u);
+    EXPECT_TRUE(out.dirty);
+}
+
+TEST(VictimCache, ReinsertRefreshesInsteadOfDuplicating)
+{
+    VictimCache vc(2, 128);
+    vc.insert(0x000, false);
+    vc.insert(0x080, false);
+    // Re-inserting 0x000 refreshes it (now newest) and merges dirty.
+    EXPECT_FALSE(vc.insert(0x000, true).valid);
+    auto out = vc.insert(0x100, false); // should displace 0x080
+    EXPECT_TRUE(out.valid);
+    EXPECT_EQ(out.addr, 0x080u);
+    auto hit = vc.extract(0x000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.dirty);
+}
+
+TEST(VictimCache, HitStatistics)
+{
+    VictimCache vc(2, 128);
+    vc.insert(0x000, false);
+    vc.extract(0x000);
+    vc.extract(0x080);
+    EXPECT_EQ(vc.hits(), 1u);
+    EXPECT_EQ(vc.lookups(), 2u);
+}
+
+TEST(VictimCache, Flush)
+{
+    VictimCache vc(2, 128);
+    vc.insert(0x000, true);
+    vc.flush();
+    EXPECT_FALSE(vc.probe(0x000));
+}
+
+} // namespace
+} // namespace rampage

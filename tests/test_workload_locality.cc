@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Characterisation tests of the synthetic workload's locality — the
+ * properties the calibration (DESIGN.md §7) depends on.  If these
+ * drift, the reproduced tables drift with them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/benchmarks.hh"
+#include "trace/synthetic.hh"
+
+namespace rampage
+{
+namespace
+{
+
+/** Run `n` references of a roster program through a lambda. */
+template <typename Fn>
+void
+sample(const std::string &name, std::uint64_t n, Fn &&fn)
+{
+    SyntheticProgram prog(benchmarkProfile(name), 0);
+    MemRef ref;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        prog.next(ref);
+        fn(ref);
+    }
+}
+
+TEST(WorkloadLocality, InstructionStreamMostlySequential)
+{
+    // branchTakenRate = 0.15: ~85 % of fetches are pc + 4.
+    std::uint64_t sequential = 0, fetches = 0;
+    Addr prev = 0;
+    sample("ora", 500'000, [&](const MemRef &ref) {
+        if (!ref.isInstr())
+            return;
+        if (fetches > 0 && ref.vaddr == prev + 4)
+            ++sequential;
+        prev = ref.vaddr;
+        ++fetches;
+    });
+    double rate = static_cast<double>(sequential) /
+                  static_cast<double>(fetches);
+    EXPECT_GT(rate, 0.80);
+    EXPECT_LT(rate, 0.92);
+}
+
+TEST(WorkloadLocality, TlbReachBoundedAt4KPages)
+{
+    // The conventional hierarchy's flat Fig 4 baseline requires the
+    // instantaneous 4 KB-page working set to sit well inside a
+    // 64-entry TLB for every program.
+    for (const char *name : {"gcc", "nasa7", "sed", "swm256"}) {
+        std::map<std::uint64_t, std::uint64_t> last_use;
+        std::uint64_t i = 0, far_reuse = 0, checks = 0;
+        sample(name, 500'000, [&](const MemRef &ref) {
+            std::uint64_t page = ref.vaddr >> 12;
+            auto it = last_use.find(page);
+            if (it != last_use.end()) {
+                ++checks;
+                // Reuse distance proxy: how many refs since last use.
+                if (i - it->second > 200'000)
+                    ++far_reuse;
+            }
+            last_use[page] = i;
+            ++i;
+        });
+        // Far reuses are rare: pages are either hot or abandoned.
+        EXPECT_LT(static_cast<double>(far_reuse) /
+                      static_cast<double>(checks + 1),
+                  0.01)
+            << name;
+    }
+}
+
+TEST(WorkloadLocality, StreamersTouchLargeFootprints)
+{
+    // The fp streamers must sweep multi-megabyte footprints (that is
+    // where the 4 MB-level capacity pressure comes from)...
+    std::set<std::uint64_t> pages;
+    sample("swm256", 3'000'000, [&](const MemRef &ref) {
+        if (!ref.isInstr())
+            pages.insert(ref.vaddr >> 12);
+    });
+    EXPECT_GT(pages.size() * 4096, 1 * mib);
+}
+
+TEST(WorkloadLocality, UtilitiesStayCompact)
+{
+    // ... while the Unix utilities stay in hundreds of kilobytes.
+    std::set<std::uint64_t> pages;
+    sample("sed", 3'000'000, [&](const MemRef &ref) {
+        pages.insert(ref.vaddr >> 12);
+    });
+    EXPECT_LT(pages.size() * 4096, 640 * kib);
+}
+
+TEST(WorkloadLocality, DataRefsAreBursty)
+{
+    // Consecutive data references cluster: the median distance
+    // between successive data refs is small (cursor walks), which is
+    // what keeps small-page TLB behaviour in the paper's range.
+    std::uint64_t near = 0, total = 0;
+    Addr prev = 0;
+    bool first = true;
+    sample("compress", 500'000, [&](const MemRef &ref) {
+        if (ref.isInstr())
+            return;
+        if (!first) {
+            Addr delta = ref.vaddr > prev ? ref.vaddr - prev
+                                          : prev - ref.vaddr;
+            ++total;
+            if (delta <= 4096)
+                ++near;
+        }
+        prev = ref.vaddr;
+        first = false;
+    });
+    EXPECT_GT(static_cast<double>(near) / static_cast<double>(total),
+              0.25);
+}
+
+TEST(WorkloadLocality, PhaseDriftChangesHotPages)
+{
+    // Hot heap windows move across phases: the hot page set of an
+    // early window and a late window differ substantially.  This is
+    // the capacity-traffic mechanism for the non-streamers.
+    auto hot_pages = [](std::uint64_t skip, std::uint64_t n) {
+        SyntheticProgram prog(benchmarkProfile("yacc"), 0);
+        MemRef ref;
+        for (std::uint64_t i = 0; i < skip; ++i)
+            prog.next(ref);
+        std::map<std::uint64_t, unsigned> counts;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            prog.next(ref);
+            if (!ref.isInstr() &&
+                ref.vaddr >= SyntheticProgram::heapBase)
+                ++counts[ref.vaddr >> 12];
+        }
+        std::set<std::uint64_t> hot;
+        for (const auto &[page, count] : counts)
+            if (count > 50)
+                hot.insert(page);
+        return hot;
+    };
+    auto early = hot_pages(0, 400'000);
+    auto late = hot_pages(4'000'000, 400'000);
+    ASSERT_FALSE(early.empty());
+    ASSERT_FALSE(late.empty());
+    std::size_t shared = 0;
+    for (std::uint64_t page : early)
+        shared += late.count(page);
+    EXPECT_LT(static_cast<double>(shared) /
+                  static_cast<double>(early.size()),
+              0.6);
+}
+
+TEST(WorkloadLocality, StoresNeverExceedLoads)
+{
+    for (const ProgramProfile &profile : benchmarkRoster()) {
+        SyntheticProgram prog(profile, 0);
+        MemRef ref;
+        std::uint64_t loads = 0, stores = 0;
+        for (int i = 0; i < 300'000; ++i) {
+            prog.next(ref);
+            if (ref.kind == RefKind::Load)
+                ++loads;
+            else if (ref.kind == RefKind::Store)
+                ++stores;
+        }
+        EXPECT_LT(stores, loads) << profile.name;
+    }
+}
+
+} // namespace
+} // namespace rampage
