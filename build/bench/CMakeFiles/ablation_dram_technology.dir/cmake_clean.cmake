@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram_technology.dir/ablation_dram_technology.cc.o"
+  "CMakeFiles/ablation_dram_technology.dir/ablation_dram_technology.cc.o.d"
+  "ablation_dram_technology"
+  "ablation_dram_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

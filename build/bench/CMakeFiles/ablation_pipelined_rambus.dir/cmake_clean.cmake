@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipelined_rambus.dir/ablation_pipelined_rambus.cc.o"
+  "CMakeFiles/ablation_pipelined_rambus.dir/ablation_pipelined_rambus.cc.o.d"
+  "ablation_pipelined_rambus"
+  "ablation_pipelined_rambus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipelined_rambus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

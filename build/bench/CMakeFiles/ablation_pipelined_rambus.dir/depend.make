@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_pipelined_rambus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantum.dir/ablation_quantum.cc.o"
+  "CMakeFiles/ablation_quantum.dir/ablation_quantum.cc.o.d"
+  "ablation_quantum"
+  "ablation_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim_cache.dir/ablation_victim_cache.cc.o"
+  "CMakeFiles/ablation_victim_cache.dir/ablation_victim_cache.cc.o.d"
+  "ablation_victim_cache"
+  "ablation_victim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

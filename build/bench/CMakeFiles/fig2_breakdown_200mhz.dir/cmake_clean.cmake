@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_breakdown_200mhz.dir/fig2_breakdown_200mhz.cc.o"
+  "CMakeFiles/fig2_breakdown_200mhz.dir/fig2_breakdown_200mhz.cc.o.d"
+  "fig2_breakdown_200mhz"
+  "fig2_breakdown_200mhz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_breakdown_200mhz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

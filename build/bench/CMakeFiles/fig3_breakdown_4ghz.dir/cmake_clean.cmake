@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_breakdown_4ghz.dir/fig3_breakdown_4ghz.cc.o"
+  "CMakeFiles/fig3_breakdown_4ghz.dir/fig3_breakdown_4ghz.cc.o.d"
+  "fig3_breakdown_4ghz"
+  "fig3_breakdown_4ghz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_breakdown_4ghz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

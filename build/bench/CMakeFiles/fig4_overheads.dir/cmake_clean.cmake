@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overheads.dir/fig4_overheads.cc.o"
+  "CMakeFiles/fig4_overheads.dir/fig4_overheads.cc.o.d"
+  "fig4_overheads"
+  "fig4_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_relative.cc" "bench/CMakeFiles/fig5_relative.dir/fig5_relative.cc.o" "gcc" "bench/CMakeFiles/fig5_relative.dir/fig5_relative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rampage_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rampage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rampage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rampage_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rampage_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rampage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rampage_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/rampage_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

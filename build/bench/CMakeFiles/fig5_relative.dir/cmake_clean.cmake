@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_relative.dir/fig5_relative.cc.o"
+  "CMakeFiles/fig5_relative.dir/fig5_relative.cc.o.d"
+  "fig5_relative"
+  "fig5_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

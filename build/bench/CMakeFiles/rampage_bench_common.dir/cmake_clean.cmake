@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rampage_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/rampage_bench_common.dir/fig_breakdown_common.cc.o"
+  "CMakeFiles/rampage_bench_common.dir/fig_breakdown_common.cc.o.d"
+  "librampage_bench_common.a"
+  "librampage_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

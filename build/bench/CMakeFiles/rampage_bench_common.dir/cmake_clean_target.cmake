@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librampage_bench_common.a"
+)

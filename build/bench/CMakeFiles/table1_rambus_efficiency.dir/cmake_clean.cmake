@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rambus_efficiency.dir/table1_rambus_efficiency.cc.o"
+  "CMakeFiles/table1_rambus_efficiency.dir/table1_rambus_efficiency.cc.o.d"
+  "table1_rambus_efficiency"
+  "table1_rambus_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rambus_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

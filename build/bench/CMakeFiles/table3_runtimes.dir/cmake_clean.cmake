@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_runtimes.dir/table3_runtimes.cc.o"
+  "CMakeFiles/table3_runtimes.dir/table3_runtimes.cc.o.d"
+  "table3_runtimes"
+  "table3_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_2way.dir/table5_2way.cc.o"
+  "CMakeFiles/table5_2way.dir/table5_2way.cc.o.d"
+  "table5_2way"
+  "table5_2way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_2way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctx_switch_demo.dir/ctx_switch_demo.cpp.o"
+  "CMakeFiles/ctx_switch_demo.dir/ctx_switch_demo.cpp.o.d"
+  "ctx_switch_demo"
+  "ctx_switch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctx_switch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesize_explorer.dir/pagesize_explorer.cpp.o"
+  "CMakeFiles/pagesize_explorer.dir/pagesize_explorer.cpp.o.d"
+  "pagesize_explorer"
+  "pagesize_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesize_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_cache.dir/cache.cc.o"
+  "CMakeFiles/rampage_cache.dir/cache.cc.o.d"
+  "CMakeFiles/rampage_cache.dir/column_assoc.cc.o"
+  "CMakeFiles/rampage_cache.dir/column_assoc.cc.o.d"
+  "CMakeFiles/rampage_cache.dir/victim_cache.cc.o"
+  "CMakeFiles/rampage_cache.dir/victim_cache.cc.o.d"
+  "librampage_cache.a"
+  "librampage_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

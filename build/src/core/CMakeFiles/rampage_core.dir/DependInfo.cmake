@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conventional.cc" "src/core/CMakeFiles/rampage_core.dir/conventional.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/conventional.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/rampage_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/rampage_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/rampage.cc" "src/core/CMakeFiles/rampage_core.dir/rampage.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/rampage.cc.o.d"
+  "/root/repo/src/core/rampage_var.cc" "src/core/CMakeFiles/rampage_core.dir/rampage_var.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/rampage_var.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/core/CMakeFiles/rampage_core.dir/simulator.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/simulator.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/rampage_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/rampage_core.dir/sweep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rampage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rampage_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rampage_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rampage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/rampage_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rampage_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_core.dir/conventional.cc.o"
+  "CMakeFiles/rampage_core.dir/conventional.cc.o.d"
+  "CMakeFiles/rampage_core.dir/cost_model.cc.o"
+  "CMakeFiles/rampage_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/rampage_core.dir/hierarchy.cc.o"
+  "CMakeFiles/rampage_core.dir/hierarchy.cc.o.d"
+  "CMakeFiles/rampage_core.dir/rampage.cc.o"
+  "CMakeFiles/rampage_core.dir/rampage.cc.o.d"
+  "CMakeFiles/rampage_core.dir/rampage_var.cc.o"
+  "CMakeFiles/rampage_core.dir/rampage_var.cc.o.d"
+  "CMakeFiles/rampage_core.dir/simulator.cc.o"
+  "CMakeFiles/rampage_core.dir/simulator.cc.o.d"
+  "CMakeFiles/rampage_core.dir/sweep.cc.o"
+  "CMakeFiles/rampage_core.dir/sweep.cc.o.d"
+  "librampage_core.a"
+  "librampage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

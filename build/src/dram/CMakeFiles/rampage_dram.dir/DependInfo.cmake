@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/disk.cc" "src/dram/CMakeFiles/rampage_dram.dir/disk.cc.o" "gcc" "src/dram/CMakeFiles/rampage_dram.dir/disk.cc.o.d"
+  "/root/repo/src/dram/efficiency.cc" "src/dram/CMakeFiles/rampage_dram.dir/efficiency.cc.o" "gcc" "src/dram/CMakeFiles/rampage_dram.dir/efficiency.cc.o.d"
+  "/root/repo/src/dram/rambus.cc" "src/dram/CMakeFiles/rampage_dram.dir/rambus.cc.o" "gcc" "src/dram/CMakeFiles/rampage_dram.dir/rambus.cc.o.d"
+  "/root/repo/src/dram/sdram.cc" "src/dram/CMakeFiles/rampage_dram.dir/sdram.cc.o" "gcc" "src/dram/CMakeFiles/rampage_dram.dir/sdram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

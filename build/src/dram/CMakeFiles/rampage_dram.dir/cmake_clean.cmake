@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_dram.dir/disk.cc.o"
+  "CMakeFiles/rampage_dram.dir/disk.cc.o.d"
+  "CMakeFiles/rampage_dram.dir/efficiency.cc.o"
+  "CMakeFiles/rampage_dram.dir/efficiency.cc.o.d"
+  "CMakeFiles/rampage_dram.dir/rambus.cc.o"
+  "CMakeFiles/rampage_dram.dir/rambus.cc.o.d"
+  "CMakeFiles/rampage_dram.dir/sdram.cc.o"
+  "CMakeFiles/rampage_dram.dir/sdram.cc.o.d"
+  "librampage_dram.a"
+  "librampage_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/dram_directory.cc" "src/os/CMakeFiles/rampage_os.dir/dram_directory.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/dram_directory.cc.o.d"
+  "/root/repo/src/os/inverted_page_table.cc" "src/os/CMakeFiles/rampage_os.dir/inverted_page_table.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/inverted_page_table.cc.o.d"
+  "/root/repo/src/os/page_replacement.cc" "src/os/CMakeFiles/rampage_os.dir/page_replacement.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/page_replacement.cc.o.d"
+  "/root/repo/src/os/pager.cc" "src/os/CMakeFiles/rampage_os.dir/pager.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/pager.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/rampage_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/var_pager.cc" "src/os/CMakeFiles/rampage_os.dir/var_pager.cc.o" "gcc" "src/os/CMakeFiles/rampage_os.dir/var_pager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/rampage_tlb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

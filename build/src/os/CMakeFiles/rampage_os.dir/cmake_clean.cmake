@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_os.dir/dram_directory.cc.o"
+  "CMakeFiles/rampage_os.dir/dram_directory.cc.o.d"
+  "CMakeFiles/rampage_os.dir/inverted_page_table.cc.o"
+  "CMakeFiles/rampage_os.dir/inverted_page_table.cc.o.d"
+  "CMakeFiles/rampage_os.dir/page_replacement.cc.o"
+  "CMakeFiles/rampage_os.dir/page_replacement.cc.o.d"
+  "CMakeFiles/rampage_os.dir/pager.cc.o"
+  "CMakeFiles/rampage_os.dir/pager.cc.o.d"
+  "CMakeFiles/rampage_os.dir/scheduler.cc.o"
+  "CMakeFiles/rampage_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/rampage_os.dir/var_pager.cc.o"
+  "CMakeFiles/rampage_os.dir/var_pager.cc.o.d"
+  "librampage_os.a"
+  "librampage_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_stats.dir/histogram.cc.o"
+  "CMakeFiles/rampage_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/rampage_stats.dir/table.cc.o"
+  "CMakeFiles/rampage_stats.dir/table.cc.o.d"
+  "CMakeFiles/rampage_stats.dir/time_breakdown.cc.o"
+  "CMakeFiles/rampage_stats.dir/time_breakdown.cc.o.d"
+  "librampage_stats.a"
+  "librampage_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_tlb.dir/tlb.cc.o"
+  "CMakeFiles/rampage_tlb.dir/tlb.cc.o.d"
+  "librampage_tlb.a"
+  "librampage_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

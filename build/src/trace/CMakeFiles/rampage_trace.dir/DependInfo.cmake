@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/benchmarks.cc" "src/trace/CMakeFiles/rampage_trace.dir/benchmarks.cc.o" "gcc" "src/trace/CMakeFiles/rampage_trace.dir/benchmarks.cc.o.d"
+  "/root/repo/src/trace/file_format.cc" "src/trace/CMakeFiles/rampage_trace.dir/file_format.cc.o" "gcc" "src/trace/CMakeFiles/rampage_trace.dir/file_format.cc.o.d"
+  "/root/repo/src/trace/handlers.cc" "src/trace/CMakeFiles/rampage_trace.dir/handlers.cc.o" "gcc" "src/trace/CMakeFiles/rampage_trace.dir/handlers.cc.o.d"
+  "/root/repo/src/trace/interleaver.cc" "src/trace/CMakeFiles/rampage_trace.dir/interleaver.cc.o" "gcc" "src/trace/CMakeFiles/rampage_trace.dir/interleaver.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/rampage_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/rampage_trace.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_trace.dir/benchmarks.cc.o"
+  "CMakeFiles/rampage_trace.dir/benchmarks.cc.o.d"
+  "CMakeFiles/rampage_trace.dir/file_format.cc.o"
+  "CMakeFiles/rampage_trace.dir/file_format.cc.o.d"
+  "CMakeFiles/rampage_trace.dir/handlers.cc.o"
+  "CMakeFiles/rampage_trace.dir/handlers.cc.o.d"
+  "CMakeFiles/rampage_trace.dir/interleaver.cc.o"
+  "CMakeFiles/rampage_trace.dir/interleaver.cc.o.d"
+  "CMakeFiles/rampage_trace.dir/synthetic.cc.o"
+  "CMakeFiles/rampage_trace.dir/synthetic.cc.o.d"
+  "librampage_trace.a"
+  "librampage_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rampage_util.dir/logging.cc.o"
+  "CMakeFiles/rampage_util.dir/logging.cc.o.d"
+  "CMakeFiles/rampage_util.dir/random.cc.o"
+  "CMakeFiles/rampage_util.dir/random.cc.o.d"
+  "CMakeFiles/rampage_util.dir/units.cc.o"
+  "CMakeFiles/rampage_util.dir/units.cc.o.d"
+  "librampage_util.a"
+  "librampage_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rampage_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/rampage_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/rampage_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_column_assoc.cc" "tests/CMakeFiles/rampage_tests.dir/test_column_assoc.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_column_assoc.cc.o.d"
+  "/root/repo/tests/test_config_validation.cc" "tests/CMakeFiles/rampage_tests.dir/test_config_validation.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_config_validation.cc.o.d"
+  "/root/repo/tests/test_cost_model.cc" "tests/CMakeFiles/rampage_tests.dir/test_cost_model.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_cost_model.cc.o.d"
+  "/root/repo/tests/test_dram_directory.cc" "tests/CMakeFiles/rampage_tests.dir/test_dram_directory.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_dram_directory.cc.o.d"
+  "/root/repo/tests/test_efficiency.cc" "tests/CMakeFiles/rampage_tests.dir/test_efficiency.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_efficiency.cc.o.d"
+  "/root/repo/tests/test_handlers.cc" "tests/CMakeFiles/rampage_tests.dir/test_handlers.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_handlers.cc.o.d"
+  "/root/repo/tests/test_hierarchy_conventional.cc" "tests/CMakeFiles/rampage_tests.dir/test_hierarchy_conventional.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_hierarchy_conventional.cc.o.d"
+  "/root/repo/tests/test_hierarchy_rampage.cc" "tests/CMakeFiles/rampage_tests.dir/test_hierarchy_rampage.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_hierarchy_rampage.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/rampage_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interleaver.cc" "tests/CMakeFiles/rampage_tests.dir/test_interleaver.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_interleaver.cc.o.d"
+  "/root/repo/tests/test_invariants.cc" "tests/CMakeFiles/rampage_tests.dir/test_invariants.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_invariants.cc.o.d"
+  "/root/repo/tests/test_ipt.cc" "tests/CMakeFiles/rampage_tests.dir/test_ipt.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_ipt.cc.o.d"
+  "/root/repo/tests/test_page_replacement.cc" "tests/CMakeFiles/rampage_tests.dir/test_page_replacement.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_page_replacement.cc.o.d"
+  "/root/repo/tests/test_pager.cc" "tests/CMakeFiles/rampage_tests.dir/test_pager.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_pager.cc.o.d"
+  "/root/repo/tests/test_rambus.cc" "tests/CMakeFiles/rampage_tests.dir/test_rambus.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_rambus.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/rampage_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/rampage_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/rampage_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/rampage_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_sweep.cc" "tests/CMakeFiles/rampage_tests.dir/test_sweep.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_sweep.cc.o.d"
+  "/root/repo/tests/test_synthetic.cc" "tests/CMakeFiles/rampage_tests.dir/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_synthetic.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/rampage_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/rampage_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/rampage_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_var_pager.cc" "tests/CMakeFiles/rampage_tests.dir/test_var_pager.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_var_pager.cc.o.d"
+  "/root/repo/tests/test_victim_cache.cc" "tests/CMakeFiles/rampage_tests.dir/test_victim_cache.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_victim_cache.cc.o.d"
+  "/root/repo/tests/test_workload_locality.cc" "tests/CMakeFiles/rampage_tests.dir/test_workload_locality.cc.o" "gcc" "tests/CMakeFiles/rampage_tests.dir/test_workload_locality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rampage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rampage_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rampage_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/rampage_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/rampage_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rampage_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/rampage_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rampage_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
