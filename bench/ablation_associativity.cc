@@ -13,12 +13,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - associativity alternatives (Sec 3.2) at 1KB "
@@ -82,4 +83,10 @@ main()
 
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -11,12 +11,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - DRAM technology (Sec 3.3): Rambus vs SDRAM vs "
@@ -72,4 +73,10 @@ main()
                 "closely; the second channel helps most where "
                 "transfers are large (streaming time dominated).\n");
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -12,6 +12,7 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
@@ -32,8 +33,8 @@ aggressiveCommon(std::uint64_t issue_hz)
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - larger TLB (1K 2-way) + aggressive L1 (64KB 2-way)",
@@ -74,4 +75,10 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -11,12 +11,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - pipelined Direct Rambus (Sec 6.3 future work)",
@@ -53,4 +54,10 @@ main()
                 "concentrate where faults are frequent and pages "
                 "small.\n");
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -11,12 +11,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - RAMpage page replacement policy (1KB pages)",
@@ -59,4 +60,10 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

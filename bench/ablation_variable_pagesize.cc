@@ -22,6 +22,7 @@
 #include "core/rampage_var.hh"
 #include "core/simulator.hh"
 #include "trace/benchmarks.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
@@ -58,8 +59,8 @@ probeBestSize(const ProgramProfile &profile, std::uint64_t refs)
 
 } // namespace
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Ablation - variable (per-process) SRAM page size (Sec 6.2)",
@@ -126,4 +127,10 @@ main()
     std::printf("variable vs best fixed (%s): %+.1f%%\n",
                 best_fixed_label.c_str(), delta);
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -5,12 +5,19 @@
  */
 
 #include "fig_breakdown_common.hh"
+#include "util/error.hh"
 
-int
-main()
+static int
+runBench()
 {
     return rampage::runBreakdownFigure(
         "Figure 2", 200'000'000ull,
         "at 200MHz the SRAM levels dominate; RAMpage already spends a "
         "visibly smaller fraction of time in DRAM than the baseline");
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -6,13 +6,20 @@
  */
 
 #include "fig_breakdown_common.hh"
+#include "util/error.hh"
 
-int
-main()
+static int
+runBench()
 {
     return rampage::runBreakdownFigure(
         "Figure 3", 4'000'000'000ull,
         "scaling CPU speed without DRAM speed inflates the DRAM share; "
         "the RAMpage system is more tolerant of the increased DRAM "
         "latency");
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -11,11 +11,12 @@
 
 #include "bench_common.hh"
 #include "stats/table.hh"
+#include "util/error.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Figure 4 - TLB miss + page fault handling overheads",
@@ -44,4 +45,10 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

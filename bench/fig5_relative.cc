@@ -11,12 +11,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Figure 5 - RAMpage (switch-on-miss) vs 2-way L2, relative "
@@ -79,4 +80,10 @@ main()
                 "than the best time for that CPU speed (0 = the best "
                 "configuration).\n");
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

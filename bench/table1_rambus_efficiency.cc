@@ -12,12 +12,13 @@
 #include "dram/disk.hh"
 #include "dram/efficiency.hh"
 #include "dram/rambus.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Table 1 - % bandwidth utilized: Direct Rambus vs disk",
@@ -48,4 +49,10 @@ main()
                 "theoretical mode (~95%% of peak on 2-byte units), "
                 "implemented as the Sec 6.3 future-work extension.\n");
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

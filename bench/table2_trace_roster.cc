@@ -11,11 +11,12 @@
 #include "bench_common.hh"
 #include "stats/table.hh"
 #include "trace/benchmarks.hh"
+#include "util/error.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Table 2 - address traces used in the simulations",
@@ -55,4 +56,10 @@ main()
                   cellf("%.1f", total_refs), "", ""});
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

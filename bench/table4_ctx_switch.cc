@@ -14,12 +14,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Table 4 - RAMpage with context switches on misses",
@@ -75,4 +76,10 @@ main()
                 "each cell over RAMpage *at the same page size* without "
                 "switches on misses.\n");
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

@@ -9,12 +9,13 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main()
+static int
+runBench()
 {
     benchBanner(
         "Table 5 - run times (s), 2-way associative L2 with context "
@@ -41,4 +42,10 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main()
+{
+    return rampage::cliMain(runBench);
 }

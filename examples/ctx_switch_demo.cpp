@@ -17,12 +17,13 @@
 #include "core/sweep.hh"
 #include "dram/rambus.hh"
 #include "stats/table.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     std::uint64_t page = argc > 1 ? parseByteSize(argv[1]) : 4096;
     SimConfig sim = defaultSimConfig(true);
@@ -68,4 +69,10 @@ main(int argc, char **argv)
                 "switch cost — i.e. at high issue rates and large "
                 "pages (the paper's Sec 5.4 finding).\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

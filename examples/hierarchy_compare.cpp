@@ -16,6 +16,7 @@
 #include "core/cost_model.hh"
 #include "core/sweep.hh"
 #include "stats/table.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
@@ -34,8 +35,8 @@ sizeLabels()
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     SimConfig sim = defaultSimConfig();
     if (argc > 1)
@@ -103,4 +104,10 @@ main(int argc, char **argv)
                 "(RAMpage) stops costing performance and starts "
                 "winning.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

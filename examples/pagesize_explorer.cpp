@@ -20,12 +20,13 @@
 #include "core/sweep.hh"
 #include "stats/table.hh"
 #include "trace/benchmarks.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     std::uint64_t refs =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
@@ -83,4 +84,10 @@ main(int argc, char **argv)
                 "re-tune this; RAMpage can (paper Sec 6.2).\n",
                 worst_penalty);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

@@ -14,12 +14,13 @@
 
 #include "core/sweep.hh"
 #include "stats/table.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     std::uint64_t issue_hz =
         argc > 1 ? parseFrequency(argv[1]) : 1'000'000'000ull;
@@ -65,4 +66,10 @@ main(int argc, char **argv)
     std::printf("ovh%% = TLB-miss + page-fault handler references as a\n"
                 "percentage of benchmark references (the paper's Fig 4).\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

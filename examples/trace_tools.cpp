@@ -21,6 +21,7 @@
 #include "trace/benchmarks.hh"
 #include "trace/file_format.hh"
 #include "trace/synthetic.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 using namespace rampage;
@@ -127,8 +128,8 @@ cmdInfo(int argc, char **argv)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     if (argc < 2)
         fatal("usage: trace_tools gen|convert|info ...");
@@ -139,4 +140,10 @@ main(int argc, char **argv)
     if (std::strcmp(argv[1], "info") == 0)
         return cmdInfo(argc, argv);
     fatal("unknown subcommand '%s'", argv[1]);
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

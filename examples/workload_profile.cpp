@@ -17,12 +17,13 @@
 #include "core/sweep.hh"
 #include "stats/table.hh"
 #include "trace/benchmarks.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 using namespace rampage;
 
-int
-main(int argc, char **argv)
+static int
+runTool(int argc, char **argv)
 {
     std::uint64_t refs =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2'000'000;
@@ -65,4 +66,10 @@ main(int argc, char **argv)
     }
     std::printf("%s\n", table.render().c_str());
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return rampage::cliMain([&] { return runTool(argc, argv); });
 }

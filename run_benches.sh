@@ -1,7 +1,20 @@
 #!/bin/sh
 # Regenerate every table/figure at the default scale, one log per bench.
+# Each bench's stdout+stderr is captured; a failing bench is reported
+# and makes the whole script exit nonzero, but the rest still run.
+mkdir -p results
+status=0
 for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "=== $name ==="
-  "$b" 2>/dev/null | tee "results/$name.txt"
+  if "$b" >"results/$name.txt" 2>&1; then
+    cat "results/$name.txt"
+  else
+    rc=$?
+    cat "results/$name.txt"
+    echo "!!! $name failed with exit status $rc" >&2
+    status=1
+  fi
 done
+exit $status

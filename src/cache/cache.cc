@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -33,26 +34,28 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
     : prm(params), rng(params.seed)
 {
     if (!isPowerOfTwo(prm.blockBytes))
-        fatal("cache '%s': block size %llu is not a power of two",
-              prm.name.c_str(),
-              static_cast<unsigned long long>(prm.blockBytes));
+        throw ConfigError("cache '%s': block size %llu is not a power of two",
+                          prm.name.c_str(),
+                          static_cast<unsigned long long>(prm.blockBytes));
     if (prm.sizeBytes == 0 || prm.sizeBytes % prm.blockBytes != 0)
-        fatal("cache '%s': size must be a multiple of the block size",
-              prm.name.c_str());
+        throw ConfigError(
+            "cache '%s': size must be a multiple of the block size",
+            prm.name.c_str());
 
     std::uint64_t blocks = prm.sizeBytes / prm.blockBytes;
     nWays = prm.assoc == 0 ? static_cast<unsigned>(blocks) : prm.assoc;
     if (nWays > blocks)
-        fatal("cache '%s': associativity %u exceeds %llu blocks",
-              prm.name.c_str(), nWays,
-              static_cast<unsigned long long>(blocks));
+        throw ConfigError("cache '%s': associativity %u exceeds %llu blocks",
+                          prm.name.c_str(), nWays,
+                          static_cast<unsigned long long>(blocks));
     if (blocks % nWays != 0)
-        fatal("cache '%s': blocks not divisible by associativity",
-              prm.name.c_str());
+        throw ConfigError("cache '%s': blocks not divisible by associativity",
+                          prm.name.c_str());
     nSets = blocks / nWays;
     if (!isPowerOfTwo(nSets))
-        fatal("cache '%s': set count %llu is not a power of two",
-              prm.name.c_str(), static_cast<unsigned long long>(nSets));
+        throw ConfigError(
+            "cache '%s': set count %llu is not a power of two",
+            prm.name.c_str(), static_cast<unsigned long long>(nSets));
 
     blockBits = floorLog2(prm.blockBytes);
     lines.assign(nSets * nWays, Line{});
@@ -121,7 +124,7 @@ SetAssocCache::pickVictim(std::uint64_t set)
         return victim;
       }
     }
-    panic("unreachable replacement policy");
+    throw InternalError("unreachable replacement policy");
 }
 
 CacheAccessResult

@@ -1,6 +1,7 @@
 #include "cache/column_assoc.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -10,9 +11,10 @@ ColumnAssocCache::ColumnAssocCache(std::uint64_t size_bytes,
                                    std::uint64_t block_bytes)
 {
     if (!isPowerOfTwo(size_bytes) || !isPowerOfTwo(block_bytes))
-        fatal("column-associative cache sizes must be powers of two");
+        throw ConfigError(
+            "column-associative cache sizes must be powers of two");
     if (size_bytes < 2 * block_bytes)
-        fatal("column-associative cache needs at least two sets");
+        throw ConfigError("column-associative cache needs at least two sets");
     nSets = size_bytes / block_bytes;
     blockBits = floorLog2(block_bytes);
     indexBits = floorLog2(nSets);

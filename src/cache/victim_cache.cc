@@ -1,6 +1,7 @@
 #include "cache/victim_cache.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -10,7 +11,7 @@ VictimCache::VictimCache(unsigned entries, std::uint64_t block_bytes)
 {
     RAMPAGE_ASSERT(entries > 0, "victim cache needs at least one entry");
     if (!isPowerOfTwo(block_bytes))
-        fatal("victim cache block size must be a power of two");
+        throw ConfigError("victim cache block size must be a power of two");
     entriesVec.assign(entries, Entry{});
     blockMaskBits = floorLog2(block_bytes);
 }

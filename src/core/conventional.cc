@@ -1,6 +1,7 @@
 #include "core/conventional.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -33,16 +34,16 @@ ConventionalHierarchy::ConventionalHierarchy(
       dir(config.common.dramPageBytes)
 {
     if (ccfg.l2BlockBytes < cfg.l1BlockBytes)
-        fatal("L2 block (%llu) smaller than L1 block (%llu)",
-              static_cast<unsigned long long>(ccfg.l2BlockBytes),
-              static_cast<unsigned long long>(cfg.l1BlockBytes));
+        throw ConfigError("L2 block (%llu) smaller than L1 block (%llu)",
+                          static_cast<unsigned long long>(ccfg.l2BlockBytes),
+                          static_cast<unsigned long long>(cfg.l1BlockBytes));
     dramPageBits = floorLog2(cfg.dramPageBytes);
     if (ccfg.l2Style == ConventionalConfig::L2Style::ColumnAssoc) {
         columnL2 = std::make_unique<ColumnAssocCache>(ccfg.l2SizeBytes,
                                                       ccfg.l2BlockBytes);
         if (ccfg.victimEntries > 0)
-            fatal("victim cache is not modelled behind a "
-                  "column-associative L2");
+            throw ConfigError("victim cache is not modelled behind a "
+                              "column-associative L2");
     }
     if (ccfg.victimEntries > 0)
         victim = std::make_unique<VictimCache>(ccfg.victimEntries,
@@ -63,7 +64,7 @@ const ColumnAssocStats &
 ConventionalHierarchy::columnStats() const
 {
     if (!columnL2)
-        fatal("columnStats() requires L2Style::ColumnAssoc");
+        throw ConfigError("columnStats() requires L2Style::ColumnAssoc");
     return columnL2->stats();
 }
 

@@ -1,6 +1,7 @@
 #include "core/rampage.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -13,15 +14,18 @@ RampageHierarchy::RampageHierarchy(const RampageConfig &config)
       dir(config.common.dramPageBytes)
 {
     if (config.pager.pageBytes < cfg.l1BlockBytes)
-        fatal("SRAM page (%llu) smaller than the L1 block (%llu)",
-              static_cast<unsigned long long>(config.pager.pageBytes),
-              static_cast<unsigned long long>(cfg.l1BlockBytes));
+        throw ConfigError(
+            "SRAM page (%llu) smaller than the L1 block (%llu)",
+            static_cast<unsigned long long>(config.pager.pageBytes),
+            static_cast<unsigned long long>(cfg.l1BlockBytes));
     if (config.pager.pageBytes > cfg.dramPageBytes)
-        fatal("SRAM page larger than the DRAM page: a fault would span "
-              "DRAM pages");
+        throw ConfigError(
+            "SRAM page larger than the DRAM page: a fault would span "
+            "DRAM pages");
     pageBits = floorLog2(config.pager.pageBytes);
     if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
-        fatal("pager OS region must start at the handler code base");
+        throw ConfigError(
+            "pager OS region must start at the handler code base");
 }
 
 std::string

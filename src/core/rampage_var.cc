@@ -1,6 +1,7 @@
 #include "core/rampage_var.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -13,16 +14,17 @@ VarRampageHierarchy::VarRampageHierarchy(const VarRampageConfig &config)
       dir(config.common.dramPageBytes)
 {
     if (config.pager.baseFrameBytes < cfg.l1BlockBytes)
-        fatal("base frame smaller than the L1 block");
+        throw ConfigError("base frame smaller than the L1 block");
     auto check = [&](std::uint64_t bytes) {
         if (bytes > cfg.dramPageBytes)
-            fatal("SRAM page larger than the DRAM page");
+            throw ConfigError("SRAM page larger than the DRAM page");
     };
     check(config.pager.defaultPageBytes);
     for (const auto &[pid, bytes] : config.pager.pageBytesByPid)
         check(bytes);
     if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
-        fatal("pager OS region must start at the handler code base");
+        throw ConfigError(
+            "pager OS region must start at the handler code base");
 }
 
 Cycles

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -29,8 +30,8 @@ Simulator::pull(std::size_t index)
     if (!sources[index]->next(ref)) {
         sources[index]->reset();
         if (!sources[index]->next(ref))
-            panic("trace source '%s' empty after reset",
-                  sources[index]->name().c_str());
+            throw InternalError("trace source '%s' empty after reset",
+                                sources[index]->name().c_str());
     }
     return ref;
 }
@@ -41,6 +42,20 @@ Simulator::run()
     return cfg.switchOnMiss ? runSwitchOnMiss() : runBlocking();
 }
 
+void
+Simulator::checkWatchdog() const
+{
+    if (cfg.watchdogRefBudget == 0)
+        return;
+    std::uint64_t processed = hier.counts().refs;
+    if (processed > cfg.watchdogRefBudget)
+        throw InternalError(
+            "watchdog: %llu hierarchy references processed against a "
+            "budget of %llu; aborting a runaway point",
+            static_cast<unsigned long long>(processed),
+            static_cast<unsigned long long>(cfg.watchdogRefBudget));
+}
+
 SimResult
 Simulator::runBlocking()
 {
@@ -49,6 +64,7 @@ Simulator::runBlocking()
     std::uint64_t in_slice = 0;
 
     for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
+        checkWatchdog();
         if (in_slice == 0 && cfg.insertSwitchTrace)
             now += hier.runContextSwitchTrace();
 
@@ -81,6 +97,7 @@ Simulator::runSwitchOnMiss()
         now += hier.runContextSwitchTrace();
 
     for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
+        checkWatchdog();
         MemRef ref = pull(sched.current());
         AccessOutcome out = hier.access(ref);
         now += out.cpuPs;

@@ -35,6 +35,15 @@ struct SimConfig
      * page transfers with other processes' execution.
      */
     bool switchOnMiss = false;
+    /**
+     * Runaway-point watchdog: throw InternalError once the hierarchy
+     * has processed this many references in total (benchmark plus
+     * handler traces).  0 disables the check.  defaultSimConfig()
+     * arms it with a generous multiple of maxRefs, so healthy runs
+     * are unaffected while a runaway point (e.g. unbounded handler
+     * recursion) aborts cleanly instead of hanging a sweep campaign.
+     */
+    std::uint64_t watchdogRefBudget = 0;
 };
 
 /** Result of one simulation. */
@@ -74,6 +83,9 @@ class Simulator
   private:
     /** Pull the next reference from stream `index`, replaying at end. */
     MemRef pull(std::size_t index);
+
+    /** Enforce SimConfig::watchdogRefBudget (throws InternalError). */
+    void checkWatchdog() const;
 
     SimResult runBlocking();
     SimResult runSwitchOnMiss();

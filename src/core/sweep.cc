@@ -1,11 +1,15 @@
 #include "core/sweep.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "core/conventional.hh"
 #include "core/rampage.hh"
 #include "trace/benchmarks.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -38,7 +42,7 @@ experimentScale()
     if (const char *quantum = envOrNull("RAMPAGE_QUANTUM"))
         scale.quantumRefs = std::strtoull(quantum, nullptr, 10);
     if (scale.refs == 0 || scale.quantumRefs == 0)
-        fatal("RAMPAGE_REFS / RAMPAGE_QUANTUM must be positive");
+        throw ConfigError("RAMPAGE_REFS / RAMPAGE_QUANTUM must be positive");
     return scale;
 }
 
@@ -53,12 +57,16 @@ issueRates()
             std::size_t comma = text.find(',', pos);
             if (comma == std::string::npos)
                 comma = text.size();
-            rates.push_back(
-                parseFrequency(text.substr(pos, comma - pos)));
+            try {
+                rates.push_back(
+                    parseFrequency(text.substr(pos, comma - pos)));
+            } catch (const ConfigError &e) {
+                throw ConfigError("RAMPAGE_RATES: %s", e.what());
+            }
             pos = comma + 1;
         }
         if (rates.empty())
-            fatal("RAMPAGE_RATES is empty");
+            throw ConfigError("RAMPAGE_RATES is empty");
         return rates;
     }
     // The paper sweeps 200 MHz to 4 GHz (§4.3).
@@ -118,6 +126,10 @@ defaultSimConfig(bool switch_on_miss)
     sim.maxRefs = scale.refs;
     sim.quantumRefs = scale.quantumRefs;
     sim.switchOnMiss = switch_on_miss;
+    // Handler overhead is tens of percent at worst (Fig 4), so a
+    // budget of 8x the benchmark references can only trip on a
+    // genuine runaway point.
+    sim.watchdogRefBudget = scale.refs * 8 + 1'000'000;
     return sim;
 }
 
@@ -137,6 +149,164 @@ simulateRampage(const RampageConfig &config, const SimConfig &sim)
     effective.switchOnMiss = config.switchOnMiss;
     Simulator simulator(hierarchy, makeWorkload(), effective);
     return simulator.run();
+}
+
+// ------------------------------------------------------------ SweepRunner
+
+const char *
+pointStatusName(PointStatus status)
+{
+    switch (status) {
+      case PointStatus::Ok:
+        return "ok";
+      case PointStatus::Failed:
+        return "failed";
+      case PointStatus::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+std::size_t
+SweepReport::count(PointStatus status) const
+{
+    std::size_t n = 0;
+    for (const PointOutcome &outcome : outcomes)
+        if (outcome.status == status)
+            ++n;
+    return n;
+}
+
+void
+SweepRunner::add(const std::string &id, std::function<SimResult()> body)
+{
+    for (const Point &point : points)
+        if (point.id == id)
+            throw ConfigError("duplicate sweep point id '%s'",
+                              id.c_str());
+    points.push_back(Point{id, std::move(body)});
+}
+
+/*
+ * Checkpoint manifest format (one line per completed point, appended
+ * and flushed as each point finishes):
+ *
+ *   # rampage-sweep-checkpoint v1
+ *   ok wall=<seconds> elapsed_ps=<ticks> id=<point id to end of line>
+ *
+ * Parsing is deliberately lenient: unrecognized or damaged lines are
+ * warned about and skipped, so a torn final line (the crash case the
+ * manifest exists for) costs at most one re-simulated point.
+ */
+std::map<std::string, double>
+SweepRunner::loadManifest() const
+{
+    std::map<std::string, double> done;
+    if (opts.checkpointPath.empty())
+        return done;
+    std::ifstream in(opts.checkpointPath);
+    if (!in.is_open())
+        return done; // first run: nothing checkpointed yet
+
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        double wall = 0;
+        std::string id;
+        std::size_t id_at = line.find(" id=");
+        if (line.rfind("ok ", 0) == 0 && id_at != std::string::npos)
+            id = line.substr(id_at + 4);
+        std::size_t wall_at = line.find("wall=");
+        if (wall_at != std::string::npos)
+            wall = std::strtod(line.c_str() + wall_at + 5, nullptr);
+        if (id.empty()) {
+            warn("checkpoint '%s': ignoring unparseable line %llu",
+                 opts.checkpointPath.c_str(),
+                 static_cast<unsigned long long>(line_no));
+            continue;
+        }
+        done[id] = wall;
+    }
+    return done;
+}
+
+void
+SweepRunner::appendManifest(const PointOutcome &outcome) const
+{
+    if (opts.checkpointPath.empty())
+        return;
+    std::FILE *file = std::fopen(opts.checkpointPath.c_str(), "a");
+    if (!file) {
+        warn("cannot append to checkpoint '%s'; point '%s' will be "
+             "re-simulated on resume",
+             opts.checkpointPath.c_str(), outcome.id.c_str());
+        return;
+    }
+    if (std::ftell(file) == 0)
+        std::fprintf(file, "# rampage-sweep-checkpoint v1\n");
+    std::fprintf(file, "ok wall=%.6f elapsed_ps=%llu id=%s\n",
+                 outcome.wallSeconds,
+                 static_cast<unsigned long long>(outcome.result.elapsedPs),
+                 outcome.id.c_str());
+    std::fflush(file);
+    std::fclose(file);
+}
+
+SweepReport
+SweepRunner::run()
+{
+    SweepReport report;
+    report.outcomes.reserve(points.size());
+    std::map<std::string, double> done = loadManifest();
+
+    for (const Point &point : points) {
+        PointOutcome outcome;
+        outcome.id = point.id;
+
+        auto checkpointed = done.find(point.id);
+        if (checkpointed != done.end()) {
+            outcome.status = PointStatus::Skipped;
+            outcome.wallSeconds = checkpointed->second;
+            inform("sweep: '%s' already checkpointed, skipping",
+                   point.id.c_str());
+            report.outcomes.push_back(std::move(outcome));
+            continue;
+        }
+
+        auto started = std::chrono::steady_clock::now();
+        try {
+            outcome.result = point.body();
+            outcome.haveResult = true;
+            outcome.status = PointStatus::Ok;
+        } catch (const SimError &e) {
+            outcome.status = PointStatus::Failed;
+            outcome.errorCategory = e.category();
+            outcome.error = e.what();
+        } catch (const std::exception &e) {
+            outcome.status = PointStatus::Failed;
+            outcome.errorCategory = ErrorCategory::Internal;
+            outcome.error = e.what();
+        }
+        outcome.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+
+        if (outcome.status == PointStatus::Ok) {
+            appendManifest(outcome);
+            inform("sweep: '%s' ok (%.2f s)", point.id.c_str(),
+                   outcome.wallSeconds);
+        } else {
+            warn("sweep: '%s' failed (%s error): %s", point.id.c_str(),
+                 errorCategoryName(outcome.errorCategory),
+                 outcome.error.c_str());
+        }
+        report.outcomes.push_back(std::move(outcome));
+    }
+    return report;
 }
 
 } // namespace rampage

@@ -2,8 +2,10 @@
  * @file
  * Experiment scaffolding shared by the benches, examples and
  * integration tests: canonical system configurations (paper §4),
- * environment-controlled run scale, and one-call runners that build a
- * hierarchy plus the Table 2 workload and simulate it.
+ * environment-controlled run scale, one-call runners that build a
+ * hierarchy plus the Table 2 workload and simulate it, and the
+ * fault-tolerant SweepRunner that executes whole campaigns point by
+ * point with per-point outcomes and checkpoint/resume.
  *
  * Scale knobs (environment variables):
  *  - RAMPAGE_REFS=<n>     benchmark references per run (default 24 M)
@@ -17,10 +19,14 @@
 #define RAMPAGE_CORE_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/simulator.hh"
+#include "util/error.hh"
 
 namespace rampage
 {
@@ -67,6 +73,101 @@ SimResult simulateConventional(const ConventionalConfig &config,
 /** Build, run and report a RAMpage system on the §4.2 workload. */
 SimResult simulateRampage(const RampageConfig &config,
                           const SimConfig &sim);
+
+// ------------------------------------------------------------ SweepRunner
+
+/** How one sweep point ended. */
+enum class PointStatus {
+    Ok,      ///< simulated to completion this run
+    Failed,  ///< raised an error; the campaign continued
+    Skipped, ///< already completed per the checkpoint manifest
+};
+
+/** Stable lower-case name ("ok", "failed", "skipped"). */
+const char *pointStatusName(PointStatus status);
+
+/** Outcome record for one sweep point. */
+struct PointOutcome
+{
+    std::string id;
+    PointStatus status = PointStatus::Failed;
+    /** Failure classification; meaningful only when Failed. */
+    ErrorCategory errorCategory = ErrorCategory::Internal;
+    /** Diagnostic message; empty unless Failed. */
+    std::string error;
+    /** Wall time of this execution (or the checkpointed value). */
+    double wallSeconds = 0;
+    /** True when `result` holds a simulation run from this campaign. */
+    bool haveResult = false;
+    SimResult result;
+};
+
+/** Everything a campaign produced, in add() order. */
+struct SweepReport
+{
+    std::vector<PointOutcome> outcomes;
+
+    std::size_t count(PointStatus status) const;
+    std::size_t okCount() const { return count(PointStatus::Ok); }
+    std::size_t failedCount() const { return count(PointStatus::Failed); }
+    std::size_t skippedCount() const
+    {
+        return count(PointStatus::Skipped);
+    }
+    bool allOk() const { return failedCount() == 0; }
+};
+
+/**
+ * Fault-tolerant sweep engine.  Each queued point runs under
+ * try/catch: a point that throws (bad trace, invalid configuration,
+ * internal bug, watchdog trip) is recorded as Failed with its error
+ * category and the campaign continues, so one poisoned point costs
+ * one point — never the whole parameter sweep.
+ *
+ * With a checkpoint path configured, an "ok" manifest line is
+ * appended and flushed after every completed point; re-running the
+ * same campaign against the same manifest skips completed points
+ * (reported as Skipped) and re-executes only failed or new ones.
+ * Manifest lines that do not parse are warned about and ignored, so a
+ * damaged checkpoint degrades to re-simulation rather than an error.
+ */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /** Checkpoint manifest path; empty disables checkpointing. */
+        std::string checkpointPath;
+    };
+
+    SweepRunner() = default;
+    explicit SweepRunner(const Options &options) : opts(options) {}
+
+    /**
+     * Queue one point.  `id` names it in outcomes and the manifest
+     * and must be unique within the campaign (ConfigError otherwise).
+     */
+    void add(const std::string &id, std::function<SimResult()> body);
+
+    std::size_t pointCount() const { return points.size(); }
+
+    /** Execute every queued point, continuing past failures. */
+    SweepReport run();
+
+  private:
+    struct Point
+    {
+        std::string id;
+        std::function<SimResult()> body;
+    };
+
+    /** id -> checkpointed wall seconds from a previous campaign. */
+    std::map<std::string, double> loadManifest() const;
+    void appendManifest(const PointOutcome &outcome) const;
+
+    Options opts;
+    std::vector<Point> points;
+};
 
 } // namespace rampage
 

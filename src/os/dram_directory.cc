@@ -1,6 +1,7 @@
 #include "os/dram_directory.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -11,9 +12,9 @@ DramDirectory::DramDirectory(std::uint64_t page_bytes, Addr table_base,
     : pageSize(page_bytes), tableBase(table_base)
 {
     if (!isPowerOfTwo(page_bytes))
-        fatal("DRAM page size must be a power of two");
+        throw ConfigError("DRAM page size must be a power of two");
     if (!isPowerOfTwo(phys_pages))
-        fatal("physical frame pool must be a power of two");
+        throw ConfigError("physical frame pool must be a power of two");
     pageBits = floorLog2(page_bytes);
     used.assign(phys_pages, false);
 }
@@ -31,9 +32,9 @@ DramDirectory::frameOf(Pid pid, std::uint64_t vpn, bool *allocated_out)
     auto [it, inserted] = map.try_emplace(key, 0);
     if (inserted) {
         if (nAllocated >= used.size())
-            fatal("DRAM frame pool exhausted (%llu frames): raise "
-                  "phys_pages for this workload",
-                  static_cast<unsigned long long>(used.size()));
+            throw ConfigError("DRAM frame pool exhausted (%llu frames): raise "
+                              "phys_pages for this workload",
+                              static_cast<unsigned long long>(used.size()));
         // Randomized placement: hash the page identity into the frame
         // pool and linearly probe to the first free frame.
         std::uint64_t mix = key * 0xd6e8feb86659fd93ull;

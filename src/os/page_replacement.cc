@@ -1,5 +1,6 @@
 #include "os/page_replacement.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -50,7 +51,7 @@ makePageReplacement(PageReplKind kind, std::uint64_t frames,
         return std::make_unique<StandbyPolicy>(frames, first_evictable,
                                                standby_pages);
     }
-    panic("unreachable page replacement kind");
+    throw InternalError("unreachable page replacement kind");
 }
 
 // ---------------------------------------------------------------- Clock
@@ -86,7 +87,7 @@ ClockPolicy::pickVictim(unsigned *scan_cost_out)
             return frame;
         }
     }
-    panic("clock hand failed to find a victim");
+    throw InternalError("clock hand failed to find a victim");
 }
 
 // ----------------------------------------------------------------- FIFO
@@ -222,7 +223,7 @@ StandbyPolicy::nominate(unsigned *scan_cost_out)
             return frame;
         }
     }
-    panic("standby clock hand failed to nominate a page");
+    throw InternalError("standby clock hand failed to nominate a page");
 }
 
 std::uint64_t

@@ -1,6 +1,7 @@
 #include "os/pager.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -9,9 +10,9 @@ namespace rampage
 SramPager::SramPager(const PagerParams &params) : prm(params)
 {
     if (!isPowerOfTwo(prm.pageBytes))
-        fatal("SRAM page size must be a power of two");
+        throw ConfigError("SRAM page size must be a power of two");
     if (prm.baseSramBytes % prm.pageBytes != 0)
-        fatal("SRAM capacity must be a multiple of the page size");
+        throw ConfigError("SRAM capacity must be a multiple of the page size");
 
     // Capacity: cache-equivalent size plus the reclaimed tag bytes
     // (paper §4.5).  The bonus is rounded down to whole pages.
@@ -27,10 +28,11 @@ SramPager::SramPager(const PagerParams &params) : prm(params)
     nOsFrames = divCeil(prm.osFixedBytes + ipt->tableBytes(),
                         prm.pageBytes);
     if (nOsFrames >= nFrames)
-        fatal("operating-system reserve (%llu pages) consumes the whole "
-              "SRAM (%llu pages)",
-              static_cast<unsigned long long>(nOsFrames),
-              static_cast<unsigned long long>(nFrames));
+        throw ConfigError(
+            "operating-system reserve (%llu pages) consumes the whole "
+            "SRAM (%llu pages)",
+            static_cast<unsigned long long>(nOsFrames),
+            static_cast<unsigned long long>(nFrames));
 
     repl = makePageReplacement(prm.repl, nFrames, nOsFrames, prm.seed,
                                prm.standbyPages);

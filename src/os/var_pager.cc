@@ -1,6 +1,7 @@
 #include "os/var_pager.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -9,14 +10,16 @@ namespace rampage
 VarPager::VarPager(const VarPagerParams &params) : prm(params)
 {
     if (!isPowerOfTwo(prm.baseFrameBytes))
-        fatal("base frame size must be a power of two");
+        throw ConfigError("base frame size must be a power of two");
     if (prm.baseSramBytes % prm.baseFrameBytes != 0)
-        fatal("SRAM capacity must be a multiple of the base frame");
+        throw ConfigError(
+            "SRAM capacity must be a multiple of the base frame");
     auto check_size = [&](std::uint64_t bytes) {
         if (!isPowerOfTwo(bytes) || bytes < prm.baseFrameBytes)
-            fatal("page size %llu invalid for base frame %llu",
-                  static_cast<unsigned long long>(bytes),
-                  static_cast<unsigned long long>(prm.baseFrameBytes));
+            throw ConfigError(
+                "page size %llu invalid for base frame %llu",
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(prm.baseFrameBytes));
     };
     check_size(prm.defaultPageBytes);
     for (const auto &[pid, bytes] : prm.pageBytesByPid)
@@ -35,7 +38,7 @@ VarPager::VarPager(const VarPagerParams &params) : prm(params)
     nOsFrames = divCeil(prm.osFixedBytes + table_bytes,
                         prm.baseFrameBytes);
     if (nOsFrames >= nFrames)
-        fatal("operating-system reserve consumes the whole SRAM");
+        throw ConfigError("operating-system reserve consumes the whole SRAM");
 
     frameOwner.assign(nFrames, -1);
     nextFreeFrame = nOsFrames;
@@ -160,9 +163,9 @@ VarPager::handleFault(Pid pid, std::uint64_t vpn)
         // unreferenced (second chance clears marks as the hand moves).
         std::uint64_t first_window = divCeil(nOsFrames, k) * k;
         if (first_window + k > nFrames)
-            fatal("page size %llu too large for the evictable SRAM",
-                  static_cast<unsigned long long>(k *
-                                                  prm.baseFrameBytes));
+            throw ConfigError(
+                "page size %llu too large for the evictable SRAM",
+                static_cast<unsigned long long>(k * prm.baseFrameBytes));
         if (hand < first_window || hand + k > nFrames)
             hand = first_window;
         hand = hand / k * k;
@@ -200,7 +203,8 @@ VarPager::handleFault(Pid pid, std::uint64_t vpn)
             }
         }
         if (!found)
-            panic("window clock failed to choose a victim window");
+            throw InternalError(
+                "window clock failed to choose a victim window");
         result.scanCost = scanned;
         evictWindow(chosen, k, result);
         start = chosen;

@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -18,14 +19,14 @@ TlbStats::missRatio() const
 Tlb::Tlb(const TlbParams &params) : prm(params), rng(params.seed)
 {
     if (prm.entries == 0)
-        fatal("TLB must have at least one entry");
+        throw ConfigError("TLB must have at least one entry");
     nWays = prm.assoc == 0 ? prm.entries : prm.assoc;
     if (nWays > prm.entries || prm.entries % nWays != 0)
-        fatal("TLB associativity %u incompatible with %u entries",
-              nWays, prm.entries);
+        throw ConfigError("TLB associativity %u incompatible with %u entries",
+                          nWays, prm.entries);
     nSets = prm.entries / nWays;
     if (!isPowerOfTwo(nSets))
-        fatal("TLB set count must be a power of two");
+        throw ConfigError("TLB set count must be a power of two");
     entries.assign(prm.entries, Entry{});
 }
 

@@ -1,5 +1,6 @@
 #include "trace/benchmarks.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
 
@@ -84,7 +85,7 @@ benchmarkProfile(const std::string &name)
     for (const auto &profile : benchmarkRoster())
         if (profile.name == name)
             return profile;
-    fatal("unknown benchmark '%s'", name.c_str());
+    throw ConfigError("unknown benchmark '%s'", name.c_str());
 }
 
 std::vector<std::unique_ptr<TraceSource>>

@@ -21,7 +21,7 @@ namespace rampage
 /** The full Table 2 roster, in the paper's order. */
 const std::vector<ProgramProfile> &benchmarkRoster();
 
-/** Look up one profile by name; fatal() when unknown. */
+/** Look up one profile by name; throws ConfigError when unknown. */
 const ProgramProfile &benchmarkProfile(const std::string &name);
 
 /**

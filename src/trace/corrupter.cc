@@ -1,0 +1,97 @@
+#include "trace/corrupter.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "trace/file_format.hh"
+#include "util/error.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+/** Bytes of header before the first native record. */
+constexpr std::uint64_t nativeHeaderBytes = sizeof(traceMagic);
+
+/** On-disk size of one native record (see file_format.cc). */
+constexpr std::uint64_t nativeRecordBytes = 11;
+
+/** Offset of the kind byte within a native record. */
+constexpr std::uint64_t kindByteOffset = 10;
+
+} // namespace
+
+void
+truncateTraceFile(const std::string &path, std::uint64_t keep_bytes)
+{
+    std::error_code ec;
+    std::uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec)
+        throw TraceError("cannot stat trace file '%s': %s", path.c_str(),
+                         ec.message().c_str());
+    if (size <= keep_bytes)
+        return;
+    std::filesystem::resize_file(path, keep_bytes, ec);
+    if (ec)
+        throw TraceError("cannot truncate trace file '%s': %s",
+                         path.c_str(), ec.message().c_str());
+}
+
+void
+corruptTraceByte(const std::string &path, std::uint64_t offset,
+                 std::uint8_t value)
+{
+    std::FILE *file = std::fopen(path.c_str(), "r+b");
+    if (!file)
+        throw TraceError("cannot open trace file '%s' for corruption",
+                         path.c_str());
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0 ||
+        std::fwrite(&value, 1, 1, file) != 1) {
+        std::fclose(file);
+        throw TraceError("cannot overwrite byte %llu of '%s'",
+                         static_cast<unsigned long long>(offset),
+                         path.c_str());
+    }
+    std::fclose(file);
+}
+
+void
+corruptTraceMagic(const std::string &path)
+{
+    corruptTraceByte(path, 0,
+                     static_cast<std::uint8_t>(traceMagic[0]) ^ 0xff);
+}
+
+void
+corruptTraceVersion(const std::string &path, char version)
+{
+    corruptTraceByte(path, nativeHeaderBytes - 1,
+                     static_cast<std::uint8_t>(version));
+}
+
+void
+corruptNativeRecordKind(const std::string &path,
+                        std::uint64_t record_index, std::uint8_t kind)
+{
+    corruptTraceByte(path,
+                     nativeHeaderBytes +
+                         record_index * nativeRecordBytes + kindByteOffset,
+                     kind);
+}
+
+void
+appendMalformedDinLines(const std::string &path, std::uint64_t count)
+{
+    std::FILE *file = std::fopen(path.c_str(), "a");
+    if (!file)
+        throw TraceError("cannot append to trace file '%s'", path.c_str());
+    for (std::uint64_t i = 0; i < count; ++i)
+        std::fprintf(file, "<malformed line %llu>\n",
+                     static_cast<unsigned long long>(i));
+    std::fclose(file);
+}
+
+} // namespace rampage

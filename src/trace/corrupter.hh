@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic fault injection for trace files.
+ *
+ * Test support for the hardened ingestion path: each function damages
+ * an on-disk trace in one specific, reproducible way so the recovery
+ * tests (and sweep-campaign rehearsals) can prove the reader fails —
+ * or degrades — exactly as specified.  Nothing here is random; the
+ * caller chooses what breaks and where.
+ */
+
+#ifndef RAMPAGE_TRACE_CORRUPTER_HH
+#define RAMPAGE_TRACE_CORRUPTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rampage
+{
+
+/** Shrink the file to `keep_bytes` (no-op when already smaller). */
+void truncateTraceFile(const std::string &path, std::uint64_t keep_bytes);
+
+/** Overwrite the single byte at `offset` with `value`. */
+void corruptTraceByte(const std::string &path, std::uint64_t offset,
+                      std::uint8_t value);
+
+/** Flip the first magic byte so the header no longer matches. */
+void corruptTraceMagic(const std::string &path);
+
+/**
+ * Overwrite the version byte (last byte of the magic) of a native
+ * trace with `version`.
+ */
+void corruptTraceVersion(const std::string &path, char version);
+
+/**
+ * Set the kind byte of native record `record_index` (0-based) to
+ * `kind`, typically an out-of-range value.
+ */
+void corruptNativeRecordKind(const std::string &path,
+                             std::uint64_t record_index,
+                             std::uint8_t kind);
+
+/** Append `count` unparseable text lines (din damage). */
+void appendMalformedDinLines(const std::string &path, std::uint64_t count);
+
+} // namespace rampage
+
+#endif // RAMPAGE_TRACE_CORRUPTER_HH

@@ -10,6 +10,14 @@
  *  - the classic Dinero "din" text format: one "<label> <hex-addr>"
  *    pair per line with label 0 = read, 1 = write, 2 = ifetch, the
  *    format of the NMSU Tracebase traces the paper used.
+ *
+ * Ingestion is hardened against real-world trace damage: the header
+ * magic and version are validated, a payload that is not a whole
+ * number of records is detected as a truncated tail, and malformed
+ * records/lines are either rejected (strict mode) or skipped with a
+ * warning up to a capped budget (lenient mode, the default — matching
+ * how the classic din readers tolerated comment lines).  All failures
+ * throw TraceError so a sweep campaign survives a bad trace file.
  */
 
 #ifndef RAMPAGE_TRACE_FILE_FORMAT_HH
@@ -25,8 +33,25 @@
 namespace rampage
 {
 
-/** Magic bytes opening a native binary trace. */
+/** Magic bytes opening a native binary trace; the '1' is the version. */
 constexpr char traceMagic[8] = {'R', 'P', 'T', 'R', 'A', 'C', 'E', '1'};
+
+/** How forgiving trace ingestion is about damaged input. */
+struct TraceReadOptions
+{
+    /**
+     * Strict: any malformed record, din line or truncated tail throws
+     * TraceError.  Lenient (default): skip-and-warn, bounded by
+     * `malformedBudget`.
+     */
+    bool strict = false;
+
+    /**
+     * Lenient mode only: maximum malformed records/lines skipped per
+     * pass before the file is rejected as unusable.
+     */
+    std::uint64_t malformedBudget = 1000;
+};
 
 /**
  * Write references to a trace file.  The format is chosen by the
@@ -36,7 +61,8 @@ class TraceWriter
 {
   public:
     /**
-     * Open `path` for writing; fatal() if the file cannot be created.
+     * Open `path` for writing; throws TraceError if the file cannot
+     * be created.
      * @param din write Dinero text instead of native binary.
      */
     TraceWriter(const std::string &path, bool din = false);
@@ -70,12 +96,14 @@ class FileTraceSource : public TraceSource
 {
   public:
     /**
-     * Open `path`; fatal() when missing or unrecognized.
+     * Open `path`; throws TraceError when missing, truncated at the
+     * header, or carrying an unsupported version.
      * @param fallback_pid pid for din records (native records carry
      *        their own).
+     * @param options strict/lenient handling of damaged content.
      */
-    explicit FileTraceSource(const std::string &path,
-                             Pid fallback_pid = 0);
+    explicit FileTraceSource(const std::string &path, Pid fallback_pid = 0,
+                             const TraceReadOptions &options = {});
     ~FileTraceSource() override;
 
     FileTraceSource(const FileTraceSource &) = delete;
@@ -89,20 +117,35 @@ class FileTraceSource : public TraceSource
     /** True when the file was recognized as native binary. */
     bool isNative() const { return native; }
 
+    /** Whole records in a native file (0 for din). */
+    std::uint64_t recordCount() const { return nRecords; }
+
+    /** Malformed records/lines skipped so far this pass (lenient). */
+    std::uint64_t malformedSkipped() const { return malformed; }
+
   private:
     bool nextNative(MemRef &ref);
     bool nextDin(MemRef &ref);
 
+    /** Strict: throw; lenient: count, warn and enforce the budget. */
+    void reportMalformed(const std::string &what);
+
     std::FILE *file = nullptr;
     std::string filePath;
     Pid filePid;
+    TraceReadOptions opts;
     bool native = false;
     long dataStart = 0;
+    std::uint64_t nRecords = 0;    ///< native: whole records on disk
+    std::uint64_t recordIndex = 0; ///< native: next record to read
+    std::uint64_t lineNo = 0;      ///< din: current line number
+    std::uint64_t malformed = 0;   ///< skipped this pass (lenient)
 };
 
 /** Convenience: read an entire trace file into memory. */
 std::vector<MemRef> readTraceFile(const std::string &path,
-                                  Pid fallback_pid = 0);
+                                  Pid fallback_pid = 0,
+                                  const TraceReadOptions &options = {});
 
 } // namespace rampage
 

@@ -1,5 +1,6 @@
 #include "trace/interleaver.hh"
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -40,8 +41,8 @@ Interleaver::next(MemRef &ref)
         // workload replays its shorter traces over the 1.1 G run.
         srcs[current]->reset();
         if (!srcs[current]->next(ref))
-            panic("trace source '%s' empty even after reset",
-                  srcs[current]->name().c_str());
+            throw InternalError("trace source '%s' empty even after reset",
+                                srcs[current]->name().c_str());
     }
     ++inSlice;
     return true;

@@ -1,0 +1,90 @@
+#include "util/error.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Config:
+        return "config";
+      case ErrorCategory::Trace:
+        return "trace";
+      case ErrorCategory::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+vformatErrorMessage(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return fmt; // formatting itself failed; keep the raw template
+
+    std::string message(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(message.data(), message.size() + 1, fmt, args);
+    return message;
+}
+
+std::string
+formatErrorMessage(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformatErrorMessage(fmt, args);
+    va_end(args);
+    return message;
+}
+
+ConfigError::ConfigError(const char *fmt, ...)
+    : SimError(ErrorCategory::Config, std::string())
+{
+    va_list args;
+    va_start(args, fmt);
+    setMessage(vformatErrorMessage(fmt, args));
+    va_end(args);
+}
+
+TraceError::TraceError(const char *fmt, ...)
+    : SimError(ErrorCategory::Trace, std::string())
+{
+    va_list args;
+    va_start(args, fmt);
+    setMessage(vformatErrorMessage(fmt, args));
+    va_end(args);
+}
+
+InternalError::InternalError(const char *fmt, ...)
+    : SimError(ErrorCategory::Internal, std::string())
+{
+    va_list args;
+    va_start(args, fmt);
+    setMessage(vformatErrorMessage(fmt, args));
+    va_end(args);
+}
+
+int
+cliMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const InternalError &e) {
+        panic("%s", e.what());
+    } catch (const SimError &e) {
+        fatal("%s", e.what());
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+}
+
+} // namespace rampage

@@ -2,11 +2,17 @@
  * @file
  * gem5-style status and error reporting.
  *
- * Two error channels with distinct intents:
+ * Two *top-level* error channels with distinct intents:
  *  - panic():  an internal simulator invariant broke (a bug in this
  *              code base); aborts so a debugger/core dump is useful.
  *  - fatal():  the *user's* configuration or input is unusable; exits
  *              with status 1.
+ *
+ * Library code must not call either: it throws the typed exceptions
+ * of util/error.hh (ConfigError / TraceError / InternalError) so that
+ * a sweep campaign can fail one point in isolation.  fatal()/panic()
+ * remain only for CLI entry points — normally via cliMain(), which
+ * maps escaped exceptions onto them.
  *
  * Two advisory channels:
  *  - warn():   something is modelled approximately and might matter.
@@ -18,6 +24,8 @@
 
 #include <cstdarg>
 #include <string>
+
+#include "util/error.hh" // historical home of RAMPAGE_ASSERT
 
 namespace rampage
 {
@@ -52,18 +60,5 @@ void setQuiet(bool quiet);
 bool quiet();
 
 } // namespace rampage
-
-/**
- * Check a simulator invariant; panics with location info on failure.
- * Unlike assert() this is active in release builds — the simulator is
- * always expected to self-check its core invariants.
- */
-#define RAMPAGE_ASSERT(cond, msg)                                          \
-    do {                                                                   \
-        if (!(cond)) {                                                     \
-            ::rampage::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
-                             __FILE__, __LINE__, msg);                     \
-        }                                                                  \
-    } while (0)
 
 #endif // RAMPAGE_UTIL_LOGGING_HH

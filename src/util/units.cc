@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -14,7 +15,7 @@ namespace
 
 /**
  * Split "<number><suffix>" into its numeric value and lower-cased
- * suffix; fatal() on an empty or non-numeric prefix.
+ * suffix; throws ConfigError on an empty or non-numeric prefix.
  */
 void
 splitNumberSuffix(const std::string &text, double &number,
@@ -24,10 +25,10 @@ splitNumberSuffix(const std::string &text, double &number,
     try {
         number = std::stod(text, &pos);
     } catch (...) {
-        fatal("cannot parse quantity '%s'", text.c_str());
+        throw ConfigError("cannot parse quantity '%s'", text.c_str());
     }
     if (pos == 0)
-        fatal("cannot parse quantity '%s'", text.c_str());
+        throw ConfigError("cannot parse quantity '%s'", text.c_str());
     suffix.clear();
     for (std::size_t i = pos; i < text.size(); ++i) {
         if (!std::isspace(static_cast<unsigned char>(text[i])))
@@ -55,12 +56,12 @@ parseByteSize(const std::string &text)
     } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
         scale = static_cast<double>(gib);
     } else {
-        fatal("unknown byte-size suffix in '%s'", text.c_str());
+        throw ConfigError("unknown byte-size suffix in '%s'", text.c_str());
     }
     double bytes = number * scale;
     if (bytes < 0 || bytes != std::floor(bytes))
-        fatal("byte size '%s' is not a whole number of bytes",
-              text.c_str());
+        throw ConfigError("byte size '%s' is not a whole number of bytes",
+                          text.c_str());
     return static_cast<std::uint64_t>(bytes);
 }
 
@@ -81,11 +82,11 @@ parseFrequency(const std::string &text)
     } else if (suffix == "ghz") {
         scale = 1e9;
     } else {
-        fatal("unknown frequency suffix in '%s'", text.c_str());
+        throw ConfigError("unknown frequency suffix in '%s'", text.c_str());
     }
     double hz = number * scale;
     if (hz <= 0)
-        fatal("frequency '%s' must be positive", text.c_str());
+        throw ConfigError("frequency '%s' must be positive", text.c_str());
     return static_cast<std::uint64_t>(hz + 0.5);
 }
 

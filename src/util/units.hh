@@ -20,13 +20,13 @@ namespace rampage
 /**
  * Parse a byte size such as "128", "128B", "4KB", "1MB", "2GiB".
  * Binary (1024-based) multipliers throughout, matching the paper's
- * usage. Calls fatal() on malformed input.
+ * usage. Throws ConfigError on malformed input.
  */
 std::uint64_t parseByteSize(const std::string &text);
 
 /**
  * Parse a frequency such as "200MHz", "4GHz", "1000000000" (Hz).
- * Calls fatal() on malformed input.
+ * Throws ConfigError on malformed input.
  */
 std::uint64_t parseFrequency(const std::string &text);
 

@@ -1,8 +1,9 @@
 /**
  * @file
  * Configuration-validation tests: every unusable configuration must
- * fail fast through fatal() (exit code 1) with a diagnostic, never
- * crash or silently mis-simulate.  Uses gtest death tests.
+ * fail fast by throwing ConfigError with a diagnostic — never crash,
+ * silently mis-simulate, or kill the process (process exit is the CLI
+ * handlers' job, see util/error.hh).
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +15,7 @@
 #include "core/sweep.hh"
 #include "os/pager.hh"
 #include "tlb/tlb.hh"
+#include "util/error.hh"
 #include "util/units.hh"
 
 namespace rampage
@@ -21,14 +23,26 @@ namespace rampage
 namespace
 {
 
-using ::testing::ExitedWithCode;
+/** Assert `body` throws ConfigError whose message mentions `text`. */
+template <typename Body>
+void
+expectConfigError(Body &&body, const std::string &text)
+{
+    try {
+        body();
+        FAIL() << "expected ConfigError containing '" << text << "'";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(text), std::string::npos)
+            << "diagnostic was: " << e.what();
+    }
+}
 
 TEST(ConfigValidation, CacheBlockMustBePowerOfTwo)
 {
     CacheParams params;
     params.blockBytes = 48;
-    EXPECT_EXIT({ SetAssocCache cache(params); },
-                ExitedWithCode(1), "power of two");
+    expectConfigError([&] { SetAssocCache cache(params); },
+                      "power of two");
 }
 
 TEST(ConfigValidation, CacheSizeMustBeBlockMultiple)
@@ -36,8 +50,7 @@ TEST(ConfigValidation, CacheSizeMustBeBlockMultiple)
     CacheParams params;
     params.sizeBytes = 1000;
     params.blockBytes = 64;
-    EXPECT_EXIT({ SetAssocCache cache(params); },
-                ExitedWithCode(1), "multiple");
+    expectConfigError([&] { SetAssocCache cache(params); }, "multiple");
 }
 
 TEST(ConfigValidation, CacheAssociativityBounded)
@@ -46,8 +59,8 @@ TEST(ConfigValidation, CacheAssociativityBounded)
     params.sizeBytes = 128;
     params.blockBytes = 32;
     params.assoc = 8; // only 4 blocks exist
-    EXPECT_EXIT({ SetAssocCache cache(params); },
-                ExitedWithCode(1), "associativity");
+    expectConfigError([&] { SetAssocCache cache(params); },
+                      "associativity");
 }
 
 TEST(ConfigValidation, TlbGeometry)
@@ -55,16 +68,15 @@ TEST(ConfigValidation, TlbGeometry)
     TlbParams params;
     params.entries = 64;
     params.assoc = 48; // does not divide 64
-    EXPECT_EXIT({ Tlb tlb(params); }, ExitedWithCode(1), "")
-        << "incompatible TLB geometry must be fatal";
+    EXPECT_THROW({ Tlb tlb(params); }, ConfigError)
+        << "incompatible TLB geometry must be rejected";
 }
 
 TEST(ConfigValidation, PagerPageSizePowerOfTwo)
 {
     PagerParams params;
     params.pageBytes = 3000;
-    EXPECT_EXIT({ SramPager pager(params); },
-                ExitedWithCode(1), "power of two");
+    expectConfigError([&] { SramPager pager(params); }, "power of two");
 }
 
 TEST(ConfigValidation, PagerReserveCannotSwallowSram)
@@ -76,30 +88,27 @@ TEST(ConfigValidation, PagerReserveCannotSwallowSram)
     params.pageBytes = 128;
     params.baseSramBytes = 4 * kib;
     params.osFixedBytes = 12 * kib;
-    EXPECT_EXIT({ SramPager pager(params); },
-                ExitedWithCode(1), "reserve");
+    expectConfigError([&] { SramPager pager(params); }, "reserve");
 }
 
 TEST(ConfigValidation, RampagePageAtLeastL1Block)
 {
     RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
     cfg.pager.pageBytes = 16; // below the 32 B L1 block
-    EXPECT_EXIT({ RampageHierarchy hier(cfg); },
-                ExitedWithCode(1), "");
+    EXPECT_THROW({ RampageHierarchy hier(cfg); }, ConfigError);
 }
 
 TEST(ConfigValidation, RampagePageAtMostDramPage)
 {
     RampageConfig cfg = rampageConfig(1'000'000'000ull, 8192);
-    EXPECT_EXIT({ RampageHierarchy hier(cfg); },
-                ExitedWithCode(1), "DRAM page");
+    expectConfigError([&] { RampageHierarchy hier(cfg); }, "DRAM page");
 }
 
 TEST(ConfigValidation, ConventionalL2BlockAtLeastL1Block)
 {
     ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 16);
-    EXPECT_EXIT({ ConventionalHierarchy hier(cfg); },
-                ExitedWithCode(1), "smaller");
+    expectConfigError([&] { ConventionalHierarchy hier(cfg); },
+                      "smaller");
 }
 
 TEST(ConfigValidation, VictimCacheBehindColumnAssocRejected)
@@ -107,23 +116,46 @@ TEST(ConfigValidation, VictimCacheBehindColumnAssocRejected)
     ConventionalConfig cfg = baselineConfig(1'000'000'000ull, 1024);
     cfg.l2Style = ConventionalConfig::L2Style::ColumnAssoc;
     cfg.victimEntries = 4;
-    EXPECT_EXIT({ ConventionalHierarchy hier(cfg); },
-                ExitedWithCode(1), "victim");
+    expectConfigError([&] { ConventionalHierarchy hier(cfg); },
+                      "victim");
 }
 
 TEST(ConfigValidation, ColumnAssocNeedsTwoSets)
 {
-    EXPECT_EXIT({ ColumnAssocCache cache(32, 32); },
-                ExitedWithCode(1), "two sets");
+    expectConfigError([&] { ColumnAssocCache cache(32, 32); },
+                      "two sets");
 }
 
-TEST(ConfigValidation, MalformedQuantitiesAreFatal)
+TEST(ConfigValidation, MalformedQuantitiesThrow)
 {
-    EXPECT_EXIT({ parseByteSize("twelve"); }, ExitedWithCode(1),
-                "cannot parse");
-    EXPECT_EXIT({ parseByteSize("4XB"); }, ExitedWithCode(1), "suffix");
-    EXPECT_EXIT({ parseFrequency("-3GHz"); }, ExitedWithCode(1),
-                "positive");
+    expectConfigError([&] { parseByteSize("twelve"); }, "cannot parse");
+    expectConfigError([&] { parseByteSize("4XB"); }, "suffix");
+    expectConfigError([&] { parseFrequency("-3GHz"); }, "positive");
+}
+
+TEST(ConfigValidation, ErrorsCarryTheirCategory)
+{
+    try {
+        parseByteSize("twelve");
+        FAIL() << "expected ConfigError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+        EXPECT_STREQ(errorCategoryName(e.category()), "config");
+    }
+}
+
+TEST(ConfigValidation, AssertionFailuresAreInternalErrors)
+{
+    // RAMPAGE_ASSERT raises InternalError (a simulator bug, not a
+    // user error) with file/line context.
+    try {
+        cycleTimePs(0);
+        FAIL() << "expected InternalError";
+    } catch (const InternalError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Internal);
+        EXPECT_NE(std::string(e.what()).find("units.cc"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

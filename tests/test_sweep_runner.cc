@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Fault-tolerant sweep engine tests: poisoned points fail in
+ * isolation with a categorized outcome, completed points checkpoint
+ * to the manifest, and a re-run resumes without re-simulating them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/sweep.hh"
+#include "trace/corrupter.hh"
+#include "trace/file_format.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+namespace
+{
+
+class SweepRunnerTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        manifest = std::string(::testing::TempDir()) +
+                   "/rampage_sweep.checkpoint";
+        std::remove(manifest.c_str());
+    }
+
+    void TearDown() override
+    {
+        setQuiet(false);
+        std::remove(manifest.c_str());
+    }
+
+    static SimResult fakeResult(Tick elapsed)
+    {
+        SimResult result;
+        result.elapsedPs = elapsed;
+        return result;
+    }
+
+    /** A small but real simulation (the §4.4 baseline, tiny scale). */
+    static SimResult tinyBaseline(std::uint64_t l2_block)
+    {
+        SimConfig sim;
+        sim.maxRefs = 2'000;
+        sim.quantumRefs = 500;
+        return simulateConventional(
+            baselineConfig(200'000'000ull, l2_block), sim);
+    }
+
+    std::string manifest;
+};
+
+TEST_F(SweepRunnerTest, PoisonedPointsYieldPartialResults)
+{
+    SweepRunner runner;
+    runner.add("good/128", [] { return tinyBaseline(128); });
+    runner.add("poison/config",
+               [] { return tinyBaseline(16); }); // below the L1 block
+    runner.add("good/1024", [] { return tinyBaseline(1024); });
+    runner.add("poison/internal", []() -> SimResult {
+        throw InternalError("synthetic bug");
+    });
+
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.outcomes.size(), 4u);
+    EXPECT_EQ(report.okCount(), 2u);
+    EXPECT_EQ(report.failedCount(), 2u);
+    EXPECT_FALSE(report.allOk());
+
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Ok);
+    EXPECT_TRUE(report.outcomes[0].haveResult);
+    EXPECT_GT(report.outcomes[0].result.elapsedPs, 0u);
+
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Failed);
+    EXPECT_EQ(report.outcomes[1].errorCategory, ErrorCategory::Config);
+    EXPECT_FALSE(report.outcomes[1].error.empty());
+
+    EXPECT_EQ(report.outcomes[2].status, PointStatus::Ok);
+
+    EXPECT_EQ(report.outcomes[3].status, PointStatus::Failed);
+    EXPECT_EQ(report.outcomes[3].errorCategory,
+              ErrorCategory::Internal);
+}
+
+TEST_F(SweepRunnerTest, DuplicatePointIdsAreRejected)
+{
+    SweepRunner runner;
+    runner.add("p", [] { return fakeResult(1); });
+    EXPECT_THROW(runner.add("p", [] { return fakeResult(2); }),
+                 ConfigError);
+}
+
+TEST_F(SweepRunnerTest, CheckpointResumeSkipsCompletedPoints)
+{
+    int executions = 0;
+    bool poisoned = true;
+    auto build = [&](SweepRunner &runner) {
+        runner.add("a", [&] {
+            ++executions;
+            return fakeResult(10);
+        });
+        runner.add("b", [&]() -> SimResult {
+            ++executions;
+            if (poisoned)
+                throw TraceError("injected trace damage");
+            return fakeResult(20);
+        });
+        runner.add("c", [&] {
+            ++executions;
+            return fakeResult(30);
+        });
+    };
+
+    SweepRunner first({manifest});
+    build(first);
+    SweepReport run1 = first.run();
+    EXPECT_EQ(run1.okCount(), 2u);
+    EXPECT_EQ(run1.failedCount(), 1u);
+    EXPECT_EQ(run1.outcomes[1].errorCategory, ErrorCategory::Trace);
+    EXPECT_EQ(executions, 3);
+
+    // Second campaign: the fault is fixed; only 'b' re-executes.
+    poisoned = false;
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport run2 = second.run();
+    EXPECT_EQ(executions, 4);
+    EXPECT_EQ(run2.skippedCount(), 2u);
+    EXPECT_EQ(run2.okCount(), 1u);
+    EXPECT_TRUE(run2.allOk());
+    EXPECT_EQ(run2.outcomes[0].status, PointStatus::Skipped);
+    EXPECT_EQ(run2.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(run2.outcomes[2].status, PointStatus::Skipped);
+}
+
+TEST_F(SweepRunnerTest, DamagedManifestLinesAreIgnored)
+{
+    SweepRunner first({manifest});
+    int executions = 0;
+    first.add("keep", [&] {
+        ++executions;
+        return fakeResult(5);
+    });
+    first.run();
+
+    // Simulate a torn write: append garbage to the manifest.
+    std::FILE *file = std::fopen(manifest.c_str(), "a");
+    ASSERT_NE(file, nullptr);
+    std::fprintf(file, "ok wall=0.5 elapsed_ps=");
+    std::fclose(file);
+
+    SweepRunner second({manifest});
+    second.add("keep", [&] {
+        ++executions;
+        return fakeResult(5);
+    });
+    SweepReport report = second.run();
+    EXPECT_EQ(report.skippedCount(), 1u);
+    EXPECT_EQ(executions, 1);
+}
+
+TEST_F(SweepRunnerTest, WatchdogAbortsRunawayPointCleanly)
+{
+    SweepRunner runner;
+    runner.add("runaway", [] {
+        SimConfig sim;
+        sim.maxRefs = 50'000;
+        sim.quantumRefs = 500;
+        sim.watchdogRefBudget = 1'000; // absurdly tight on purpose
+        return simulateConventional(baselineConfig(200'000'000ull, 1024),
+                                    sim);
+    });
+    runner.add("healthy", [] { return tinyBaseline(1024); });
+
+    SweepReport report = runner.run();
+    EXPECT_EQ(report.failedCount(), 1u);
+    EXPECT_EQ(report.okCount(), 1u);
+    EXPECT_EQ(report.outcomes[0].errorCategory, ErrorCategory::Internal);
+    EXPECT_NE(report.outcomes[0].error.find("watchdog"),
+              std::string::npos);
+}
+
+/**
+ * The acceptance scenario end to end: a campaign holding an injected
+ * corrupt-trace point and an invalid-config point among healthy ones
+ * completes with partial results, and a second run resumes from the
+ * manifest without re-simulating the completed points.
+ */
+TEST_F(SweepRunnerTest, CorruptTraceAndBadConfigCampaignResumes)
+{
+    std::string trace = std::string(::testing::TempDir()) +
+                        "/rampage_sweep_campaign.trace";
+    {
+        TraceWriter writer(trace);
+        MemRef ref;
+        ref.pid = 1;
+        for (int i = 0; i < 64; ++i) {
+            ref.vaddr = 0x1000 + 32 * i;
+            writer.write(ref);
+        }
+    }
+    truncateTraceFile(trace, 8 + 64 * 11 - 5); // injected damage
+
+    int simulated = 0;
+    auto build = [&](SweepRunner &runner) {
+        runner.add("baseline/128", [&] {
+            ++simulated;
+            return tinyBaseline(128);
+        });
+        runner.add("trace/corrupt", [&]() -> SimResult {
+            TraceReadOptions strict;
+            strict.strict = true;
+            readTraceFile(trace, 1, strict);
+            return SimResult{};
+        });
+        runner.add("config/invalid", [&] {
+            ++simulated;
+            return tinyBaseline(16);
+        });
+        runner.add("baseline/1024", [&] {
+            ++simulated;
+            return tinyBaseline(1024);
+        });
+    };
+
+    SweepRunner first({manifest});
+    build(first);
+    SweepReport run1 = first.run();
+    ASSERT_EQ(run1.outcomes.size(), 4u);
+    EXPECT_EQ(run1.okCount(), 2u);
+    EXPECT_EQ(run1.failedCount(), 2u);
+    EXPECT_EQ(run1.outcomes[1].errorCategory, ErrorCategory::Trace);
+    EXPECT_EQ(run1.outcomes[2].errorCategory, ErrorCategory::Config);
+    EXPECT_TRUE(run1.outcomes[0].haveResult);
+    EXPECT_TRUE(run1.outcomes[3].haveResult);
+    EXPECT_EQ(simulated, 3); // two healthy + the invalid-config attempt
+
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport run2 = second.run();
+    EXPECT_EQ(run2.skippedCount(), 2u); // healthy points not re-simulated
+    EXPECT_EQ(run2.failedCount(), 2u);  // still-broken points re-tried
+    EXPECT_EQ(simulated, 4); // only the invalid-config attempt repeats
+
+    std::remove(trace.c_str());
+}
+
+} // namespace
+} // namespace rampage
