@@ -40,6 +40,7 @@ runBench()
     std::uint64_t dm_misses = 0;
     Tick dm_time = 0;
     auto report = [&](const char *name, const SimResult &result) {
+        benchRecordResult(name, result);
         const std::uint64_t misses = result.counts.l2Misses;
         if (dm_misses == 0) {
             dm_misses = misses;
@@ -86,7 +87,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

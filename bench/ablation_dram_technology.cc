@@ -58,10 +58,14 @@ runBench()
             RampageConfig ram = rampageConfig(rate, size);
             ram.common.dramKind = tech.kind;
             ram.common.rambus.channels = tech.channels;
-            base_row.push_back(formatSeconds(
-                simulateConventional(base, sim).elapsedPs));
-            ram_row.push_back(formatSeconds(
-                simulateRampage(ram, sim).elapsedPs));
+            SimResult base_res = simulateConventional(base, sim);
+            SimResult ram_res = simulateRampage(ram, sim);
+            std::string cell = std::string(tech.name) + "/" +
+                               formatByteSize(size);
+            benchRecordResult("baseline/" + cell, base_res);
+            benchRecordResult("rampage/" + cell, ram_res);
+            base_row.push_back(formatSeconds(base_res.elapsedPs));
+            ram_row.push_back(formatSeconds(ram_res.elapsedPs));
             std::fprintf(stderr, "  [%s %s done]\n", tech.name,
                          formatByteSize(size).c_str());
         }
@@ -76,7 +80,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

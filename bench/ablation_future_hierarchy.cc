@@ -65,6 +65,10 @@ runBench()
             }
             SimResult two_res = simulateConventional(two, sim);
             SimResult ram_res = simulateRampage(ram, sim);
+            std::string cell = std::string(tag) + "/" +
+                               formatByteSize(size);
+            benchRecordResult("2way/" + cell, two_res);
+            benchRecordResult("rampage/" + cell, ram_res);
             std::fprintf(stderr, "  [%s %s done]\n", tag,
                          formatByteSize(size).c_str());
             two_row.push_back(formatSeconds(two_res.elapsedPs));
@@ -78,7 +82,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -42,6 +42,9 @@ runBench()
             RampageConfig cfg = rampageConfig(4'000'000'000ull, size);
             cfg.common.rambus.pipelineDepth = depth;
             SimResult result = simulateRampage(cfg, sim);
+            benchRecordResult(cellf("depth%u/", depth) +
+                                  formatByteSize(size),
+                              result);
             std::fprintf(stderr, "  [depth %u %s done]\n", depth,
                          formatByteSize(size).c_str());
             row.push_back(formatSeconds(result.elapsedPs));
@@ -57,7 +60,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

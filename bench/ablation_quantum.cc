@@ -56,6 +56,11 @@ runBench()
                 std::fprintf(stderr, "  [q=%llu %s %s done]\n",
                              static_cast<unsigned long long>(quantum),
                              family, formatByteSize(size).c_str());
+                benchRecordResult(
+                    cellf("q%lluK/", static_cast<unsigned long long>(
+                                         quantum / 1000)) +
+                        family + "/" + formatByteSize(size),
+                    result);
                 row.push_back(formatSeconds(result.elapsedPs));
                 if (result.elapsedPs < best) {
                     best = result.elapsedPs;
@@ -72,7 +77,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -41,6 +41,7 @@ runBench()
         cfg.pager.standbyPages = 32;
         SimResult result = simulateRampage(cfg, sim);
         std::fprintf(stderr, "  [%s done]\n", pageReplKindName(kind));
+        benchRecordResult(pageReplKindName(kind), result);
         Tick fast = totalTimePs(result.counts, 4'000'000'000ull);
         if (kind == PageReplKind::Clock)
             clock_time = fast;
@@ -63,7 +64,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -98,6 +98,7 @@ runBench()
         SimResult result = simulateRampage(rampageConfig(rate, size), sim);
         std::fprintf(stderr, "  [fixed %s done]\n",
                      formatByteSize(size).c_str());
+        benchRecordResult("fixed/" + formatByteSize(size), result);
         table.addRow({"fixed " + formatByteSize(size),
                       cellf("%llu", static_cast<unsigned long long>(
                                         result.counts.l2Misses)),
@@ -114,6 +115,7 @@ runBench()
     VarRampageHierarchy var_hier(var_cfg);
     Simulator var_driver(var_hier, makeWorkload(), sim);
     SimResult var_result = var_driver.run();
+    benchRecordResult("variable/per-process-best", var_result);
     table.addRow({"variable (per-process best)",
                   cellf("%llu", static_cast<unsigned long long>(
                                     var_result.counts.l2Misses)),
@@ -130,7 +132,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

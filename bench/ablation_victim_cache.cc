@@ -35,6 +35,7 @@ runBench()
                      "time(s)@4GHz"});
 
     auto report = [&](const char *name, const SimResult &result) {
+        benchRecordResult(name, result);
         table.addRow({
             name,
             cellf("%llu", static_cast<unsigned long long>(
@@ -64,7 +65,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -1,14 +1,146 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 
 #include "core/cost_model.hh"
+#include "util/debug.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
 namespace rampage
 {
+
+namespace
+{
+
+/** State of the per-process JSON report (empty path = disabled). */
+struct BenchReport
+{
+    std::string path;
+    std::string name;
+    std::vector<JsonValue> results;
+    std::vector<JsonValue> rows;
+};
+
+BenchReport &
+benchReport()
+{
+    static BenchReport report;
+    return report;
+}
+
+std::string
+baseName(const char *path)
+{
+    std::string text = path ? path : "bench";
+    std::size_t slash = text.find_last_of('/');
+    return slash == std::string::npos ? text : text.substr(slash + 1);
+}
+
+void
+writeJsonReport()
+{
+    BenchReport &report = benchReport();
+    if (report.path.empty())
+        return;
+
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", JsonValue::str(report.name));
+
+    ExperimentScale scale = experimentScale();
+    JsonValue scale_obj = JsonValue::object();
+    scale_obj.set("refs", JsonValue::integer(scale.refs));
+    scale_obj.set("quantum_refs", JsonValue::integer(scale.quantumRefs));
+    doc.set("scale", std::move(scale_obj));
+
+    JsonValue rows = JsonValue::array();
+    for (JsonValue &row : report.rows)
+        rows.push(std::move(row));
+    doc.set("rows", std::move(rows));
+
+    JsonValue results = JsonValue::array();
+    for (JsonValue &entry : report.results)
+        results.push(std::move(entry));
+    doc.set("results", std::move(results));
+
+    std::ofstream out(report.path);
+    if (!out.is_open()) {
+        warn("cannot write JSON report to '%s'", report.path.c_str());
+        return;
+    }
+    out << doc.dump() << "\n";
+    std::fprintf(stderr, "[json report written to %s]\n",
+                 report.path.c_str());
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv, const std::function<int()> &body)
+{
+    return cliMain([&]() -> int {
+        benchReport().name = baseName(argc > 0 ? argv[0] : nullptr);
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--json" && i + 1 < argc) {
+                benchReport().path = argv[++i];
+            } else if (arg == "--debug" && i + 1 < argc) {
+                setDebugChannels(argv[++i]);
+            } else {
+                throw ConfigError(
+                    "unknown argument '%s'\nusage: %s [--json <path>] "
+                    "[--debug <%s|all>]",
+                    arg.c_str(), benchReport().name.c_str(),
+                    debugChannelList().c_str());
+            }
+        }
+        int status = body();
+        if (status == 0)
+            writeJsonReport();
+        return status;
+    });
+}
+
+bool
+benchJsonActive()
+{
+    return !benchReport().path.empty();
+}
+
+void
+benchRecordResult(const std::string &label, const SimResult &result,
+                  double wall_seconds)
+{
+    if (!benchJsonActive())
+        return;
+    JsonValue entry = JsonValue::object();
+    entry.set("label", JsonValue::str(label));
+    entry.set("system", JsonValue::str(result.systemName));
+    entry.set("issue_hz", JsonValue::integer(result.issueHz));
+    entry.set("elapsed_ps", JsonValue::integer(result.elapsedPs));
+    entry.set("seconds", JsonValue::number(result.seconds()));
+    if (wall_seconds > 0) {
+        entry.set("wall_seconds", JsonValue::number(wall_seconds));
+        entry.set("refs_per_sec",
+                  JsonValue::number(
+                      static_cast<double>(result.counts.refs) /
+                      wall_seconds));
+    }
+    entry.set("stats", result.stats.toJson());
+    benchReport().results.push_back(std::move(entry));
+}
+
+void
+benchRecordRow(JsonValue row)
+{
+    if (!benchJsonActive())
+        return;
+    benchReport().rows.push_back(std::move(row));
+}
 
 void
 benchBanner(const std::string &title, const std::string &paper_says)
@@ -45,6 +177,7 @@ runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
     std::vector<SimResult> results;
     SimConfig sim = defaultSimConfig();
     for (std::uint64_t size : blockSizeSweep()) {
+        auto started = std::chrono::steady_clock::now();
         if (family == "baseline") {
             results.push_back(
                 simulateConventional(baselineConfig(issue_hz, size), sim));
@@ -57,8 +190,17 @@ runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
         } else {
             fatal("unknown system family '%s'", family.c_str());
         }
-        std::fprintf(stderr, "  [%s %s done]\n", family.c_str(),
-                     formatByteSize(size).c_str());
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+        const SimResult &result = results.back();
+        std::fprintf(stderr, "  [%s %s done in %.2f s, %.0f refs/s]\n",
+                     family.c_str(), formatByteSize(size).c_str(), wall,
+                     wall > 0 ? static_cast<double>(result.counts.refs) /
+                                    wall
+                              : 0.0);
+        benchRecordResult(family + "/" + formatByteSize(size), result,
+                          wall);
     }
     return results;
 }

@@ -11,14 +11,49 @@
 #define RAMPAGE_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/sweep.hh"
 #include "stats/table.hh"
+#include "util/json.hh"
 
 namespace rampage
 {
+
+/**
+ * CLI entry point shared by every bench: parses the common flags,
+ * runs `body` under cliMain() (typed errors map to fatal/panic with a
+ * debug-ring post-mortem), and — when --json was given — writes the
+ * machine-readable report on success.
+ *
+ * Flags:
+ *   --json <path>      write results + full stats dumps as JSON
+ *   --debug <channels> enable RAMPAGE_DPRINTF channels (Debug builds)
+ *
+ * The human-readable table on stdout is unchanged byte-for-byte; all
+ * telemetry goes to stderr or the JSON file.
+ */
+int benchMain(int argc, char **argv, const std::function<int()> &body);
+
+/**
+ * Record one simulation into the bench's JSON report ("results"
+ * array: label, system, issue_hz, elapsed_ps, seconds, optional
+ * wall_seconds / refs_per_sec, and the full stats snapshot).  No-op
+ * unless --json was given.
+ */
+void benchRecordResult(const std::string &label, const SimResult &result,
+                       double wall_seconds = 0);
+
+/**
+ * Record an arbitrary derived row (a table/figure cell) into the
+ * bench's JSON report ("rows" array).  No-op unless --json was given.
+ */
+void benchRecordRow(JsonValue row);
+
+/** @return true when --json was given (recording is active). */
+bool benchJsonActive();
 
 /** Print the standard bench banner. */
 void benchBanner(const std::string &title, const std::string &paper_says);

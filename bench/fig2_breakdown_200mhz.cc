@@ -4,6 +4,7 @@
  * 200 MHz issue rate for the baseline and RAMpage.
  */
 
+#include "bench_common.hh"
 #include "fig_breakdown_common.hh"
 #include "util/error.hh"
 
@@ -17,7 +18,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -5,6 +5,7 @@
  * into the DRAM level; RAMpage tolerates the gap better.
  */
 
+#include "bench_common.hh"
 #include "fig_breakdown_common.hh"
 #include "util/error.hh"
 
@@ -19,7 +20,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

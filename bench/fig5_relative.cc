@@ -48,6 +48,9 @@ runBench()
             std::fprintf(stderr, "  [switch %s @%s done]\n",
                          formatByteSize(size).c_str(),
                          formatFrequency(rate).c_str());
+            benchRecordResult("switch/" + formatFrequency(rate) + "/" +
+                                  formatByteSize(size),
+                              result);
             switch_times.push_back(result.elapsedPs);
         }
         std::vector<Tick> two_way_times;
@@ -83,7 +86,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -13,7 +13,8 @@ namespace
 {
 
 void
-printSystem(const char *name, const std::vector<SimResult> &results,
+printSystem(const char *figure, const char *name,
+            const std::vector<SimResult> &results,
             std::uint64_t issue_hz, const std::string &l2_name)
 {
     std::printf("(%s)\n", name);
@@ -21,6 +22,7 @@ printSystem(const char *name, const std::vector<SimResult> &results,
     table.setHeader({"size", "L1i%", "L1d%",
                      l2_name + "%", "DRAM%", "total(s)"});
     auto labels = blockSizeLabels();
+    auto sizes = blockSizeSweep();
     for (std::size_t i = 0; i < results.size(); ++i) {
         TimeBreakdown bd = priceEvents(results[i].counts, issue_hz);
         table.addRow({
@@ -31,6 +33,21 @@ printSystem(const char *name, const std::vector<SimResult> &results,
             cellf("%.1f", 100 * bd.fraction(TimeLevel::Dram)),
             formatSeconds(bd.total()),
         });
+
+        JsonValue row = JsonValue::object();
+        row.set("figure", JsonValue::str(figure));
+        row.set("system", JsonValue::str(results[i].systemName));
+        row.set("size_bytes", JsonValue::integer(sizes[i]));
+        row.set("l1i_fraction",
+                JsonValue::number(bd.fraction(TimeLevel::L1I)));
+        row.set("l1d_fraction",
+                JsonValue::number(bd.fraction(TimeLevel::L1D)));
+        row.set("l2_fraction",
+                JsonValue::number(bd.fraction(TimeLevel::L2)));
+        row.set("dram_fraction",
+                JsonValue::number(bd.fraction(TimeLevel::Dram)));
+        row.set("total_ps", JsonValue::integer(bd.total()));
+        benchRecordRow(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
 }
@@ -50,8 +67,9 @@ runBreakdownFigure(const char *figure, std::uint64_t issue_hz,
     auto baseline = runBlockingSweep("baseline", issue_hz);
     auto rampage_r = runBlockingSweep("rampage", issue_hz);
 
-    printSystem("a: direct-mapped L2", baseline, issue_hz, "L2");
-    printSystem("b: RAMpage", rampage_r, issue_hz, "SRAM MM");
+    printSystem(figure, "a: direct-mapped L2", baseline, issue_hz,
+                "L2");
+    printSystem(figure, "b: RAMpage", rampage_r, issue_hz, "SRAM MM");
 
     std::printf("note: L1d counts only inclusion maintenance (data "
                 "hits are fully pipelined); L1i includes instruction "

@@ -33,6 +33,15 @@ runBench()
     DirectRambus rambus;
     Disk disk;
     for (const EfficiencyRow &row : computeEfficiencyTable()) {
+        JsonValue json_row = JsonValue::object();
+        json_row.set("bytes", JsonValue::integer(row.bytes));
+        json_row.set("rambus_efficiency",
+                     JsonValue::number(row.rambusEfficiency));
+        json_row.set("rambus_pipelined",
+                     JsonValue::number(row.rambusPipelined));
+        json_row.set("disk_efficiency",
+                     JsonValue::number(row.diskEfficiency));
+        benchRecordRow(std::move(json_row));
         table.addRow({
             formatByteSize(row.bytes),
             cellf("%.2f", 100.0 * row.rambusEfficiency),
@@ -52,7 +61,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -40,14 +40,26 @@ runBench()
             else
                 ++data;
         }
+        double measured = static_cast<double>(data) /
+                          static_cast<double>(instr);
+        JsonValue json_row = JsonValue::object();
+        json_row.set("program", JsonValue::str(profile.name));
+        json_row.set("instr_millions",
+                     JsonValue::number(profile.instrMillions));
+        json_row.set("total_millions",
+                     JsonValue::number(profile.totalMillions));
+        json_row.set("data_per_instr_t2",
+                     JsonValue::number(profile.dataPerInstr));
+        json_row.set("data_per_instr_measured",
+                     JsonValue::number(measured));
+        benchRecordRow(std::move(json_row));
         table.addRow({
             profile.name,
             profile.description,
             cellf("%.1f", profile.instrMillions),
             cellf("%.1f", profile.totalMillions),
             cellf("%.3f", profile.dataPerInstr),
-            cellf("%.3f", static_cast<double>(data) /
-                              static_cast<double>(instr)),
+            cellf("%.3f", measured),
         });
         total_instr += profile.instrMillions;
         total_refs += profile.totalMillions;
@@ -59,7 +71,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -54,6 +54,9 @@ runBench()
             std::fprintf(stderr, "  [switch %s @%s done]\n",
                          formatByteSize(size).c_str(),
                          formatFrequency(rate).c_str());
+            benchRecordResult("switch/" + formatFrequency(rate) + "/" +
+                                  formatByteSize(size),
+                              result);
             times.push_back(formatSeconds(result.elapsedPs));
             Tick plain = totalTimePs(no_switch[i].counts, rate);
             speedups.push_back(cellf(
@@ -79,7 +82,7 @@ runBench()
 }
 
 int
-main()
+main(int argc, char **argv)
 {
-    return rampage::cliMain(runBench);
+    return rampage::benchMain(argc, argv, runBench);
 }

@@ -7,6 +7,9 @@
  *
  * Usage: quickstart [issue-rate] [block-bytes] [refs]
  *   e.g. quickstart 1GHz 1KB 4000000
+ *
+ * Set RAMPAGE_STATS=1 to also dump every system's full named-stats
+ * snapshot (the same registry the benches serialize with --json).
  */
 
 #include <cstdio>
@@ -40,7 +43,13 @@ runTool(int argc, char **argv)
     table.setHeader({"system", "time(s)", "L1i%", "L1d%", "L2/MM%",
                      "DRAM%", "TLBmiss", "L2miss/flt", "ovh%"});
 
+    bool dump_stats = std::getenv("RAMPAGE_STATS") != nullptr;
+
     auto report = [&](const SimResult &result) {
+        if (dump_stats)
+            std::printf("---- %s stats ----\n%s\n",
+                        result.systemName.c_str(),
+                        result.stats.toText().c_str());
         TimeBreakdown bd = priceEvents(result.counts, issue_hz,
                                        result.stallPs);
         const EventCounts &c = result.counts;

@@ -61,7 +61,12 @@ runTool(int argc, char **argv)
 
     std::string corrupt = makeCorruptTrace();
 
-    SweepRunner runner({checkpoint});
+    SweepRunner::Options opts;
+    opts.checkpointPath = checkpoint;
+    // Progress heartbeats for long campaigns (stderr, point
+    // boundaries); deliberately short here so the demo shows one.
+    opts.heartbeatSeconds = 0.5;
+    SweepRunner runner(opts);
     for (std::uint64_t rate : {200'000'000ull, 1'000'000'000ull}) {
         runner.add("baseline/" + formatFrequency(rate), [=] {
             return simulateConventional(baselineConfig(rate, 1024), sim);

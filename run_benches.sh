@@ -2,13 +2,21 @@
 # Regenerate every table/figure at the default scale, one log per bench.
 # Each bench's stdout+stderr is captured; a failing bench is reported
 # and makes the whole script exit nonzero, but the rest still run.
+# Paper benches additionally write a machine-readable JSON report
+# (results + full stats dumps) to results/<name>.json via --json;
+# micro_components is a google-benchmark binary with its own CLI and
+# is run as-is.
 mkdir -p results
 status=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "=== $name ==="
-  if "$b" >"results/$name.txt" 2>&1; then
+  case "$name" in
+    micro_components) set -- ;;
+    *) set -- --json "results/$name.json" ;;
+  esac
+  if "$b" "$@" >"results/$name.txt" 2>&1; then
     cat "results/$name.txt"
   else
     rc=$?

@@ -1,6 +1,8 @@
 #include "cache/cache.hh"
 
+#include "stats/registry.hh"
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -28,6 +30,25 @@ CacheStats::missRatio() const
     return total == 0 ? 0.0
                       : static_cast<double>(misses) /
                             static_cast<double>(total);
+}
+
+void
+SetAssocCache::registerStats(StatsRegistry &reg,
+                             const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", prm.name + " hits", &stat.hits);
+    reg.addCounter(prefix + ".misses", prm.name + " misses",
+                   &stat.misses);
+    reg.addCounter(prefix + ".evictions", prm.name + " victim evictions",
+                   &stat.evictions);
+    reg.addCounter(prefix + ".dirty_evictions",
+                   prm.name + " dirty victim evictions",
+                   &stat.dirtyEvictions);
+    reg.addCounter(prefix + ".invalidations",
+                   prm.name + " invalidations", &stat.invalidations);
+    reg.addFormula(prefix + ".miss_ratio",
+                   prm.name + " misses / accesses",
+                   [this] { return stat.missRatio(); });
 }
 
 SetAssocCache::SetAssocCache(const CacheParams &params)
@@ -151,6 +172,10 @@ SetAssocCache::access(Addr addr, bool is_write)
 
     // Miss: allocate (write-allocate), possibly evicting a victim.
     ++stat.misses;
+    RAMPAGE_DPRINTF(Cache, "%s miss %s addr=0x%llx set=%llu",
+                    prm.name.c_str(), is_write ? "write" : "read",
+                    static_cast<unsigned long long>(addr),
+                    static_cast<unsigned long long>(set));
     unsigned way = pickVictim(set);
     Line &line = base[way];
     if (line.valid) {
@@ -160,6 +185,10 @@ SetAssocCache::access(Addr addr, bool is_write)
         ++stat.evictions;
         if (line.dirty)
             ++stat.dirtyEvictions;
+        RAMPAGE_DPRINTF(Cache, "%s evict addr=0x%llx dirty=%d",
+                        prm.name.c_str(),
+                        static_cast<unsigned long long>(result.victimAddr),
+                        line.dirty ? 1 : 0);
     }
     line.valid = true;
     line.dirty = is_write;

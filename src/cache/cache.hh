@@ -24,6 +24,8 @@
 namespace rampage
 {
 
+class StatsRegistry;
+
 /** Block replacement policy within a set. */
 enum class ReplPolicy : std::uint8_t
 {
@@ -124,6 +126,13 @@ class SetAssocCache
     const CacheParams &params() const { return prm; }
     const CacheStats &stats() const { return stat; }
     void clearStats() { stat = CacheStats{}; }
+
+    /**
+     * Register this cache's counters under `prefix` (e.g. "l1i").
+     * The cache must outlive the registry's dumps.
+     */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
     std::uint64_t numSets() const { return nSets; }
     unsigned ways() const { return nWays; }

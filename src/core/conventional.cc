@@ -48,6 +48,32 @@ ConventionalHierarchy::ConventionalHierarchy(
     if (ccfg.victimEntries > 0)
         victim = std::make_unique<VictimCache>(ccfg.victimEntries,
                                                ccfg.l2BlockBytes);
+
+    // The column-associative L2 keeps its own statistics struct; the
+    // plain set-associative L2 registers like the L1s.
+    if (columnL2) {
+        const ColumnAssocStats &cs = columnL2->stats();
+        statsReg.addCounter("l2.first_hits",
+                            "L2 hits on the primary probe",
+                            &cs.firstHits);
+        statsReg.addCounter("l2.rehash_hits",
+                            "L2 hits on the alternate probe",
+                            &cs.rehashHits);
+        statsReg.addCounter("l2.misses", "L2 double misses", &cs.misses);
+        statsReg.addCounter("l2.in_place_replacements",
+                            "L2 case-2 fast replaces",
+                            &cs.inPlaceReplacements);
+    } else {
+        l2Cache.registerStats(statsReg, "l2");
+    }
+    if (victim) {
+        statsReg.addFormula(
+            "l2.victim_hits", "victim-cache extract hits",
+            [this] { return static_cast<double>(victim->hits()); });
+        statsReg.addFormula(
+            "l2.victim_lookups", "victim-cache lookups",
+            [this] { return static_cast<double>(victim->lookups()); });
+    }
 }
 
 std::string
@@ -152,10 +178,12 @@ ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
                                        ccfg.l2BlockBytes, flush_cycles);
             if (dirty) {
                 ++evt.dramWrites;
+                noteDramTx(ccfg.l2BlockBytes, true);
                 addDramPs(dram().writePs(ccfg.l2BlockBytes));
             }
         }
         ++evt.dramReads;
+        noteDramTx(ccfg.l2BlockBytes, false);
         addDramPs(dram().readPs(ccfg.l2BlockBytes));
         return cycles;
     }
@@ -178,10 +206,12 @@ ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
                 victim->insert(res.victimAddr, dirty);
             if (out.valid && out.dirty) {
                 ++evt.dramWrites;
+                noteDramTx(ccfg.l2BlockBytes, true);
                 addDramPs(dram().writePs(ccfg.l2BlockBytes));
             }
         } else if (dirty) {
             ++evt.dramWrites;
+            noteDramTx(ccfg.l2BlockBytes, true);
             addDramPs(dram().writePs(ccfg.l2BlockBytes));
         }
     }
@@ -202,6 +232,7 @@ ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
     }
     if (!filled) {
         ++evt.dramReads;
+        noteDramTx(ccfg.l2BlockBytes, false);
         addDramPs(dram().readPs(ccfg.l2BlockBytes));
     }
     return cycles;
@@ -223,6 +254,7 @@ ConventionalHierarchy::writebackBelow(Addr victim_addr)
     }
     // Inclusion anomaly (should not happen): write straight to DRAM.
     ++evt.dramWrites;
+    noteDramTx(cfg.l1BlockBytes, true);
     addDramPs(dram().writePs(cfg.l1BlockBytes));
     return 0;
 }

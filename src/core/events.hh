@@ -24,6 +24,8 @@
 namespace rampage
 {
 
+class StatsRegistry;
+
 /** Everything a behavioural run accumulates. */
 struct EventCounts
 {
@@ -57,6 +59,15 @@ struct EventCounts
 
     /** Element-wise accumulate. */
     EventCounts &operator+=(const EventCounts &other);
+
+    /**
+     * Register every counter under its run-level name: "sim.*" for the
+     * reference/cycle accounting, "dram.reads"/"dram.writes"/
+     * "dram.transfer_ps" for the channel traffic, plus the
+     * "sim.overhead_ratio" formula (Fig. 4).  `this` must outlive the
+     * registry's dumps.
+     */
+    void registerStats(StatsRegistry &reg) const;
 
     /**
      * Handler-reference overhead ratio (the paper's Figure 4):

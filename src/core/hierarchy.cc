@@ -1,6 +1,7 @@
 #include "core/hierarchy.hh"
 
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
@@ -41,6 +42,25 @@ Hierarchy::Hierarchy(const CommonConfig &config)
       sdramModel(config.sdram),
       handlers(config.handlerLayout, config.handlerCosts)
 {
+    l1iCache.registerStats(statsReg, "l1i");
+    l1dCache.registerStats(statsReg, "l1d");
+    tlbUnit.registerStats(statsReg, "tlb");
+    evt.registerStats(statsReg);
+    statsReg.addHistogram("dram.tx_bytes", "DRAM transaction sizes",
+                          &dramTxHist);
+    statsReg.addFormula("dram.peak_bandwidth",
+                        "peak streaming bandwidth (bytes/s)",
+                        [this] { return dram().peakBandwidth(); });
+}
+
+void
+Hierarchy::noteDramTx(std::uint64_t bytes, bool is_write)
+{
+    dramTxHist.add(bytes);
+    RAMPAGE_DPRINTF(Dram, "%s tx %llu bytes",
+                    is_write ? "write" : "read",
+                    static_cast<unsigned long long>(bytes));
+    (void)is_write;
 }
 
 TimeBreakdown

@@ -25,6 +25,7 @@
 #include "core/events.hh"
 #include "dram/rambus.hh"
 #include "dram/sdram.hh"
+#include "stats/registry.hh"
 #include "tlb/tlb.hh"
 #include "trace/handlers.hh"
 #include "trace/record.hh"
@@ -78,6 +79,13 @@ class Hierarchy
     const Tlb &tlb() const { return tlbUnit; }
     const SetAssocCache &l1i() const { return l1iCache; }
     const SetAssocCache &l1d() const { return l1dCache; }
+
+    /**
+     * The hierarchy's named-stats registry.  Every component registers
+     * at construction; dump with dumpText()/dumpJson() or freeze with
+     * snapshot() (SimResult carries a snapshot per run).
+     */
+    const StatsRegistry &statsRegistry() const { return statsReg; }
 
     /** Price this run's events at an issue rate (blocking runs). */
     TimeBreakdown breakdown(std::uint64_t issue_hz) const;
@@ -147,6 +155,14 @@ class Hierarchy
         evt.dramPs += ps;
     }
 
+    /**
+     * Note one DRAM transaction for observability: records `bytes` in
+     * the dram.tx_bytes histogram and traces it on the Dram channel.
+     * Call alongside the dramReads/dramWrites accounting; timing is
+     * still charged separately via addDramPs().
+     */
+    void noteDramTx(std::uint64_t bytes, bool is_write);
+
     /** The selected DRAM timing model (§3.3). */
     const DramModel &
     dram() const
@@ -172,6 +188,8 @@ class Hierarchy
     Sdram sdramModel;
     HandlerTraces handlers;
     EventCounts evt;
+    StatsRegistry statsReg;    ///< named stats, filled at construction
+    Log2Histogram dramTxHist;  ///< DRAM transaction sizes (dram.tx_bytes)
 
     /** Write-back cycles for this hierarchy (12 conv., 9 RAMpage). */
     virtual Cycles l1WritebackCost() const = 0;

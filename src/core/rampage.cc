@@ -26,6 +26,7 @@ RampageHierarchy::RampageHierarchy(const RampageConfig &config)
     if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
         throw ConfigError(
             "pager OS region must start at the handler code base");
+    pagerUnit.registerStats(statsReg, "pager");
 }
 
 std::string
@@ -166,11 +167,14 @@ RampageHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     if (write_victim) {
         ++evt.dramWrites;
         ++evt.dramReads;
+        noteDramTx(page_bytes, true);
+        noteDramTx(page_bytes, false);
         Tick both = dramBurstPs(page_bytes, 2);
         addDramPs(both);
         defer += both;
     } else {
         ++evt.dramReads;
+        noteDramTx(page_bytes, false);
         Tick read_ps = dram().readPs(page_bytes);
         addDramPs(read_ps);
         defer += read_ps;

@@ -25,6 +25,7 @@ VarRampageHierarchy::VarRampageHierarchy(const VarRampageConfig &config)
     if (config.pager.osVirtBase != cfg.handlerLayout.codeBase)
         throw ConfigError(
             "pager OS region must start at the handler code base");
+    pagerUnit.registerStats(statsReg, "pager");
 }
 
 Cycles
@@ -131,6 +132,7 @@ VarRampageHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
         dirty |= invalidateL1Range(base, victim.bytes, flush_cycles);
         if (dirty) {
             ++evt.dramWrites;
+            noteDramTx(victim.bytes, true);
             Tick write_ps = dram().writePs(victim.bytes);
             addDramPs(write_ps);
             defer += write_ps;
@@ -140,6 +142,7 @@ VarRampageHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     std::uint64_t page_bytes = pagerUnit.pageBytes(pid);
     dir.physAddr(pid, vpn * page_bytes); // allocate the DRAM home
     ++evt.dramReads;
+    noteDramTx(page_bytes, false);
     Tick read_ps = dram().readPs(page_bytes);
     addDramPs(read_ps);
     defer += read_ps;

@@ -83,6 +83,11 @@ Simulator::runBlocking()
     result.counts = hier.counts();
     result.systemName = hier.name();
     result.issueHz = hier.commonConfig().issueHz;
+    result.stats = hier.statsRegistry().snapshot();
+    result.stats.addCounter("sim.elapsed_ps",
+                            "elapsed simulated picoseconds", now);
+    result.stats.addValue("sim.seconds", "elapsed simulated seconds",
+                          result.seconds());
     return result;
 }
 
@@ -134,6 +139,19 @@ Simulator::runSwitchOnMiss()
     result.sched = sched.stats();
     result.systemName = hier.name();
     result.issueHz = hier.commonConfig().issueHz;
+    result.stats = hier.statsRegistry().snapshot();
+    // The scheduler is local to this run: snapshot it through a
+    // throwaway registry so no dangling pointer outlives the call.
+    StatsRegistry sched_reg;
+    sched.registerStats(sched_reg, "sched");
+    result.stats.append(sched_reg.snapshot());
+    result.stats.addCounter("sim.elapsed_ps",
+                            "elapsed simulated picoseconds", now);
+    result.stats.addCounter("sim.stall_ps",
+                            "CPU idle ps waiting for page transfers",
+                            result.stallPs);
+    result.stats.addValue("sim.seconds", "elapsed simulated seconds",
+                          result.seconds());
     return result;
 }
 

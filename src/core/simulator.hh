@@ -16,6 +16,7 @@
 
 #include "core/hierarchy.hh"
 #include "os/scheduler.hh"
+#include "stats/registry.hh"
 #include "trace/source.hh"
 
 namespace rampage
@@ -57,6 +58,13 @@ struct SimResult
     EventCounts counts;
     /** Scheduler statistics (switch-on-miss only). */
     SchedStats sched;
+    /**
+     * Frozen named-stats dump: every component's registered counters
+     * plus run-level entries (sim.elapsed_ps, sim.seconds and — for
+     * switch-on-miss runs — sim.stall_ps and the sched.* counters).
+     * Self-contained: remains valid after the hierarchy is destroyed.
+     */
+    StatsSnapshot stats;
     std::string systemName;
     std::uint64_t issueHz = 0;
 

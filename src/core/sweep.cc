@@ -9,6 +9,7 @@
 #include "core/conventional.hh"
 #include "core/rampage.hh"
 #include "trace/benchmarks.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
@@ -223,9 +224,14 @@ SweepRunner::loadManifest() const
         if (wall_at != std::string::npos)
             wall = std::strtod(line.c_str() + wall_at + 5, nullptr);
         if (id.empty()) {
-            warn("checkpoint '%s': ignoring unparseable line %llu",
-                 opts.checkpointPath.c_str(),
-                 static_cast<unsigned long long>(line_no));
+            // A torn manifest can damage many lines at once; cap the
+            // noise and keep only the count.
+            warnRateLimited(
+                "checkpoint: ignoring unparseable manifest line");
+            RAMPAGE_DPRINTF(Trace,
+                            "checkpoint '%s': unparseable line %llu",
+                            opts.checkpointPath.c_str(),
+                            static_cast<unsigned long long>(line_no));
             continue;
         }
         done[id] = wall;
@@ -262,6 +268,9 @@ SweepRunner::run()
     report.outcomes.reserve(points.size());
     std::map<std::string, double> done = loadManifest();
 
+    auto campaign_started = std::chrono::steady_clock::now();
+    auto last_heartbeat = campaign_started;
+
     for (const Point &point : points) {
         PointOutcome outcome;
         outcome.id = point.id;
@@ -276,6 +285,25 @@ SweepRunner::run()
             continue;
         }
 
+        // Heartbeat at point boundaries: enough for a human watching
+        // a long campaign without touching the hot simulation loop.
+        auto now_tp = std::chrono::steady_clock::now();
+        if (opts.heartbeatSeconds > 0 &&
+            std::chrono::duration<double>(now_tp - last_heartbeat)
+                    .count() >= opts.heartbeatSeconds) {
+            last_heartbeat = now_tp;
+            inform("sweep: heartbeat %zu/%zu points done, %.1f s "
+                   "elapsed, next '%s'",
+                   report.outcomes.size(), points.size(),
+                   std::chrono::duration<double>(now_tp -
+                                                 campaign_started)
+                       .count(),
+                   point.id.c_str());
+        }
+
+        // Each point starts with a clean ring so a failure's tail
+        // holds only its own events.
+        clearDebugRing();
         auto started = std::chrono::steady_clock::now();
         try {
             outcome.result = point.body();
@@ -296,13 +324,27 @@ SweepRunner::run()
                 .count();
 
         if (outcome.status == PointStatus::Ok) {
+            if (outcome.wallSeconds > 0)
+                outcome.refsPerSecond =
+                    static_cast<double>(outcome.result.counts.refs) /
+                    outcome.wallSeconds;
             appendManifest(outcome);
-            inform("sweep: '%s' ok (%.2f s)", point.id.c_str(),
-                   outcome.wallSeconds);
+            inform("sweep: '%s' ok (%.2f s, %.0f refs/s)",
+                   point.id.c_str(), outcome.wallSeconds,
+                   outcome.refsPerSecond);
         } else {
+            outcome.debugTail = debugRingTail(16);
             warn("sweep: '%s' failed (%s error): %s", point.id.c_str(),
                  errorCategoryName(outcome.errorCategory),
                  outcome.error.c_str());
+            if (!outcome.debugTail.empty()) {
+                std::fprintf(stderr,
+                             "---- debug ring tail for '%s' ----\n",
+                             point.id.c_str());
+                for (const std::string &event : outcome.debugTail)
+                    std::fprintf(stderr, "  %s\n", event.c_str());
+                std::fprintf(stderr, "----\n");
+            }
         }
         report.outcomes.push_back(std::move(outcome));
     }

@@ -97,6 +97,14 @@ struct PointOutcome
     std::string error;
     /** Wall time of this execution (or the checkpointed value). */
     double wallSeconds = 0;
+    /** Hierarchy references per wall-clock second; 0 unless Ok. */
+    double refsPerSecond = 0;
+    /**
+     * Post-mortem: the debug ring buffer's tail at the moment of
+     * failure (most recent RAMPAGE_DPRINTF events).  Empty unless
+     * Failed and tracing was active.
+     */
+    std::vector<std::string> debugTail;
     /** True when `result` holds a simulation run from this campaign. */
     bool haveResult = false;
     SimResult result;
@@ -138,6 +146,12 @@ class SweepRunner
     {
         /** Checkpoint manifest path; empty disables checkpointing. */
         std::string checkpointPath;
+        /**
+         * Emit a progress heartbeat (points done / total, campaign
+         * wall time) when this many seconds have passed since the
+         * last one, checked at point boundaries.  0 disables.
+         */
+        double heartbeatSeconds = 0;
     };
 
     SweepRunner() = default;

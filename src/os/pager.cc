@@ -1,6 +1,8 @@
 #include "os/pager.hh"
 
+#include "stats/registry.hh"
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -67,6 +69,19 @@ SramPager::isDirty(std::uint64_t frame) const
     return dirty[frame];
 }
 
+void
+SramPager::registerStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".faults", "SRAM main-memory page faults",
+                   &stat.faults);
+    reg.addCounter(prefix + ".dirty_writebacks",
+                   "dirty victim pages written to DRAM",
+                   &stat.dirtyWritebacks);
+    reg.addCounter(prefix + ".cold_fills",
+                   "faults satisfied by a free frame", &stat.coldFills);
+}
+
 PageFaultResult
 SramPager::handleFault(Pid pid, std::uint64_t vpn)
 {
@@ -107,6 +122,14 @@ SramPager::handleFault(Pid pid, std::uint64_t vpn)
     repl->fill(frame);
     result.probes.push_back(ipt->entryAddr(frame));
     result.frame = frame;
+    RAMPAGE_DPRINTF(Pager,
+                    "fault pid=%u vpn=0x%llx -> frame=%llu victim=%d "
+                    "dirty=%d scan=%u",
+                    static_cast<unsigned>(pid),
+                    static_cast<unsigned long long>(vpn),
+                    static_cast<unsigned long long>(frame),
+                    result.victimValid ? 1 : 0,
+                    result.victimDirty ? 1 : 0, result.scanCost);
     return result;
 }
 

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "os/inverted_page_table.hh"
@@ -32,6 +33,8 @@
 
 namespace rampage
 {
+
+class StatsRegistry;
 
 /** Static configuration of the SRAM main memory. */
 struct PagerParams
@@ -143,6 +146,10 @@ class SramPager
 
     /** Virtual base address of the inverted page table image. */
     Addr tableVirtBase() const { return tableVbase; }
+
+    /** Register the pager's counters under `prefix` (e.g. "pager"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
     const PagerParams &params() const { return prm; }
     const PagerStats &stats() const { return stat; }

@@ -1,9 +1,27 @@
 #include "os/scheduler.hh"
 
+#include "stats/registry.hh"
+#include "util/debug.hh"
 #include "util/logging.hh"
 
 namespace rampage
 {
+
+void
+Scheduler::registerStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".quantum_switches",
+                   "time-slice context switches",
+                   &stat.quantumSwitches);
+    reg.addCounter(prefix + ".miss_switches",
+                   "context switches taken on page faults",
+                   &stat.missSwitches);
+    reg.addCounter(prefix + ".stalls", "all-blocked CPU idles",
+                   &stat.stalls);
+    reg.addCounter(prefix + ".stall_ps", "total CPU idle picoseconds",
+                   &stat.stallTime);
+}
 
 Scheduler::Scheduler(std::size_t nprocs, std::uint64_t quantum_refs)
     : blockedUntil(nprocs, 0), quantumRefs(quantum_refs)
@@ -61,6 +79,9 @@ Scheduler::pickFrom(std::size_t from, Tick now)
     RAMPAGE_ASSERT(resume > now, "stall with a ready process available");
     ++stat.stalls;
     stat.stallTime += resume - now;
+    RAMPAGE_DPRINTF(Sched, "stall %llu ps until proc %zu unblocks",
+                    static_cast<unsigned long long>(resume - now),
+                    earliest);
     running = earliest;
     refsInSlice = 0;
     return SchedPick{earliest, resume, true};
@@ -78,6 +99,8 @@ Scheduler::blockCurrent(Tick now, Tick until)
 {
     blockedUntil[running] = until;
     ++stat.missSwitches;
+    RAMPAGE_DPRINTF(Sched, "block proc %zu until %llu ps", running,
+                    static_cast<unsigned long long>(until));
     return pickFrom((running + 1) % blockedUntil.size(), now);
 }
 

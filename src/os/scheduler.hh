@@ -16,12 +16,15 @@
 #define RAMPAGE_OS_SCHEDULER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/types.hh"
 
 namespace rampage
 {
+
+class StatsRegistry;
 
 /** Result of a scheduling decision. */
 struct SchedPick
@@ -82,6 +85,10 @@ class Scheduler
     std::size_t processCount() const { return blockedUntil.size(); }
     std::uint64_t quantum() const { return quantumRefs; }
     const SchedStats &stats() const { return stat; }
+
+    /** Register the scheduler's counters under `prefix` (e.g. "sched"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     /**

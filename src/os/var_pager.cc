@@ -1,6 +1,8 @@
 #include "os/var_pager.hh"
 
+#include "stats/registry.hh"
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -141,6 +143,20 @@ VarPager::evictWindow(std::uint64_t start, std::uint64_t frames,
     }
 }
 
+void
+VarPager::registerStats(StatsRegistry &reg,
+                        const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".faults", "SRAM main-memory page faults",
+                   &stat.faults);
+    reg.addCounter(prefix + ".victims_evicted",
+                   "pages evicted by the window clock",
+                   &stat.victimsEvicted);
+    reg.addCounter(prefix + ".dirty_writebacks",
+                   "dirty victim pages written to DRAM",
+                   &stat.dirtyWritebacks);
+}
+
 VarFaultResult
 VarPager::handleFault(Pid pid, std::uint64_t vpn)
 {
@@ -234,6 +250,14 @@ VarPager::handleFault(Pid pid, std::uint64_t vpn)
 
     result.probes.push_back(probeAddr(pid, vpn));
     result.startFrame = start;
+    RAMPAGE_DPRINTF(Pager,
+                    "var fault pid=%u vpn=0x%llx -> frames=[%llu,+%llu) "
+                    "victims=%zu scan=%u",
+                    static_cast<unsigned>(pid),
+                    static_cast<unsigned long long>(vpn),
+                    static_cast<unsigned long long>(start),
+                    static_cast<unsigned long long>(k),
+                    result.victims.size(), result.scanCost);
     return result;
 }
 

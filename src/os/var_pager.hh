@@ -27,6 +27,7 @@
 #define RAMPAGE_OS_VAR_PAGER_HH
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,8 @@
 
 namespace rampage
 {
+
+class StatsRegistry;
 
 /** Configuration of the variable-page-size SRAM main memory. */
 struct VarPagerParams
@@ -137,6 +140,10 @@ class VarPager
     std::uint64_t residentPages() const { return nResident; }
 
     const VarPagerStats &stats() const { return stat; }
+
+    /** Register the pager's counters under `prefix` (e.g. "pager"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Page

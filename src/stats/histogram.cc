@@ -46,6 +46,26 @@ Log2Histogram::bucketFor(std::uint64_t value) const
     return idx < buckets.size() ? buckets[idx] : 0;
 }
 
+std::uint64_t
+Log2Histogram::percentileUpperBound(double fraction) const
+{
+    if (totalSamples == 0)
+        return 0;
+    fraction = std::min(1.0, std::max(fraction, 0.0));
+    // Round up: the 50th percentile of {1,1} is still inside bucket 0.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(totalSamples));
+    if (target == 0)
+        target = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target)
+            return i == 0 ? 1 : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+    return (std::uint64_t{1} << buckets.size()) - 1;
+}
+
 std::string
 Log2Histogram::render() const
 {

@@ -37,6 +37,14 @@ class Log2Histogram
     /** Count in the bucket containing `value`. */
     std::uint64_t bucketFor(std::uint64_t value) const;
 
+    /**
+     * Upper bound of the bucket at which the cumulative sample count
+     * first reaches `fraction` (0 < fraction <= 1) of all samples —
+     * i.e. an upper estimate of that percentile given log2 bucketing.
+     * Returns 0 for an empty histogram; fraction is clamped to (0, 1].
+     */
+    std::uint64_t percentileUpperBound(double fraction) const;
+
     /** Number of allocated buckets. */
     std::size_t bucketCount() const { return buckets.size(); }
 

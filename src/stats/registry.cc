@@ -1,0 +1,228 @@
+#include "stats/registry.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.hh"
+
+namespace rampage
+{
+
+// ----------------------------------------------------------- snapshot
+
+void
+StatsSnapshot::addCounter(const std::string &name,
+                          const std::string &desc, std::uint64_t value)
+{
+    Entry entry;
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = Kind::Counter;
+    entry.counter = value;
+    items.push_back(std::move(entry));
+}
+
+void
+StatsSnapshot::addValue(const std::string &name, const std::string &desc,
+                        double value)
+{
+    Entry entry;
+    entry.name = name;
+    entry.desc = desc;
+    entry.kind = Kind::Value;
+    entry.value = value;
+    items.push_back(std::move(entry));
+}
+
+void
+StatsSnapshot::append(const StatsSnapshot &other)
+{
+    items.insert(items.end(), other.items.begin(), other.items.end());
+}
+
+const StatsSnapshot::Entry *
+StatsSnapshot::find(const std::string &name) const
+{
+    for (const Entry &entry : items)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+JsonValue
+StatsSnapshot::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    for (const Entry &entry : items) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            out.set(entry.name, JsonValue::integer(entry.counter));
+            break;
+          case Kind::Value:
+            out.set(entry.name, JsonValue::number(entry.value));
+            break;
+          case Kind::Histogram: {
+            JsonValue hist = JsonValue::object();
+            hist.set("samples", JsonValue::integer(entry.samples));
+            hist.set("sum", JsonValue::integer(entry.sum));
+            hist.set("mean",
+                     JsonValue::number(
+                         entry.samples == 0
+                             ? 0.0
+                             : static_cast<double>(entry.sum) /
+                                   static_cast<double>(entry.samples)));
+            JsonValue buckets = JsonValue::array();
+            for (std::uint64_t count : entry.buckets)
+                buckets.push(JsonValue::integer(count));
+            hist.set("log2_buckets", std::move(buckets));
+            out.set(entry.name, std::move(hist));
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+StatsSnapshot::toText() const
+{
+    std::size_t width = 0;
+    for (const Entry &entry : items)
+        width = std::max(width, entry.name.size());
+
+    std::string out;
+    char line[256];
+    for (const Entry &entry : items) {
+        int pad = static_cast<int>(width);
+        switch (entry.kind) {
+          case Kind::Counter:
+            std::snprintf(line, sizeof(line), "%-*s %20llu  # %s\n",
+                          pad, entry.name.c_str(),
+                          static_cast<unsigned long long>(entry.counter),
+                          entry.desc.c_str());
+            out += line;
+            break;
+          case Kind::Value:
+            std::snprintf(line, sizeof(line), "%-*s %20.6f  # %s\n",
+                          pad, entry.name.c_str(), entry.value,
+                          entry.desc.c_str());
+            out += line;
+            break;
+          case Kind::Histogram:
+            std::snprintf(line, sizeof(line),
+                          "%-*s %12llu samples, sum %llu  # %s\n", pad,
+                          entry.name.c_str(),
+                          static_cast<unsigned long long>(entry.samples),
+                          static_cast<unsigned long long>(entry.sum),
+                          entry.desc.c_str());
+            out += line;
+            break;
+        }
+    }
+    return out;
+}
+
+// ----------------------------------------------------------- registry
+
+void
+StatsRegistry::checkNewName(const std::string &name) const
+{
+    if (name.empty())
+        throw InternalError("stats registry: empty stat name");
+    if (has(name))
+        throw InternalError(
+            "stats registry: duplicate stat name '%s'", name.c_str());
+}
+
+void
+StatsRegistry::addCounter(const std::string &name,
+                          const std::string &desc,
+                          const std::uint64_t *value)
+{
+    checkNewName(name);
+    Stat stat;
+    stat.name = name;
+    stat.desc = desc;
+    stat.kind = StatsSnapshot::Kind::Counter;
+    stat.counter = value;
+    stats.push_back(std::move(stat));
+}
+
+void
+StatsRegistry::addFormula(const std::string &name,
+                          const std::string &desc,
+                          std::function<double()> eval)
+{
+    checkNewName(name);
+    Stat stat;
+    stat.name = name;
+    stat.desc = desc;
+    stat.kind = StatsSnapshot::Kind::Value;
+    stat.eval = std::move(eval);
+    stats.push_back(std::move(stat));
+}
+
+void
+StatsRegistry::addHistogram(const std::string &name,
+                            const std::string &desc,
+                            const Log2Histogram *histogram)
+{
+    checkNewName(name);
+    Stat stat;
+    stat.name = name;
+    stat.desc = desc;
+    stat.kind = StatsSnapshot::Kind::Histogram;
+    stat.histogram = histogram;
+    stats.push_back(std::move(stat));
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    for (const Stat &stat : stats)
+        if (stat.name == name)
+            return true;
+    return false;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    StatsSnapshot snap;
+    snap.items.reserve(stats.size());
+    for (const Stat &stat : stats) {
+        StatsSnapshot::Entry entry;
+        entry.name = stat.name;
+        entry.desc = stat.desc;
+        entry.kind = stat.kind;
+        switch (stat.kind) {
+          case StatsSnapshot::Kind::Counter:
+            entry.counter = *stat.counter;
+            break;
+          case StatsSnapshot::Kind::Value:
+            entry.value = stat.eval();
+            break;
+          case StatsSnapshot::Kind::Histogram:
+            entry.buckets = stat.histogram->rawBuckets();
+            entry.samples = stat.histogram->samples();
+            entry.sum = stat.histogram->sum();
+            break;
+        }
+        snap.items.push_back(std::move(entry));
+    }
+    return snap;
+}
+
+std::string
+StatsRegistry::dumpText() const
+{
+    return snapshot().toText();
+}
+
+std::string
+StatsRegistry::dumpJson() const
+{
+    return snapshot().toJson().dump();
+}
+
+} // namespace rampage

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Named-stats registry: the observability substrate under every
+ * simulated component (gem5-style, as in the DRAM-cache design-space
+ * studies this reproduction follows).
+ *
+ * Components register their statistics at construction under
+ * hierarchical dotted names — "l1i.misses", "tlb.miss_ratio",
+ * "pager.faults", "dram.tx_bytes" — without giving up their existing
+ * plain-struct counters: a registered *counter* is a pointer to the
+ * live field, sampled only at dump time, so the hot path pays
+ * nothing.  *Formulas* are callbacks evaluated at dump time (ratios,
+ * bandwidth); *histograms* reference a live Log2Histogram.
+ *
+ * A registry can be dumped as aligned text (dumpText) or JSON
+ * (dumpJson), or frozen into a StatsSnapshot — a self-contained copy
+ * that outlives the components (SimResult carries one per run, which
+ * is what the benches' --json output and the sweep manifest consume).
+ *
+ * Naming scheme (see docs/ARCHITECTURE.md §"Observability"):
+ *   l1i.* l1d.* l2.*   cache levels        tlb.*    translation
+ *   pager.*            SRAM main memory    sched.*  scheduler
+ *   dram.*             DRAM channel        sim.*    run-level counts
+ */
+
+#ifndef RAMPAGE_STATS_REGISTRY_HH
+#define RAMPAGE_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hh"
+#include "util/json.hh"
+
+namespace rampage
+{
+
+/**
+ * A frozen, self-contained copy of a registry's values at one point
+ * in time.  Entries keep registration order (grouped by component),
+ * so text and JSON dumps are stable and diffable.
+ */
+class StatsSnapshot
+{
+  public:
+    /** What one entry holds. */
+    enum class Kind
+    {
+        Counter,   ///< sampled integer counter
+        Value,     ///< evaluated formula / recorded double
+        Histogram, ///< copied log2 bucket counts
+    };
+
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        Kind kind = Kind::Counter;
+        std::uint64_t counter = 0;            ///< Kind::Counter
+        double value = 0.0;                   ///< Kind::Value
+        std::vector<std::uint64_t> buckets;   ///< Kind::Histogram
+        std::uint64_t samples = 0;            ///< Kind::Histogram
+        std::uint64_t sum = 0;                ///< Kind::Histogram
+    };
+
+    /** Append entries post-hoc (run-level stats the registry can't own). */
+    void addCounter(const std::string &name, const std::string &desc,
+                    std::uint64_t value);
+    void addValue(const std::string &name, const std::string &desc,
+                  double value);
+
+    /** Append every entry of another snapshot. */
+    void append(const StatsSnapshot &other);
+
+    const std::vector<Entry> &entries() const { return items; }
+    bool empty() const { return items.empty(); }
+
+    /** Entry by exact name; nullptr when absent. */
+    const Entry *find(const std::string &name) const;
+
+    /**
+     * JSON object: scalar entries as numbers, histograms as
+     * {samples, sum, mean, buckets:[...]}.
+     */
+    JsonValue toJson() const;
+
+    /** Aligned "name value  # description" lines. */
+    std::string toText() const;
+
+  private:
+    friend class StatsRegistry;
+    std::vector<Entry> items;
+};
+
+/**
+ * The registry itself.  Each hierarchy owns one; components register
+ * into it at construction.  Names must be unique — a duplicate
+ * registration throws InternalError (it is always a wiring bug).
+ */
+class StatsRegistry
+{
+  public:
+    /**
+     * Register a live integer counter.  `value` must outlive the
+     * registry (components register fields of their own stat structs,
+     * which share the owning hierarchy's lifetime).
+     */
+    void addCounter(const std::string &name, const std::string &desc,
+                    const std::uint64_t *value);
+
+    /** Register a formula evaluated at dump/snapshot time. */
+    void addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> eval);
+
+    /** Register a live histogram (same lifetime rule as counters). */
+    void addHistogram(const std::string &name, const std::string &desc,
+                      const Log2Histogram *histogram);
+
+    bool has(const std::string &name) const;
+    std::size_t size() const { return stats.size(); }
+
+    /** Freeze every registered stat's current value. */
+    StatsSnapshot snapshot() const;
+
+    /** snapshot().toText() — a complete, diffable stats dump. */
+    std::string dumpText() const;
+
+    /** snapshot().toJson().dump() — the machine-readable dump. */
+    std::string dumpJson() const;
+
+  private:
+    struct Stat
+    {
+        std::string name;
+        std::string desc;
+        StatsSnapshot::Kind kind = StatsSnapshot::Kind::Counter;
+        const std::uint64_t *counter = nullptr;
+        std::function<double()> eval;
+        const Log2Histogram *histogram = nullptr;
+    };
+
+    void checkNewName(const std::string &name) const;
+
+    std::vector<Stat> stats;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_STATS_REGISTRY_HH

@@ -1,6 +1,8 @@
 #include "tlb/tlb.hh"
 
+#include "stats/registry.hh"
 #include "util/bitops.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -14,6 +16,17 @@ TlbStats::missRatio() const
     return total == 0 ? 0.0
                       : static_cast<double>(misses) /
                             static_cast<double>(total);
+}
+
+void
+Tlb::registerStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.addCounter(prefix + ".hits", "TLB hits", &stat.hits);
+    reg.addCounter(prefix + ".misses", "TLB misses", &stat.misses);
+    reg.addCounter(prefix + ".flushes",
+                   "TLB single-entry invalidations", &stat.flushes);
+    reg.addFormula(prefix + ".miss_ratio", "TLB misses / lookups",
+                   [this] { return stat.missRatio(); });
 }
 
 Tlb::Tlb(const TlbParams &params) : prm(params), rng(params.seed)
@@ -68,6 +81,9 @@ Tlb::lookup(Pid pid, std::uint64_t vpn)
         return TlbLookup{true, entry->frame};
     }
     ++stat.misses;
+    RAMPAGE_DPRINTF(Tlb, "miss pid=%u vpn=0x%llx",
+                    static_cast<unsigned>(pid),
+                    static_cast<unsigned long long>(vpn));
     return TlbLookup{};
 }
 
@@ -121,6 +137,9 @@ Tlb::invalidate(Pid pid, std::uint64_t vpn)
         return false;
     entry->valid = false;
     ++stat.flushes;
+    RAMPAGE_DPRINTF(Tlb, "invalidate pid=%u vpn=0x%llx",
+                    static_cast<unsigned>(pid),
+                    static_cast<unsigned long long>(vpn));
     return true;
 }
 

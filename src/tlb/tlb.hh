@@ -17,6 +17,7 @@
 #define RAMPAGE_TLB_TLB_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "util/random.hh"
@@ -24,6 +25,8 @@
 
 namespace rampage
 {
+
+class StatsRegistry;
 
 /** TLB geometry and policy. */
 struct TlbParams
@@ -87,6 +90,10 @@ class Tlb
     const TlbParams &params() const { return prm; }
     const TlbStats &stats() const { return stat; }
     void clearStats() { stat = TlbStats{}; }
+
+    /** Register the TLB's counters under `prefix` (e.g. "tlb"). */
+    void registerStats(StatsRegistry &reg,
+                       const std::string &prefix) const;
 
   private:
     struct Entry

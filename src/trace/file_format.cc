@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstring>
 
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -22,9 +23,6 @@ struct PackedRef
 } __attribute__((packed));
 
 static_assert(sizeof(PackedRef) == 11, "packed trace record size");
-
-/** Warnings emitted per file before going quiet (lenient mode). */
-constexpr std::uint64_t maxMalformedWarnings = 5;
 
 } // namespace
 
@@ -160,8 +158,12 @@ FileTraceSource::reportMalformed(const std::string &what)
     if (opts.strict)
         throw TraceError("%s", what.c_str());
     ++malformed;
-    if (malformed <= maxMalformedWarnings)
-        warn("%s (skipped)", what.c_str());
+    RAMPAGE_DPRINTF(Trace, "malformed record in '%s': %s",
+                    filePath.c_str(), what.c_str());
+    // Rate-limited: a rotten multi-million-line trace would otherwise
+    // emit one warning per record.
+    warnRateLimited("malformed trace record (skipped): %s",
+                    what.c_str());
     if (malformed > opts.malformedBudget)
         throw TraceError("trace '%s': more than %llu malformed "
                          "records/lines; refusing to continue",

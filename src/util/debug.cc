@@ -1,0 +1,199 @@
+#include "util/debug.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdarg>
+#include <cstdlib>
+
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+constexpr std::size_t ringCapacity = 128;
+
+struct DebugState
+{
+    unsigned enabledMask = 0;
+    bool initialized = false;
+
+    std::array<std::string, ringCapacity> ring;
+    std::size_t ringNext = 0;  ///< slot the next event lands in
+    std::size_t ringCount = 0; ///< valid events, <= ringCapacity
+};
+
+DebugState &
+state()
+{
+    static DebugState instance;
+    return instance;
+}
+
+const char *const channelNames[numDebugChannels] = {
+    "cache", "tlb", "pager", "sched", "dram", "trace",
+};
+
+/** Parse one channel name; numDebugChannels when unknown. */
+unsigned
+channelIndex(const std::string &name)
+{
+    for (unsigned i = 0; i < numDebugChannels; ++i)
+        if (name == channelNames[i])
+            return i;
+    return numDebugChannels;
+}
+
+void
+initFromEnv()
+{
+    DebugState &st = state();
+    if (st.initialized)
+        return;
+    st.initialized = true;
+    const char *env = std::getenv("RAMPAGE_DEBUG");
+    if (env && *env)
+        setDebugChannels(env, /*strict=*/false);
+}
+
+} // namespace
+
+const char *
+debugChannelName(DebugChannel channel)
+{
+    unsigned idx = static_cast<unsigned>(channel);
+    return idx < numDebugChannels ? channelNames[idx] : "unknown";
+}
+
+std::string
+debugChannelList()
+{
+    std::string out;
+    for (unsigned i = 0; i < numDebugChannels; ++i) {
+        if (i)
+            out += ',';
+        out += channelNames[i];
+    }
+    return out;
+}
+
+void
+setDebugChannels(const std::string &spec, bool strict)
+{
+    DebugState &st = state();
+    st.initialized = true;
+    st.enabledMask = 0;
+    if (spec.empty() || spec == "none")
+        return;
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            st.enabledMask = (1u << numDebugChannels) - 1;
+            continue;
+        }
+        unsigned idx = channelIndex(name);
+        if (idx == numDebugChannels) {
+            if (strict)
+                throw ConfigError(
+                    "unknown debug channel '%s' (known: %s,all)",
+                    name.c_str(), debugChannelList().c_str());
+            warn("RAMPAGE_DEBUG: ignoring unknown channel '%s' "
+                 "(known: %s,all)",
+                 name.c_str(), debugChannelList().c_str());
+            continue;
+        }
+        st.enabledMask |= 1u << idx;
+    }
+}
+
+bool
+debugEnabled(DebugChannel channel)
+{
+    initFromEnv();
+    unsigned idx = static_cast<unsigned>(channel);
+    return idx < numDebugChannels &&
+           (state().enabledMask & (1u << idx)) != 0;
+}
+
+void
+debugRecord(DebugChannel channel, const std::string &message)
+{
+    DebugState &st = state();
+    std::string line = debugChannelName(channel);
+    line += ": ";
+    line += message;
+    st.ring[st.ringNext] = std::move(line);
+    st.ringNext = (st.ringNext + 1) % ringCapacity;
+    if (st.ringCount < ringCapacity)
+        ++st.ringCount;
+}
+
+void
+debugLog(DebugChannel channel, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string message = vformatErrorMessage(fmt, args);
+    va_end(args);
+
+    std::fprintf(stderr, "debug[%s]: %s\n", debugChannelName(channel),
+                 message.c_str());
+    debugRecord(channel, message);
+}
+
+std::vector<std::string>
+debugRingTail(std::size_t max_events)
+{
+    const DebugState &st = state();
+    std::size_t take = std::min(max_events, st.ringCount);
+    std::vector<std::string> tail;
+    tail.reserve(take);
+    // ringNext is one past the newest event; walk back `take` slots.
+    std::size_t start =
+        (st.ringNext + ringCapacity - take) % ringCapacity;
+    for (std::size_t i = 0; i < take; ++i)
+        tail.push_back(st.ring[(start + i) % ringCapacity]);
+    return tail;
+}
+
+std::size_t
+debugRingSize()
+{
+    return state().ringCount;
+}
+
+void
+clearDebugRing()
+{
+    DebugState &st = state();
+    for (std::string &slot : st.ring)
+        slot.clear();
+    st.ringNext = 0;
+    st.ringCount = 0;
+}
+
+void
+flushDebugRing(std::FILE *out)
+{
+    std::vector<std::string> tail = debugRingTail();
+    if (tail.empty())
+        return;
+    std::fprintf(out, "---- last %zu debug events ----\n", tail.size());
+    for (const std::string &line : tail)
+        std::fprintf(out, "  %s\n", line.c_str());
+    std::fprintf(out, "---- end debug events ----\n");
+    clearDebugRing();
+}
+
+} // namespace rampage

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * gem5-DPRINTF-style per-subsystem debug tracing.
+ *
+ * Six channels — cache, tlb, pager, sched, dram, trace — are selected
+ * at runtime via the RAMPAGE_DEBUG environment variable (a comma list
+ * such as "pager,sched", or "all") or programmatically through
+ * setDebugChannels() (the benches' --debug flag).  Trace points use
+ *
+ *     RAMPAGE_DPRINTF(Pager, "fault pid=%u vpn=%llx", pid, vpn);
+ *
+ * which compiles to nothing in Release builds (NDEBUG): the format
+ * arguments are never evaluated, so tracing adds zero overhead to
+ * production sweeps.  In Debug builds an enabled channel prints
+ * "debug[pager]: ..." to stderr.
+ *
+ * Every emitted event is also copied into a small bounded ring
+ * buffer.  When a SimError escapes to a CLI (cliMain) or fails a
+ * sweep point (SweepRunner), the ring's tail is flushed into the
+ * failure report, turning a bare error message into a post-mortem
+ * with the events leading up to it.  The ring runtime itself is
+ * built in every configuration (tests and tools can record into it
+ * directly); only the macro is compiled out.
+ */
+
+#ifndef RAMPAGE_UTIL_DEBUG_HH
+#define RAMPAGE_UTIL_DEBUG_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rampage
+{
+
+/** The per-subsystem trace channels. */
+enum class DebugChannel : unsigned
+{
+    Cache, ///< L1/L2 misses, evictions, inclusion traffic
+    Tlb,   ///< TLB misses, fills, shoot-downs
+    Pager, ///< SRAM main-memory faults, victims, write-backs
+    Sched, ///< context switches, blocks, stalls
+    Dram,  ///< DRAM transactions
+    Trace, ///< trace ingestion (rewinds, malformed records)
+};
+
+constexpr unsigned numDebugChannels = 6;
+
+/** Stable lower-case channel name ("cache", "tlb", ...). */
+const char *debugChannelName(DebugChannel channel);
+
+/** Comma-separated list of every channel name (for usage text). */
+std::string debugChannelList();
+
+/**
+ * Enable exactly the channels in `spec`: a comma-separated list of
+ * channel names, "all", or "" / "none" to disable tracing.  With
+ * `strict` (the --debug flag) an unknown name throws ConfigError;
+ * without it (the RAMPAGE_DEBUG environment variable) unknown names
+ * are warned about and skipped.
+ */
+void setDebugChannels(const std::string &spec, bool strict = true);
+
+/** @return true when `channel` is enabled (RAMPAGE_DEBUG is read lazily). */
+bool debugEnabled(DebugChannel channel);
+
+/**
+ * Format, print "debug[channel]: ..." to stderr and record the event
+ * in the ring buffer.  Called via RAMPAGE_DPRINTF; callers should
+ * check debugEnabled() first (the macro does).
+ */
+void debugLog(DebugChannel channel, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Record an already-formatted event in the ring buffer without
+ * printing it (used by debugLog and directly by tests).
+ */
+void debugRecord(DebugChannel channel, const std::string &message);
+
+/** Most recent ring events, oldest first, at most `max_events`. */
+std::vector<std::string> debugRingTail(std::size_t max_events = 32);
+
+/** Number of events currently held in the ring. */
+std::size_t debugRingSize();
+
+/** Discard all ring events (sweep points start with a clean ring). */
+void clearDebugRing();
+
+/**
+ * Print the ring's tail to `out` with a framing header, then clear
+ * it.  No-op when the ring is empty.  Called when a SimError escapes.
+ */
+void flushDebugRing(std::FILE *out);
+
+} // namespace rampage
+
+/**
+ * Subsystem trace point.  `channel` is a bare DebugChannel enumerator
+ * (Cache, Tlb, Pager, Sched, Dram, Trace); the remaining arguments are
+ * printf-style.  Compiled out entirely (arguments unevaluated) when
+ * NDEBUG is defined, i.e. in Release and RelWithDebInfo builds.
+ */
+#ifndef NDEBUG
+#define RAMPAGE_DPRINTF(channel, ...)                                      \
+    do {                                                                   \
+        if (::rampage::debugEnabled(                                       \
+                ::rampage::DebugChannel::channel)) {                       \
+            ::rampage::debugLog(::rampage::DebugChannel::channel,          \
+                                __VA_ARGS__);                              \
+        }                                                                  \
+    } while (0)
+#else
+#define RAMPAGE_DPRINTF(channel, ...)                                      \
+    do {                                                                   \
+    } while (0)
+#endif
+
+#endif // RAMPAGE_UTIL_DEBUG_HH

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/debug.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -79,8 +80,12 @@ cliMain(const std::function<int()> &body)
     try {
         return body();
     } catch (const InternalError &e) {
+        // A SimError escaped to the CLI: dump the recent debug-trace
+        // events (if any channel was recording) as a post-mortem.
+        flushDebugRing(stderr);
         panic("%s", e.what());
     } catch (const SimError &e) {
+        flushDebugRing(stderr);
         fatal("%s", e.what());
     } catch (const std::exception &e) {
         fatal("%s", e.what());

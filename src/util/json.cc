@@ -1,0 +1,517 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace rampage
+{
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.typ = Type::Object;
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.typ = Type::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::str(std::string value)
+{
+    JsonValue v;
+    v.typ = Type::String;
+    v.strVal = std::move(value);
+    return v;
+}
+
+JsonValue
+JsonValue::integer(std::int64_t value)
+{
+    JsonValue v;
+    v.typ = Type::Integer;
+    v.intVal = value;
+    return v;
+}
+
+JsonValue
+JsonValue::integer(std::uint64_t value)
+{
+    // Counters beyond int64 range don't occur at simulated scales;
+    // saturate rather than wrap if one ever does.
+    std::int64_t clamped =
+        value > static_cast<std::uint64_t>(INT64_MAX)
+            ? INT64_MAX
+            : static_cast<std::int64_t>(value);
+    return integer(clamped);
+}
+
+JsonValue
+JsonValue::number(double value)
+{
+    JsonValue v;
+    v.typ = Type::Number;
+    v.numVal = value;
+    return v;
+}
+
+JsonValue
+JsonValue::boolean(bool value)
+{
+    JsonValue v;
+    v.typ = Type::Bool;
+    v.boolVal = value;
+    return v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    return typ == Type::Integer ? static_cast<double>(intVal) : numVal;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    return typ == Type::Number ? static_cast<std::int64_t>(numVal)
+                               : intVal;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return typ == Type::Object ? object_.size() : array_.size();
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    if (typ != Type::Array || index >= array_.size())
+        throw ConfigError("json: array index %llu out of range",
+                          static_cast<unsigned long long>(index));
+    return array_[index];
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &member : object_)
+        if (member.first == key)
+            return &member.second;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *found = find(key);
+    if (!found)
+        throw ConfigError("json: missing object key '%s'", key.c_str());
+    return *found;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    typ = Type::Object;
+    for (auto &member : object_) {
+        if (member.first == key) {
+            member.second = std::move(value);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(value));
+}
+
+void
+JsonValue::push(JsonValue value)
+{
+    typ = Type::Array;
+    array_.push_back(std::move(value));
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int level) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent * level), ' ');
+    };
+
+    switch (typ) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += boolVal ? "true" : "false";
+        break;
+      case Type::Integer: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(intVal));
+        out += buf;
+        break;
+      }
+      case Type::Number: {
+        if (!std::isfinite(numVal)) {
+            out += "null"; // JSON has no NaN/Inf
+            break;
+        }
+        // Integral doubles print as integers; everything else with
+        // enough digits to round-trip.
+        char buf[40];
+        if (numVal == std::floor(numVal) && std::fabs(numVal) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(numVal));
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", numVal);
+        }
+        out += buf;
+        break;
+      }
+      case Type::String:
+        out += '"';
+        out += jsonEscape(strVal);
+        out += '"';
+        break;
+      case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            newline(depth + 1);
+            out += '"';
+            out += jsonEscape(object_[i].first);
+            out += "\": ";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+// --------------------------------------------------------------- parser
+
+namespace
+{
+
+/** Recursive-descent parser over a complete in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : src(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipSpace();
+        if (pos != src.size())
+            fail("trailing characters after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what) const
+    {
+        throw ConfigError("json: %s at offset %llu", what,
+                          static_cast<unsigned long long>(pos));
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos >= src.size())
+            fail("unexpected end of input");
+        return src[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *word)
+    {
+        std::size_t len = std::char_traits<char>::length(word);
+        if (src.compare(pos, len, word) != 0)
+            return false;
+        pos += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::str(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return JsonValue::boolean(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return JsonValue::boolean(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return JsonValue();
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        if (peek() == '}') {
+            ++pos;
+            return obj;
+        }
+        for (;;) {
+            if (peek() != '"')
+                fail("expected object key");
+            std::string key = parseString();
+            expect(':');
+            obj.set(key, parseValue());
+            char next = peek();
+            ++pos;
+            if (next == '}')
+                return obj;
+            if (next != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        if (peek() == ']') {
+            ++pos;
+            return arr;
+        }
+        for (;;) {
+            arr.push(parseValue());
+            char next = peek();
+            ++pos;
+            if (next == ']')
+                return arr;
+            if (next != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos < src.size()) {
+            char c = src[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= src.size())
+                fail("unterminated escape");
+            char esc = src[pos++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos + 4 > src.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = src[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The dumps above only escape control characters, so
+                // a basic Latin-1 decode is all the reader needs.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        fail("unterminated string");
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = pos;
+        bool is_double = false;
+        if (pos < src.size() && src[pos] == '-')
+            ++pos;
+        while (pos < src.size()) {
+            char c = src[pos];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_double = true;
+                ++pos;
+            } else {
+                break;
+            }
+        }
+        if (pos == start ||
+            (pos == start + 1 && src[start] == '-'))
+            fail("bad number");
+        std::string text = src.substr(start, pos - start);
+        if (is_double)
+            return JsonValue::number(std::strtod(text.c_str(), nullptr));
+        return JsonValue::integer(static_cast<std::int64_t>(
+            std::strtoll(text.c_str(), nullptr, 10)));
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace rampage

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Minimal JSON document model for machine-readable run telemetry.
+ *
+ * Every bench can write its results and a full stats dump as JSON
+ * (`--json <path>`), the sweep runner records structured outcomes,
+ * and the stats registry serializes snapshots — all through this one
+ * small value type.  Objects preserve insertion order so dumps are
+ * stable and diffable across runs.
+ *
+ * The parser exists so tests can genuinely round-trip a dump (and so
+ * tools built on the library can read their own output); it accepts
+ * strict JSON only and throws ConfigError on malformed input.
+ */
+
+#ifndef RAMPAGE_UTIL_JSON_HH
+#define RAMPAGE_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rampage
+{
+
+/** One JSON value: null, bool, number, string, array or object. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Integer, ///< stored exactly as a signed 64-bit integer
+        Number,  ///< stored as a double
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    // --- factories ---------------------------------------------------
+    static JsonValue object();
+    static JsonValue array();
+    static JsonValue str(std::string value);
+    static JsonValue integer(std::int64_t value);
+    static JsonValue integer(std::uint64_t value);
+    static JsonValue number(double value);
+    static JsonValue boolean(bool value);
+
+    // --- inspection --------------------------------------------------
+    Type type() const { return typ; }
+    bool isNull() const { return typ == Type::Null; }
+    bool isObject() const { return typ == Type::Object; }
+    bool isArray() const { return typ == Type::Array; }
+    bool isNumber() const
+    {
+        return typ == Type::Number || typ == Type::Integer;
+    }
+    bool isString() const { return typ == Type::String; }
+
+    bool asBool() const { return boolVal; }
+    double asDouble() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const { return strVal; }
+
+    /** Array/object element count. */
+    std::size_t size() const;
+
+    /** Array element access (ConfigError when out of range). */
+    const JsonValue &at(std::size_t index) const;
+
+    /** Object member lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object member access (ConfigError when absent). */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Object members in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return object_;
+    }
+
+    // --- construction ------------------------------------------------
+    /** Set an object member (replaces an existing key). */
+    void set(const std::string &key, JsonValue value);
+
+    /** Append an array element. */
+    void push(JsonValue value);
+
+    // --- serialization ------------------------------------------------
+    /**
+     * Serialize.  `indent` > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line.  Non-finite numbers
+     * serialize as null (JSON has no NaN/Inf).
+     */
+    std::string dump(int indent = 2) const;
+
+    /** Parse strict JSON; throws ConfigError on malformed input. */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type typ = Type::Null;
+    bool boolVal = false;
+    std::int64_t intVal = 0;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/** Escape a string for embedding in JSON (no surrounding quotes). */
+std::string jsonEscape(const std::string &text);
+
+} // namespace rampage
+
+#endif // RAMPAGE_UTIL_JSON_HH

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string>
 
 namespace rampage
 {
@@ -9,6 +11,17 @@ namespace rampage
 namespace
 {
 bool quietFlag = false;
+
+constexpr std::uint64_t defaultWarnRateLimit = 5;
+std::uint64_t rateLimit = defaultWarnRateLimit;
+
+/** Occurrence count per warnOnce/warnRateLimited format string. */
+std::map<std::string, std::uint64_t> &
+warnCounts()
+{
+    static std::map<std::string, std::uint64_t> counts;
+    return counts;
+}
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
@@ -59,6 +72,62 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     vreport("info", fmt, args);
     va_end(args);
+}
+
+void
+warnOnce(const char *fmt, ...)
+{
+    std::uint64_t seen = ++warnCounts()[fmt];
+    if (seen > 1 || quietFlag)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+warnRateLimited(const char *fmt, ...)
+{
+    std::uint64_t seen = ++warnCounts()[fmt];
+    if (quietFlag)
+        return;
+    if (seen <= rateLimit) {
+        va_list args;
+        va_start(args, fmt);
+        vreport("warn", fmt, args);
+        va_end(args);
+    } else if (seen == rateLimit + 1) {
+        std::fprintf(stderr,
+                     "warn: further occurrences of \"%s\" suppressed\n",
+                     fmt);
+    }
+}
+
+std::uint64_t
+warnRateLimit()
+{
+    return rateLimit;
+}
+
+void
+setWarnRateLimit(std::uint64_t limit)
+{
+    rateLimit = limit == 0 ? defaultWarnRateLimit : limit;
+}
+
+std::uint64_t
+warnOccurrences(const char *fmt)
+{
+    auto found = warnCounts().find(fmt);
+    return found == warnCounts().end() ? 0 : found->second;
+}
+
+void
+resetWarnFilters()
+{
+    warnCounts().clear();
+    rateLimit = defaultWarnRateLimit;
 }
 
 void

@@ -17,12 +17,18 @@
  * Two advisory channels:
  *  - warn():   something is modelled approximately and might matter.
  *  - inform(): plain status output.
+ *
+ * Hot-loop variants keep a 24M-reference run from flooding stderr:
+ *  - warnOnce():        first occurrence of a format string only;
+ *  - warnRateLimited(): first few occurrences, then one suppression
+ *                       notice (occurrences keep being counted).
  */
 
 #ifndef RAMPAGE_UTIL_LOGGING_HH
 #define RAMPAGE_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 #include "util/error.hh" // historical home of RAMPAGE_ASSERT
@@ -46,6 +52,35 @@ namespace rampage
 
 /** Print a warning about approximate or suspicious modelling. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Print a warning only the first time this format string is seen.
+ * Keyed on the format-string text, so every call site sharing one
+ * template warns once per process regardless of its arguments.
+ */
+void warnOnce(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Rate-limited warning for per-reference/per-record conditions: the
+ * first warnRateLimit() occurrences of a format string print, then a
+ * single "further ... suppressed" notice; later occurrences are
+ * counted but silent.
+ */
+void warnRateLimited(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Printed occurrences allowed per format string (default 5). */
+std::uint64_t warnRateLimit();
+
+/** Change the rate limit (0 restores the default). */
+void setWarnRateLimit(std::uint64_t limit);
+
+/** Total occurrences seen for a format string (tests/inspection). */
+std::uint64_t warnOccurrences(const char *fmt);
+
+/** Forget all warnOnce/warnRateLimited history (tests). */
+void resetWarnFilters();
 
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));

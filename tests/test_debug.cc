@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the debug-trace machinery: channel-spec parsing
+ * (strict and lenient), the bounded post-mortem ring buffer, and the
+ * hot-loop warning filters (warnOnce / warnRateLimited).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/debug.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+namespace
+{
+
+/** Disable all channels and clear the ring around each test. */
+class DebugTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setDebugChannels("none");
+        clearDebugRing();
+        setQuiet(true);
+    }
+
+    void TearDown() override
+    {
+        setDebugChannels("none");
+        clearDebugRing();
+        setQuiet(false);
+    }
+};
+
+TEST_F(DebugTest, ChannelNamesAreStable)
+{
+    EXPECT_STREQ(debugChannelName(DebugChannel::Cache), "cache");
+    EXPECT_STREQ(debugChannelName(DebugChannel::Pager), "pager");
+    EXPECT_STREQ(debugChannelName(DebugChannel::Trace), "trace");
+    EXPECT_EQ(debugChannelList(),
+              "cache,tlb,pager,sched,dram,trace");
+}
+
+TEST_F(DebugTest, SpecSelectsExactlyTheNamedChannels)
+{
+    setDebugChannels("pager,sched");
+    EXPECT_TRUE(debugEnabled(DebugChannel::Pager));
+    EXPECT_TRUE(debugEnabled(DebugChannel::Sched));
+    EXPECT_FALSE(debugEnabled(DebugChannel::Cache));
+    EXPECT_FALSE(debugEnabled(DebugChannel::Dram));
+
+    setDebugChannels("all");
+    for (unsigned i = 0; i < numDebugChannels; ++i)
+        EXPECT_TRUE(debugEnabled(static_cast<DebugChannel>(i)));
+
+    setDebugChannels("none");
+    for (unsigned i = 0; i < numDebugChannels; ++i)
+        EXPECT_FALSE(debugEnabled(static_cast<DebugChannel>(i)));
+}
+
+TEST_F(DebugTest, StrictSpecRejectsUnknownChannel)
+{
+    EXPECT_THROW(setDebugChannels("pager,bogus", /*strict=*/true),
+                 ConfigError);
+}
+
+TEST_F(DebugTest, LenientSpecSkipsUnknownChannel)
+{
+    setDebugChannels("bogus,dram", /*strict=*/false);
+    EXPECT_TRUE(debugEnabled(DebugChannel::Dram));
+    EXPECT_FALSE(debugEnabled(DebugChannel::Cache));
+}
+
+TEST_F(DebugTest, RingKeepsNewestEventsOldestFirst)
+{
+    debugRecord(DebugChannel::Pager, "first");
+    debugRecord(DebugChannel::Sched, "second");
+    debugRecord(DebugChannel::Dram, "third");
+    EXPECT_EQ(debugRingSize(), 3u);
+
+    std::vector<std::string> tail = debugRingTail(2);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0], "sched: second");
+    EXPECT_EQ(tail[1], "dram: third");
+}
+
+TEST_F(DebugTest, RingIsBounded)
+{
+    for (int i = 0; i < 1000; ++i)
+        debugRecord(DebugChannel::Cache, "event " + std::to_string(i));
+    // Capacity is an implementation detail; the contract is "bounded,
+    // keeps the newest".
+    EXPECT_LT(debugRingSize(), 1000u);
+    std::vector<std::string> tail = debugRingTail(1);
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail[0], "cache: event 999");
+}
+
+TEST_F(DebugTest, ClearEmptiesTheRing)
+{
+    debugRecord(DebugChannel::Tlb, "x");
+    clearDebugRing();
+    EXPECT_EQ(debugRingSize(), 0u);
+    EXPECT_TRUE(debugRingTail().empty());
+}
+
+TEST_F(DebugTest, FlushWritesFramedTailAndClears)
+{
+    debugRecord(DebugChannel::Pager, "fault vpn=0x1");
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    flushDebugRing(tmp);
+    EXPECT_EQ(debugRingSize(), 0u);
+
+    std::rewind(tmp);
+    char buffer[512] = {};
+    std::size_t got = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+    std::fclose(tmp);
+    std::string text(buffer, got);
+    EXPECT_NE(text.find("debug events"), std::string::npos);
+    EXPECT_NE(text.find("pager: fault vpn=0x1"), std::string::npos);
+
+    // Empty ring: flushing again must write nothing.
+    tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    flushDebugRing(tmp);
+    std::rewind(tmp);
+    got = std::fread(buffer, 1, sizeof(buffer) - 1, tmp);
+    std::fclose(tmp);
+    EXPECT_EQ(got, 0u);
+}
+
+TEST_F(DebugTest, WarnOnceCountsEveryOccurrence)
+{
+    resetWarnFilters();
+    const char *fmt = "test-warn-once %d";
+    warnOnce(fmt, 1);
+    warnOnce(fmt, 2);
+    warnOnce(fmt, 3);
+    EXPECT_EQ(warnOccurrences(fmt), 3u);
+    resetWarnFilters();
+    EXPECT_EQ(warnOccurrences(fmt), 0u);
+}
+
+TEST_F(DebugTest, WarnRateLimitedCountsPastTheLimit)
+{
+    resetWarnFilters();
+    setWarnRateLimit(2);
+    const char *fmt = "test-warn-rate %d";
+    for (int i = 0; i < 10; ++i)
+        warnRateLimited(fmt, i);
+    EXPECT_EQ(warnOccurrences(fmt), 10u);
+    setWarnRateLimit(0); // restore default
+    resetWarnFilters();
+}
+
+} // namespace
+} // namespace rampage

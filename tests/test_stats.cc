@@ -53,6 +53,37 @@ TEST(Log2Histogram, RenderAndReset)
     EXPECT_TRUE(hist.render().empty());
 }
 
+TEST(Log2Histogram, PercentileUpperBound)
+{
+    Log2Histogram hist;
+    EXPECT_EQ(hist.percentileUpperBound(0.5), 0u); // empty histogram
+
+    // 90 samples in [64,127], 10 in [4096,8191].
+    hist.add(100, 90);
+    hist.add(5000, 10);
+    EXPECT_EQ(hist.percentileUpperBound(0.5), 127u);
+    EXPECT_EQ(hist.percentileUpperBound(0.9), 127u);
+    EXPECT_EQ(hist.percentileUpperBound(0.91), 8191u);
+    EXPECT_EQ(hist.percentileUpperBound(1.0), 8191u);
+
+    // Out-of-range fractions clamp rather than misbehave.
+    EXPECT_EQ(hist.percentileUpperBound(0.0), hist.percentileUpperBound(1e-9));
+    EXPECT_EQ(hist.percentileUpperBound(2.0), 8191u);
+}
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    Log2Histogram hist;
+    // 2^k and 2^(k+1)-1 share a bucket; 2^(k+1) starts the next one.
+    hist.add(64);
+    hist.add(127);
+    hist.add(128);
+    EXPECT_EQ(hist.bucketFor(64), 2u);
+    EXPECT_EQ(hist.bucketFor(127), 2u);
+    EXPECT_EQ(hist.bucketFor(128), 1u);
+    EXPECT_EQ(hist.bucketFor(255), 1u);
+}
+
 TEST(RunningStats, Basics)
 {
     RunningStats stats;

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the named-stats registry and frozen snapshots:
+ * counter/formula/histogram registration, dump-time sampling,
+ * duplicate-name rejection, snapshot append/find, and text/JSON
+ * serialization (round-tripped through the JSON parser).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stats/registry.hh"
+#include "util/error.hh"
+#include "util/json.hh"
+
+namespace rampage
+{
+namespace
+{
+
+TEST(StatsRegistry, CounterSamplesLiveFieldAtDumpTime)
+{
+    std::uint64_t hits = 0;
+    StatsRegistry reg;
+    reg.addCounter("l1.hits", "hits", &hits);
+    EXPECT_TRUE(reg.has("l1.hits"));
+    EXPECT_EQ(reg.size(), 1u);
+
+    hits = 42; // mutate after registration: dump must see the update
+    StatsSnapshot snap = reg.snapshot();
+    const StatsSnapshot::Entry *entry = snap.find("l1.hits");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->kind, StatsSnapshot::Kind::Counter);
+    EXPECT_EQ(entry->counter, 42u);
+
+    hits = 100;
+    EXPECT_EQ(reg.snapshot().find("l1.hits")->counter, 100u);
+}
+
+TEST(StatsRegistry, FormulaEvaluatedAtSnapshotTime)
+{
+    std::uint64_t misses = 1, refs = 4;
+    StatsRegistry reg;
+    reg.addFormula("l1.miss_ratio", "misses / refs", [&] {
+        return static_cast<double>(misses) / static_cast<double>(refs);
+    });
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("l1.miss_ratio")->value, 0.25);
+    misses = 2;
+    EXPECT_DOUBLE_EQ(reg.snapshot().find("l1.miss_ratio")->value, 0.5);
+}
+
+TEST(StatsRegistry, HistogramCopiedIntoSnapshot)
+{
+    Log2Histogram hist;
+    StatsRegistry reg;
+    reg.addHistogram("dram.tx_bytes", "transaction sizes", &hist);
+
+    hist.add(128);
+    hist.add(128);
+    hist.add(4096);
+
+    StatsSnapshot snap = reg.snapshot();
+    const StatsSnapshot::Entry *entry = snap.find("dram.tx_bytes");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->kind, StatsSnapshot::Kind::Histogram);
+    EXPECT_EQ(entry->samples, 3u);
+    EXPECT_EQ(entry->sum, 128u + 128 + 4096);
+
+    // The snapshot is frozen: later samples must not leak in.
+    hist.add(1);
+    EXPECT_EQ(entry->samples, 3u);
+}
+
+TEST(StatsRegistry, DuplicateNameThrowsInternalError)
+{
+    std::uint64_t a = 0;
+    StatsRegistry reg;
+    reg.addCounter("x", "first", &a);
+    EXPECT_THROW(reg.addCounter("x", "again", &a), InternalError);
+    EXPECT_THROW(reg.addFormula("x", "again", [] { return 0.0; }),
+                 InternalError);
+}
+
+TEST(StatsRegistry, EmptyNameThrowsInternalError)
+{
+    std::uint64_t a = 0;
+    StatsRegistry reg;
+    EXPECT_THROW(reg.addCounter("", "nameless", &a), InternalError);
+}
+
+TEST(StatsRegistry, SnapshotKeepsRegistrationOrder)
+{
+    std::uint64_t a = 1, b = 2;
+    StatsRegistry reg;
+    reg.addCounter("z.second", "registered first", &a);
+    reg.addCounter("a.first", "registered second", &b);
+    StatsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries().size(), 2u);
+    EXPECT_EQ(snap.entries()[0].name, "z.second");
+    EXPECT_EQ(snap.entries()[1].name, "a.first");
+}
+
+TEST(StatsSnapshot, PostHocEntriesAndAppend)
+{
+    StatsSnapshot snap;
+    EXPECT_TRUE(snap.empty());
+    snap.addCounter("sim.elapsed_ps", "elapsed", 123);
+    snap.addValue("sim.seconds", "seconds", 1.5);
+
+    StatsSnapshot other;
+    other.addCounter("sched.stalls", "stalls", 7);
+    snap.append(other);
+
+    ASSERT_EQ(snap.entries().size(), 3u);
+    EXPECT_EQ(snap.find("sim.elapsed_ps")->counter, 123u);
+    EXPECT_DOUBLE_EQ(snap.find("sim.seconds")->value, 1.5);
+    EXPECT_EQ(snap.find("sched.stalls")->counter, 7u);
+    EXPECT_EQ(snap.find("no.such.stat"), nullptr);
+}
+
+TEST(StatsSnapshot, TextDumpNamesEveryStat)
+{
+    std::uint64_t hits = 9;
+    Log2Histogram hist;
+    hist.add(64);
+    StatsRegistry reg;
+    reg.addCounter("l1.hits", "hit count", &hits);
+    reg.addFormula("l1.ratio", "a ratio", [] { return 0.75; });
+    reg.addHistogram("l1.sizes", "sizes", &hist);
+
+    std::string text = reg.dumpText();
+    EXPECT_NE(text.find("l1.hits"), std::string::npos);
+    EXPECT_NE(text.find("9"), std::string::npos);
+    EXPECT_NE(text.find("l1.ratio"), std::string::npos);
+    EXPECT_NE(text.find("l1.sizes"), std::string::npos);
+    EXPECT_NE(text.find("hit count"), std::string::npos);
+}
+
+TEST(StatsSnapshot, JsonRoundTripsThroughParser)
+{
+    std::uint64_t hits = 5;
+    Log2Histogram hist;
+    hist.add(128, 3);
+    StatsRegistry reg;
+    reg.addCounter("l2.hits", "hits", &hits);
+    reg.addFormula("l2.ratio", "ratio", [] { return 0.5; });
+    reg.addHistogram("dram.tx", "tx sizes", &hist);
+
+    JsonValue parsed = JsonValue::parse(reg.dumpJson());
+    EXPECT_EQ(parsed.at("l2.hits").asInt(), 5);
+    EXPECT_DOUBLE_EQ(parsed.at("l2.ratio").asDouble(), 0.5);
+    const JsonValue &tx = parsed.at("dram.tx");
+    EXPECT_EQ(tx.at("samples").asInt(), 3);
+    EXPECT_EQ(tx.at("sum").asInt(), 3 * 128);
+}
+
+} // namespace
+} // namespace rampage

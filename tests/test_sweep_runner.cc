@@ -13,6 +13,7 @@
 #include "core/sweep.hh"
 #include "trace/corrupter.hh"
 #include "trace/file_format.hh"
+#include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -186,6 +187,57 @@ TEST_F(SweepRunnerTest, WatchdogAbortsRunawayPointCleanly)
     EXPECT_EQ(report.outcomes[0].errorCategory, ErrorCategory::Internal);
     EXPECT_NE(report.outcomes[0].error.find("watchdog"),
               std::string::npos);
+}
+
+TEST_F(SweepRunnerTest, OkPointsReportThroughput)
+{
+    SweepRunner runner;
+    runner.add("real", [] { return tinyBaseline(1024); });
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.okCount(), 1u);
+    EXPECT_GE(report.outcomes[0].wallSeconds, 0.0);
+    // 2000 refs over nonzero wall time gives a positive rate.
+    EXPECT_GT(report.outcomes[0].refsPerSecond, 0.0);
+    EXPECT_TRUE(report.outcomes[0].debugTail.empty());
+}
+
+TEST_F(SweepRunnerTest, FailedPointCapturesDebugRingTail)
+{
+    clearDebugRing();
+    SweepRunner runner;
+    runner.add("noisy-failure", []() -> SimResult {
+        // Stand-in for RAMPAGE_DPRINTF events emitted while the point
+        // runs (the macro is compiled out in Release, the ring isn't).
+        debugRecord(DebugChannel::Pager, "fault vpn=0xabc");
+        debugRecord(DebugChannel::Dram, "read 4096 bytes");
+        throw InternalError("synthetic post-mortem bug");
+    });
+    runner.add("clean-failure", []() -> SimResult {
+        throw InternalError("no events this time");
+    });
+
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.failedCount(), 2u);
+
+    const PointOutcome &noisy = report.outcomes[0];
+    ASSERT_EQ(noisy.debugTail.size(), 2u);
+    EXPECT_EQ(noisy.debugTail[0], "pager: fault vpn=0xabc");
+    EXPECT_EQ(noisy.debugTail[1], "dram: read 4096 bytes");
+
+    // Each point starts with a clean ring: the second failure must not
+    // inherit the first point's events.
+    EXPECT_TRUE(report.outcomes[1].debugTail.empty());
+}
+
+TEST_F(SweepRunnerTest, HeartbeatOptionIsHarmless)
+{
+    SweepRunner::Options opts;
+    opts.heartbeatSeconds = 0.000001; // fire at every point boundary
+    SweepRunner runner(opts);
+    runner.add("a", [] { return fakeResult(1); });
+    runner.add("b", [] { return fakeResult(2); });
+    SweepReport report = runner.run();
+    EXPECT_EQ(report.okCount(), 2u);
 }
 
 /**
