@@ -43,9 +43,7 @@ probeBestSize(const ProgramProfile &profile, std::uint64_t refs)
         std::vector<std::unique_ptr<TraceSource>> workload;
         workload.push_back(
             std::make_unique<SyntheticProgram>(profile, 0));
-        SimConfig sim;
-        sim.maxRefs = refs;
-        sim.quantumRefs = refs;
+        SimConfig sim = armedSimConfig(refs, refs);
         sim.insertSwitchTrace = false;
         Simulator driver(hier, std::move(workload), sim);
         Tick t = driver.run().elapsedPs;

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/audit.hh"
 #include "core/cost_model.hh"
+#include "core/fault_injection.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -90,10 +92,16 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                 benchReport().path = argv[++i];
             } else if (arg == "--debug" && i + 1 < argc) {
                 setDebugChannels(argv[++i]);
+            } else if (arg == "--audit" && i + 1 < argc) {
+                setAuditLevelOverride(parseAuditLevel(argv[++i]));
+            } else if (arg == "--inject-fault" && i + 1 < argc) {
+                setFaultPlanOverride(argv[++i]);
             } else {
                 throw ConfigError(
                     "unknown argument '%s'\nusage: %s [--json <path>] "
-                    "[--debug <%s|all>]",
+                    "[--debug <%s|all>] "
+                    "[--audit <off|boundaries|paranoid>] "
+                    "[--inject-fault <kind[:seed]>]",
                     arg.c_str(), benchReport().name.c_str(),
                     debugChannelList().c_str());
             }

@@ -29,8 +29,15 @@ namespace rampage
  * machine-readable report on success.
  *
  * Flags:
- *   --json <path>      write results + full stats dumps as JSON
- *   --debug <channels> enable RAMPAGE_DPRINTF channels (Debug builds)
+ *   --json <path>          write results + full stats dumps as JSON
+ *   --debug <channels>     enable RAMPAGE_DPRINTF channels (Debug builds)
+ *   --audit <level>        model-integrity audits: off | boundaries |
+ *                          paranoid (overrides RAMPAGE_AUDIT)
+ *   --inject-fault <spec>  corrupt model state ("kind[:seed]", see
+ *                          src/core/fault_injection.hh; overrides
+ *                          RAMPAGE_INJECT_FAULT) to prove the audits
+ *                          fire — an audited run then exits with
+ *                          status 2 and a debug-ring post-mortem
  *
  * The human-readable table on stdout is unchanged byte-for-byte; all
  * telemetry goes to stderr or the JSON file.

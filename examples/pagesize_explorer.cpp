@@ -54,9 +54,7 @@ runTool(int argc, char **argv)
             std::vector<std::unique_ptr<TraceSource>> workload;
             workload.push_back(
                 std::make_unique<SyntheticProgram>(profile, 0));
-            SimConfig sim;
-            sim.maxRefs = refs;
-            sim.quantumRefs = refs;
+            SimConfig sim = armedSimConfig(refs, refs);
             sim.insertSwitchTrace = false;
             Simulator driver(hier, std::move(workload), sim);
             SimResult result = driver.run();

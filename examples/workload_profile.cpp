@@ -44,9 +44,7 @@ runTool(int argc, char **argv)
         std::vector<std::unique_ptr<TraceSource>> workload;
         workload.push_back(
             std::make_unique<SyntheticProgram>(profile, 0));
-        SimConfig sim;
-        sim.maxRefs = refs;
-        sim.quantumRefs = refs; // no multiprogramming
+        SimConfig sim = armedSimConfig(refs, refs); // no multiprogramming
         sim.insertSwitchTrace = false;
         Simulator simulator(hier, std::move(workload), sim);
         SimResult result = simulator.run();

@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "stats/registry.hh"
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -258,6 +259,70 @@ SetAssocCache::validBlocks() const
         if (line.valid)
             ++count;
     return count;
+}
+
+void
+SetAssocCache::forEachValidBlock(
+    const std::function<bool(Addr, bool)> &visit) const
+{
+    for (std::uint64_t set = 0; set < nSets; ++set) {
+        const Line *base = &lines[set * nWays];
+        for (unsigned w = 0; w < nWays; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (!visit(rebuildAddr(set, base[w].tag), base[w].dirty))
+                return;
+        }
+    }
+}
+
+void
+SetAssocCache::auditState(AuditContext &ctx,
+                          const std::string &label) const
+{
+    std::uint64_t valid = 0;
+    for (std::uint64_t set = 0; set < nSets; ++set) {
+        const Line *base = &lines[set * nWays];
+        for (unsigned w = 0; w < nWays; ++w) {
+            if (!base[w].valid)
+                continue;
+            ++valid;
+            for (unsigned v = w + 1; v < nWays; ++v) {
+                ctx.check(!base[v].valid || base[v].tag != base[w].tag,
+                          "cache.dup_tag",
+                          "%s set %llu holds tag 0x%llx in ways %u "
+                          "and %u (addr 0x%llx cached twice)",
+                          label.c_str(),
+                          static_cast<unsigned long long>(set),
+                          static_cast<unsigned long long>(base[w].tag),
+                          w, v,
+                          static_cast<unsigned long long>(
+                              rebuildAddr(set, base[w].tag)));
+            }
+        }
+    }
+    // Fills minus removals must equal the blocks actually resident.
+    std::uint64_t removed = stat.evictions + stat.invalidations;
+    ctx.check(stat.misses >= removed && stat.misses - removed == valid,
+              "cache.stats",
+              "%s holds %llu valid blocks but counters imply %lld "
+              "(misses %llu - evictions %llu - invalidations %llu)",
+              label.c_str(), static_cast<unsigned long long>(valid),
+              static_cast<long long>(stat.misses) -
+                  static_cast<long long>(removed),
+              static_cast<unsigned long long>(stat.misses),
+              static_cast<unsigned long long>(stat.evictions),
+              static_cast<unsigned long long>(stat.invalidations));
+}
+
+bool
+SetAssocCache::corruptTagXor(Addr addr, Addr tag_xor)
+{
+    Line *line = findLine(addr);
+    if (!line || tag_xor == 0)
+        return false;
+    line->tag ^= tag_xor;
+    return true;
 }
 
 } // namespace rampage

@@ -15,6 +15,7 @@
 #define RAMPAGE_CACHE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 namespace rampage
 {
 
+class AuditContext;
 class StatsRegistry;
 
 /** Block replacement policy within a set. */
@@ -136,6 +138,31 @@ class SetAssocCache
 
     std::uint64_t numSets() const { return nSets; }
     unsigned ways() const { return nWays; }
+
+    /**
+     * Visit every valid block as (block-aligned address, dirty);
+     * return false from the callback to stop early.  Pure inspection —
+     * used by the model-integrity audits and the fault injector.
+     */
+    void forEachValidBlock(
+        const std::function<bool(Addr, bool)> &visit) const;
+
+    /**
+     * Self-audit (`label` prefixes the detail, e.g. "l1d"): no set may
+     * hold the same tag in two valid ways, and the stats must be
+     * internally consistent.  Cross-level invariants (inclusion) are
+     * checked by the owning hierarchy.
+     */
+    void auditState(AuditContext &ctx, const std::string &label) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): XOR the stored tag of the
+     * valid block holding `addr` with `tag_xor`, silently retagging it
+     * as a different address — the audit must catch the resulting
+     * inclusion violation.
+     * @retval true a valid block was corrupted.
+     */
+    bool corruptTagXor(Addr addr, Addr tag_xor);
 
   private:
     /** One tag-array entry. */

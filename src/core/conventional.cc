@@ -1,5 +1,6 @@
 #include "core/conventional.hh"
 
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -152,6 +153,51 @@ ConventionalHierarchy::access(const MemRef &ref)
     outcome.cpuPs =
         (cyc_after - cyc_before) * cycPs + (evt.dramPs - dram_before);
     return outcome;
+}
+
+void
+ConventionalHierarchy::auditState(AuditContext &ctx) const
+{
+    Hierarchy::auditState(ctx);
+    if (!columnL2)
+        l2Cache.auditState(ctx, "l2");
+    dir.auditState(ctx);
+
+    // Inclusion: the L2 is maintained inclusive of both L1s (its
+    // evictions invalidate their L1 blocks before departing), so a
+    // valid L1 block absent below is stale data.
+    auto check_inclusion = [&](const SetAssocCache &l1,
+                               const char *label) {
+        l1.forEachValidBlock([&](Addr addr, bool) {
+            bool below = columnL2 ? columnL2->probe(addr)
+                                  : l2Cache.probe(addr);
+            ctx.check(below, "inclusion.l1",
+                      "%s block 0x%llx is not present in the L2",
+                      label, static_cast<unsigned long long>(addr));
+            return true;
+        });
+    };
+    check_inclusion(l1iCache, "l1i");
+    check_inclusion(l1dCache, "l1d");
+
+    // Every TLB entry caches a directory translation; frames are
+    // never reclaimed (DRAM is infinite), so the entry must still
+    // match exactly.
+    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                  std::uint64_t frame) {
+        std::uint64_t home = 0;
+        bool backed = dir.lookup(pid, vpn, &home) && home == frame;
+        ctx.check(backed, "tlb.backing",
+                  "TLB translates pid=%u vpn=0x%llx to DRAM frame "
+                  "%llu, but the page directory says %s",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn),
+                  static_cast<unsigned long long>(frame),
+                  dir.lookup(pid, vpn, &home)
+                      ? std::to_string(home).c_str()
+                      : "unallocated");
+        return true;
+    });
 }
 
 Cycles

@@ -36,7 +36,15 @@ class ConventionalHierarchy : public Hierarchy
     /** Column-associative L2 statistics (L2Style::ColumnAssoc only). */
     const ColumnAssocStats &columnStats() const;
 
+    /**
+     * Base audit plus: L1 inclusion in the L2 (every valid L1 block
+     * present below), the L2's own self-audit, TLB entries matching
+     * the page directory, and the directory self-audit.
+     */
+    void auditState(AuditContext &ctx) const override;
+
   protected:
+    friend class FaultInjector;
     Cycles fillFromBelow(Addr paddr, bool is_write) override;
     Cycles writebackBelow(Addr victim_addr) override;
     Cycles l1WritebackCost() const override;

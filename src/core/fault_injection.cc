@@ -1,0 +1,284 @@
+#include "core/fault_injection.hh"
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/conventional.hh"
+#include "core/rampage.hh"
+#include "core/rampage_var.hh"
+#include "os/scheduler.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+struct FaultName
+{
+    const char *name;
+    ModelFault fault;
+};
+
+// Stable spec names: these appear in RAMPAGE_INJECT_FAULT, the
+// --inject-fault flag and the CI smoke step.
+constexpr FaultName faultNames[] = {
+    {"none", ModelFault::None},
+    {"l1-tag-flip", ModelFault::L1TagFlip},
+    {"l2-tag-flip", ModelFault::L2TagFlip},
+    {"tlb-frame-xor", ModelFault::TlbFrameXor},
+    {"ipt-unlink", ModelFault::IptUnlink},
+    {"stale-dirty", ModelFault::StaleDirty},
+    {"leak-frame", ModelFault::LeakFrame},
+    {"dir-alias", ModelFault::DirAlias},
+    {"var-owner-drop", ModelFault::VarOwnerDrop},
+    {"sched-block", ModelFault::SchedBlock},
+    {"skew-cycles", ModelFault::SkewCycles},
+};
+
+bool haveOverride = false;
+std::string overrideSpec;
+
+/**
+ * Tag-space XOR whose rebuilt address lands far above every address
+ * the model legitimately caches (SRAM is a few MB, the conventional
+ * page-table image sits at 2^40 and the OS image at 2^41): flipping
+ * tag bit 40 moves the block address by at least 2^45.
+ */
+constexpr Addr tagFlipXor = Addr{1} << 40;
+
+/** Collect a cache's valid block addresses (for seeded selection). */
+std::vector<Addr>
+validBlocks(const SetAssocCache &cache)
+{
+    std::vector<Addr> blocks;
+    cache.forEachValidBlock([&](Addr addr, bool) {
+        blocks.push_back(addr);
+        return true;
+    });
+    return blocks;
+}
+
+void
+warnInapplicable(const FaultPlan &plan, const char *why)
+{
+    warnOnce("fault injection: '%s' not applied: %s",
+             modelFaultName(plan.kind), why);
+}
+
+} // namespace
+
+const char *
+modelFaultName(ModelFault fault)
+{
+    for (const FaultName &entry : faultNames)
+        if (entry.fault == fault)
+            return entry.name;
+    return "unknown";
+}
+
+FaultPlan
+parseFaultPlan(const std::string &spec)
+{
+    FaultPlan plan;
+    if (spec.empty())
+        return plan;
+
+    std::string kind = spec;
+    std::string::size_type colon = spec.find(':');
+    if (colon != std::string::npos) {
+        kind = spec.substr(0, colon);
+        std::string seed_text = spec.substr(colon + 1);
+        char *end = nullptr;
+        unsigned long long seed =
+            std::strtoull(seed_text.c_str(), &end, 10);
+        if (seed_text.empty() || end == nullptr || *end != '\0')
+            throw ConfigError(
+                "bad fault seed '%s' in spec '%s' (want kind[:seed])",
+                seed_text.c_str(), spec.c_str());
+        plan.seed = seed;
+    }
+
+    for (const FaultName &entry : faultNames) {
+        if (kind == entry.name) {
+            plan.kind = entry.fault;
+            return plan;
+        }
+    }
+    throw ConfigError(
+        "unknown model fault '%s' (try l1-tag-flip, l2-tag-flip, "
+        "tlb-frame-xor, ipt-unlink, stale-dirty, leak-frame, "
+        "dir-alias, var-owner-drop, sched-block or skew-cycles)",
+        kind.c_str());
+}
+
+void
+setFaultPlanOverride(const std::string &spec)
+{
+    parseFaultPlan(spec); // validate eagerly: bad specs fail at the CLI
+    haveOverride = true;
+    overrideSpec = spec;
+}
+
+std::string
+resolveFaultPlanSpec()
+{
+    if (haveOverride)
+        return overrideSpec;
+    if (const char *env = std::getenv("RAMPAGE_INJECT_FAULT"))
+        return env;
+    return "";
+}
+
+bool
+FaultInjector::apply(Hierarchy &hier)
+{
+    if (!pending())
+        return false;
+    applied = true;
+
+    auto *ramp = dynamic_cast<RampageHierarchy *>(&hier);
+    auto *conv = dynamic_cast<ConventionalHierarchy *>(&hier);
+    auto *var = dynamic_cast<VarRampageHierarchy *>(&hier);
+
+    switch (plan.kind) {
+      case ModelFault::None:
+        return false;
+
+      case ModelFault::L1TagFlip: {
+        // Prefer the L1D; an instruction-only window may leave it
+        // empty, in which case the L1I serves just as well.
+        SetAssocCache *target = &hier.l1dCache;
+        std::vector<Addr> blocks = validBlocks(*target);
+        if (blocks.empty()) {
+            target = &hier.l1iCache;
+            blocks = validBlocks(*target);
+        }
+        if (blocks.empty()) {
+            warnInapplicable(plan, "no valid L1 blocks yet");
+            return false;
+        }
+        Addr addr = blocks[plan.seed % blocks.size()];
+        return target->corruptTagXor(addr, tagFlipXor);
+      }
+
+      case ModelFault::L2TagFlip: {
+        if (conv == nullptr || conv->columnL2) {
+            warnInapplicable(plan,
+                             "needs a plain set-associative L2");
+            return false;
+        }
+        // Corrupt the L2 line backing a live L1 block: inclusion is
+        // maintained, so the block is guaranteed present below, and
+        // the flip is guaranteed to orphan the L1 copy.
+        std::vector<Addr> blocks = validBlocks(hier.l1dCache);
+        if (blocks.empty())
+            blocks = validBlocks(hier.l1iCache);
+        if (!blocks.empty()) {
+            Addr chosen = blocks[plan.seed % blocks.size()];
+            if (conv->l2Cache.corruptTagXor(chosen, tagFlipXor))
+                return true;
+        }
+        for (Addr addr : blocks)
+            if (conv->l2Cache.corruptTagXor(addr, tagFlipXor))
+                return true;
+        warnInapplicable(plan, "no L1 block found in the L2");
+        return false;
+      }
+
+      case ModelFault::TlbFrameXor:
+        if (!hier.tlbUnit.corruptFrameXor(0x100000)) {
+            warnInapplicable(plan, "no valid TLB entries yet");
+            return false;
+        }
+        return true;
+
+      case ModelFault::IptUnlink:
+        if (ramp == nullptr) {
+            warnInapplicable(plan, "needs the RAMpage hierarchy");
+            return false;
+        }
+        if (!ramp->pagerUnit.corruptUnlinkEntry()) {
+            warnInapplicable(plan, "no mapped user frames yet");
+            return false;
+        }
+        return true;
+
+      case ModelFault::StaleDirty:
+        if (ramp == nullptr) {
+            warnInapplicable(plan, "needs the RAMpage hierarchy");
+            return false;
+        }
+        if (!ramp->pagerUnit.corruptStaleDirty()) {
+            warnInapplicable(plan, "no unmapped user frames");
+            return false;
+        }
+        return true;
+
+      case ModelFault::LeakFrame:
+        if (ramp == nullptr) {
+            warnInapplicable(plan, "needs the RAMpage hierarchy");
+            return false;
+        }
+        if (!ramp->pagerUnit.corruptLeakFrame()) {
+            warnInapplicable(plan, "no cold-filled frames yet");
+            return false;
+        }
+        return true;
+
+      case ModelFault::DirAlias: {
+        DramDirectory *dir = nullptr;
+        if (ramp != nullptr)
+            dir = &ramp->dir;
+        else if (conv != nullptr)
+            dir = &conv->dir;
+        else if (var != nullptr)
+            dir = &var->dir;
+        if (dir == nullptr || !dir->corruptAlias()) {
+            warnInapplicable(plan,
+                             "needs two allocated DRAM pages");
+            return false;
+        }
+        return true;
+      }
+
+      case ModelFault::VarOwnerDrop:
+        if (var == nullptr) {
+            warnInapplicable(plan,
+                             "needs the variable-page-size hierarchy");
+            return false;
+        }
+        if (!var->pagerUnit.corruptDropOwner()) {
+            warnInapplicable(plan, "no owned user frames yet");
+            return false;
+        }
+        return true;
+
+      case ModelFault::SchedBlock:
+        warnInapplicable(plan, "needs a switch-on-miss run");
+        return false;
+
+      case ModelFault::SkewCycles:
+        // A prime cycle skew: every re-pricing of the run's events
+        // now disagrees with the accumulated elapsed time, which the
+        // time.conservation audit must catch at the next boundary.
+        hier.evt.l2Cycles += 977;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::applyScheduler(Scheduler &sched, Tick now)
+{
+    if (!pending() || plan.kind != ModelFault::SchedBlock)
+        return false;
+    applied = true;
+    // Park the running process a full simulated second in the future;
+    // the queue audit requires the running pid to be unblocked.
+    return sched.corruptBlockRunning(now + Tick{1'000'000'000'000});
+}
+
+} // namespace rampage

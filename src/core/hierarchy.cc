@@ -1,5 +1,6 @@
 #include "core/hierarchy.hh"
 
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
@@ -181,6 +182,66 @@ Hierarchy::dramBurstPs(std::uint64_t bytes, std::uint64_t count) const
     for (std::uint64_t i = 0; i < count; ++i)
         total += dram().readPs(bytes);
     return total;
+}
+
+void
+Hierarchy::auditState(AuditContext &ctx) const
+{
+    l1iCache.auditState(ctx, "l1i");
+    l1dCache.auditState(ctx, "l1d");
+    tlbUnit.auditState(ctx);
+
+    // --- event-count conservation ------------------------------------
+    // The evt counters are accumulated alongside the components'
+    // private statistics; divergence means one path forgot (or
+    // double-counted) an event, which silently mis-prices the run.
+    ctx.check(evt.l1iMisses == l1iCache.stats().misses &&
+                  evt.l1dMisses == l1dCache.stats().misses,
+              "events.conservation",
+              "L1 miss counts diverge: evt %llu/%llu vs caches "
+              "%llu/%llu (i/d)",
+              static_cast<unsigned long long>(evt.l1iMisses),
+              static_cast<unsigned long long>(evt.l1dMisses),
+              static_cast<unsigned long long>(l1iCache.stats().misses),
+              static_cast<unsigned long long>(l1dCache.stats().misses));
+    ctx.check(evt.tlbMisses == tlbUnit.stats().misses,
+              "events.conservation",
+              "evt.tlbMisses %llu != TLB's own miss count %llu",
+              static_cast<unsigned long long>(evt.tlbMisses),
+              static_cast<unsigned long long>(tlbUnit.stats().misses));
+    ctx.check(evt.l2Accesses == evt.l1iMisses + evt.l1dMisses,
+              "events.conservation",
+              "%llu %s accesses but %llu + %llu L1 misses",
+              static_cast<unsigned long long>(evt.l2Accesses),
+              l2Name().c_str(),
+              static_cast<unsigned long long>(evt.l1iMisses),
+              static_cast<unsigned long long>(evt.l1dMisses));
+    ctx.check(evt.l2Misses <= evt.l2Accesses, "events.conservation",
+              "%llu %s misses exceed %llu accesses",
+              static_cast<unsigned long long>(evt.l2Misses),
+              l2Name().c_str(),
+              static_cast<unsigned long long>(evt.l2Accesses));
+    ctx.check(evt.refs == evt.traceRefs + evt.overheadRefs,
+              "events.conservation",
+              "%llu refs != %llu trace + %llu overhead",
+              static_cast<unsigned long long>(evt.refs),
+              static_cast<unsigned long long>(evt.traceRefs),
+              static_cast<unsigned long long>(evt.overheadRefs));
+    ctx.check(evt.tlbMissOverheadRefs + evt.faultOverheadRefs <=
+                  evt.overheadRefs,
+              "events.conservation",
+              "categorized handler refs (%llu TLB + %llu fault) "
+              "exceed the %llu total",
+              static_cast<unsigned long long>(evt.tlbMissOverheadRefs),
+              static_cast<unsigned long long>(evt.faultOverheadRefs),
+              static_cast<unsigned long long>(evt.overheadRefs));
+    ctx.check(dramTxHist.samples() == evt.dramReads + evt.dramWrites,
+              "events.conservation",
+              "%llu DRAM transactions in the histogram but %llu + "
+              "%llu counted (reads + writes)",
+              static_cast<unsigned long long>(dramTxHist.samples()),
+              static_cast<unsigned long long>(evt.dramReads),
+              static_cast<unsigned long long>(evt.dramWrites));
 }
 
 Tick

@@ -33,6 +33,9 @@
 namespace rampage
 {
 
+class AuditContext;
+class FaultInjector;
+
 /** Per-reference outcome. */
 struct AccessOutcome
 {
@@ -93,7 +96,20 @@ class Hierarchy
     /** Total simulated time at an issue rate (blocking runs). */
     Tick totalPs(std::uint64_t issue_hz) const;
 
+    /**
+     * Walk live model state and verify this hierarchy's invariants
+     * into `ctx` (see src/core/audit.hh).  The base class audits the
+     * shared components (L1s, TLB) and the event-count conservation
+     * identities; overrides add the cross-component invariants that
+     * need the level below (inclusion, translation backing, page
+     * tables).  Must be side-effect-free: an audited run produces
+     * byte-identical simulation output.
+     */
+    virtual void auditState(AuditContext &ctx) const;
+
   protected:
+    /** Deterministic model-state corruption hooks (tests/CI only). */
+    friend class FaultInjector;
     /** Category a handler-trace reference is accounted under. */
     enum class OverheadKind
     {

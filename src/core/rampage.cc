@@ -1,5 +1,6 @@
 #include "core/rampage.hh"
 
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -99,6 +100,77 @@ RampageHierarchy::access(const MemRef &ref)
                    "deferred time exceeds the access total");
     outcome.cpuPs = total - outcome.deferPs;
     return outcome;
+}
+
+void
+RampageHierarchy::auditState(AuditContext &ctx) const
+{
+    Hierarchy::auditState(ctx);
+    pagerUnit.auditState(ctx);
+    dir.auditState(ctx);
+
+    const InvertedPageTable &ipt = pagerUnit.table();
+    std::uint64_t page_bytes = pagerUnit.pageBytes();
+
+    // L1 inclusion in the SRAM main memory: every cached block must
+    // lie inside the SRAM and inside a pinned OS page or a mapped
+    // user page — a block of an evicted page is stale data.
+    auto check_inclusion = [&](const SetAssocCache &l1,
+                               const char *label) {
+        l1.forEachValidBlock([&](Addr addr, bool) {
+            if (!ctx.check(addr < pagerUnit.sramBytes(), "inclusion.l1",
+                           "%s block 0x%llx lies outside the %llu-byte "
+                           "SRAM main memory",
+                           label, static_cast<unsigned long long>(addr),
+                           static_cast<unsigned long long>(
+                               pagerUnit.sramBytes())))
+                return true;
+            std::uint64_t frame = addr / page_bytes;
+            ctx.check(frame < pagerUnit.osFrames() || ipt.mapped(frame),
+                      "inclusion.l1",
+                      "%s block 0x%llx cached from unmapped SRAM "
+                      "frame %llu",
+                      label, static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(frame));
+            return true;
+        });
+    };
+    check_inclusion(l1iCache, "l1i");
+    check_inclusion(l1dCache, "l1d");
+
+    // Every TLB entry must agree with the page table it caches.
+    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                  std::uint64_t frame) {
+        bool backed = frame >= pagerUnit.osFrames() &&
+                      frame < pagerUnit.totalFrames() &&
+                      ipt.mapped(frame) && ipt.framePid(frame) == pid &&
+                      ipt.frameVpn(frame) == vpn;
+        ctx.check(backed, "tlb.backing",
+                  "TLB translates pid=%u vpn=0x%llx to SRAM frame "
+                  "%llu, which the page table does not back",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn),
+                  static_cast<unsigned long long>(frame));
+        return true;
+    });
+
+    // Every resident page was faulted in through DRAM, so the paging
+    // device's directory must know its home.
+    unsigned dram_page_bits = floorLog2(cfg.dramPageBytes);
+    for (std::uint64_t frame = pagerUnit.osFrames();
+         frame < pagerUnit.totalFrames(); ++frame) {
+        if (!ipt.mapped(frame))
+            continue;
+        Pid pid = ipt.framePid(frame);
+        std::uint64_t dvpn = (ipt.frameVpn(frame) << pageBits) >>
+                             dram_page_bits;
+        ctx.check(dir.lookup(pid, dvpn), "ipt.dram_home",
+                  "resident page pid=%u vpn=0x%llx (frame %llu) has "
+                  "no DRAM home in the directory",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(ipt.frameVpn(frame)),
+                  static_cast<unsigned long long>(frame));
+    }
 }
 
 Cycles

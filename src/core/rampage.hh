@@ -36,7 +36,17 @@ class RampageHierarchy : public Hierarchy
     const DramDirectory &directory() const { return dir; }
     const RampageConfig &config() const { return rcfg; }
 
+    /**
+     * Base audit plus: L1 inclusion in the SRAM main memory (every
+     * valid L1 block inside a pinned or mapped SRAM page), TLB
+     * entries backed by matching page-table mappings, the pager/IPT
+     * self-audit, every resident page holding a DRAM home in the
+     * directory, and the directory self-audit.
+     */
+    void auditState(AuditContext &ctx) const override;
+
   protected:
+    friend class FaultInjector;
     Cycles fillFromBelow(Addr paddr, bool is_write) override;
     Cycles writebackBelow(Addr victim_addr) override;
     Cycles l1WritebackCost() const override;

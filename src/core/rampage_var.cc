@@ -1,5 +1,6 @@
 #include "core/rampage_var.hh"
 
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -92,6 +93,56 @@ VarRampageHierarchy::access(const MemRef &ref)
                    "deferred time exceeds the access total");
     outcome.cpuPs = total - outcome.deferPs;
     return outcome;
+}
+
+void
+VarRampageHierarchy::auditState(AuditContext &ctx) const
+{
+    Hierarchy::auditState(ctx);
+    pagerUnit.auditState(ctx);
+    dir.auditState(ctx);
+
+    // L1 inclusion: every cached block must lie inside the SRAM, in a
+    // pinned OS frame or a frame some resident page owns.
+    auto check_inclusion = [&](const SetAssocCache &l1,
+                               const char *label) {
+        l1.forEachValidBlock([&](Addr addr, bool) {
+            if (!ctx.check(addr < pagerUnit.sramBytes(), "inclusion.l1",
+                           "%s block 0x%llx lies outside the %llu-byte "
+                           "SRAM main memory",
+                           label, static_cast<unsigned long long>(addr),
+                           static_cast<unsigned long long>(
+                               pagerUnit.sramBytes())))
+                return true;
+            std::uint64_t frame = addr / pagerUnit.baseFrameBytes();
+            ctx.check(frame < pagerUnit.osFrames() ||
+                          pagerUnit.frameOwned(frame),
+                      "inclusion.l1",
+                      "%s block 0x%llx cached from unowned SRAM "
+                      "frame %llu",
+                      label, static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(frame));
+            return true;
+        });
+    };
+    check_inclusion(l1iCache, "l1i");
+    check_inclusion(l1dCache, "l1d");
+
+    // TLB entries cache the residency table's start frames; lookup()
+    // is pure, so the audit can replay every translation.
+    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                  std::uint64_t frame) {
+        VarPager::Lookup walk = pagerUnit.lookup(pid, vpn);
+        ctx.check(walk.found && walk.startFrame == frame,
+                  "tlb.backing",
+                  "TLB translates pid=%u vpn=0x%llx to start frame "
+                  "%llu, but the residency table %s",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn),
+                  static_cast<unsigned long long>(frame),
+                  walk.found ? "disagrees" : "has no entry");
+        return true;
+    });
 }
 
 Cycles

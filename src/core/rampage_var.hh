@@ -36,7 +36,15 @@ class VarRampageHierarchy : public Hierarchy
 
     const VarPager &pager() const { return pagerUnit; }
 
+    /**
+     * Base audit plus: the variable pager's frame-map self-audit, L1
+     * blocks inside pinned or owned SRAM frames, TLB entries backed by
+     * the residency table, and the DRAM directory self-audit.
+     */
+    void auditState(AuditContext &ctx) const override;
+
   protected:
+    friend class FaultInjector;
     Cycles fillFromBelow(Addr paddr, bool is_write) override;
     Cycles writebackBelow(Addr victim_addr) override;
     Cycles l1WritebackCost() const override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fault_injection.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
@@ -21,6 +22,11 @@ Simulator::Simulator(Hierarchy &hierarchy,
 {
     RAMPAGE_ASSERT(!sources.empty(), "simulator needs a workload");
     RAMPAGE_ASSERT(cfg.quantumRefs > 0, "quantum must be positive");
+    parseFaultPlan(cfg.faultPlan); // reject bad specs before running
+    if (cfg.watchdogRefBudget == 0)
+        warnOnce("watchdog disabled (SimConfig::watchdogRefBudget is "
+                 "0): a runaway point will hang instead of aborting; "
+                 "defaultSimConfig()/armedSimConfig() arm it");
 }
 
 MemRef
@@ -59,9 +65,12 @@ Simulator::checkWatchdog() const
 SimResult
 Simulator::runBlocking()
 {
+    Auditor auditor(cfg.auditLevel);
+    FaultInjector injector(parseFaultPlan(cfg.faultPlan));
     Tick now = 0;
     std::size_t current = 0;
     std::uint64_t in_slice = 0;
+    std::uint64_t audited_misses = hier.counts().l2Misses;
 
     for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
         checkWatchdog();
@@ -72,11 +81,29 @@ Simulator::runBlocking()
         AccessOutcome out = hier.access(ref);
         now += out.cpuPs + out.deferPs;
 
+        if (auditor.paranoid() &&
+            hier.counts().l2Misses != audited_misses) {
+            audited_misses = hier.counts().l2Misses;
+            auditor.auditBlocking(hier, now, "L2/SRAM miss");
+        }
+
         if (++in_slice >= cfg.quantumRefs) {
             in_slice = 0;
             current = (current + 1) % sources.size();
+            // Audit the boundary first, then corrupt: the planned
+            // fault lands on provably clean state, so the violation
+            // the next audit raises is the injector's.
+            auditor.auditBlocking(hier, now, "quantum boundary");
+            if (injector.pending())
+                injector.apply(hier);
         }
     }
+
+    auditor.auditBlocking(hier, now, "end of run");
+    if (injector.pending())
+        warnOnce("fault injection: '%s' was never applied (the run "
+                 "ended before its first quantum boundary)",
+                 modelFaultName(injector.planned().kind));
 
     SimResult result;
     result.elapsedPs = now;
@@ -88,15 +115,26 @@ Simulator::runBlocking()
                             "elapsed simulated picoseconds", now);
     result.stats.addValue("sim.seconds", "elapsed simulated seconds",
                           result.seconds());
+    if (auditor.enabled()) {
+        result.stats.addCounter("audit.runs",
+                                "model-integrity audit passes",
+                                auditor.auditsRun());
+        result.stats.addCounter("audit.checks",
+                                "individual invariant checks run",
+                                auditor.checksRun());
+    }
     return result;
 }
 
 SimResult
 Simulator::runSwitchOnMiss()
 {
+    Auditor auditor(cfg.auditLevel);
+    FaultInjector injector(parseFaultPlan(cfg.faultPlan));
     Scheduler sched(sources.size(), cfg.quantumRefs);
     Tick now = 0;
     Tick channel_free_at = 0;
+    std::uint64_t audited_misses = hier.counts().l2Misses;
 
     if (cfg.insertSwitchTrace)
         now += hier.runContextSwitchTrace();
@@ -109,7 +147,19 @@ Simulator::runSwitchOnMiss()
 
         bool quantum_expired = sched.onRef();
 
+        if (auditor.paranoid() &&
+            hier.counts().l2Misses != audited_misses) {
+            audited_misses = hier.counts().l2Misses;
+            auditor.auditSwitchOnMiss(hier, sched, now, "SRAM miss");
+        }
+
         if (out.pageFault && out.deferPs > 0) {
+            // Audit before the switch: the faulting process is still
+            // the running one, so a corrupted run queue is caught
+            // while it is visibly wrong.
+            auditor.auditSwitchOnMiss(hier, sched, now,
+                                      "miss boundary");
+
             // The handler has queued the transfer; the single Rambus
             // channel serializes outstanding page moves (§2.4 models
             // no pipelining of references).
@@ -121,16 +171,38 @@ Simulator::runSwitchOnMiss()
                 now += hier.runContextSwitchTrace();
             SchedPick pick = sched.blockCurrent(now, done);
             now = std::max(now, pick.resumeAt);
+
+            if (injector.pending()) {
+                if (injector.targetsScheduler())
+                    injector.applyScheduler(sched, now);
+                else
+                    injector.apply(hier);
+            }
         } else if (quantum_expired) {
+            auditor.auditSwitchOnMiss(hier, sched, now,
+                                      "quantum boundary");
+
             if (cfg.insertSwitchTrace)
                 now += hier.runContextSwitchTrace();
             SchedPick pick = sched.rotate(now);
             now = std::max(now, pick.resumeAt);
+
+            if (injector.pending()) {
+                if (injector.targetsScheduler())
+                    injector.applyScheduler(sched, now);
+                else
+                    injector.apply(hier);
+            }
         }
     }
 
     // Any transfer still in flight must complete before the run ends.
     now = std::max(now, channel_free_at);
+    auditor.auditSwitchOnMiss(hier, sched, now, "end of run");
+    if (injector.pending())
+        warnOnce("fault injection: '%s' was never applied (the run "
+                 "ended before its first switch boundary)",
+                 modelFaultName(injector.planned().kind));
 
     SimResult result;
     result.elapsedPs = now;
@@ -152,6 +224,14 @@ Simulator::runSwitchOnMiss()
                             result.stallPs);
     result.stats.addValue("sim.seconds", "elapsed simulated seconds",
                           result.seconds());
+    if (auditor.enabled()) {
+        result.stats.addCounter("audit.runs",
+                                "model-integrity audit passes",
+                                auditor.auditsRun());
+        result.stats.addCounter("audit.checks",
+                                "individual invariant checks run",
+                                auditor.checksRun());
+    }
     return result;
 }
 

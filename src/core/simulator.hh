@@ -12,8 +12,10 @@
 #define RAMPAGE_CORE_SIMULATOR_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/audit.hh"
 #include "core/hierarchy.hh"
 #include "os/scheduler.hh"
 #include "stats/registry.hh"
@@ -45,6 +47,23 @@ struct SimConfig
      * recursion) aborts cleanly instead of hanging a sweep campaign.
      */
     std::uint64_t watchdogRefBudget = 0;
+    /**
+     * Model-integrity audit level (src/core/audit.hh): Off runs
+     * unaudited, Boundaries audits at every quantum boundary and at
+     * end-of-run, Paranoid additionally after every miss that reached
+     * the L2/SRAM level.  Violations raise AuditError.  Audits are
+     * side-effect-free: simulation output is byte-identical at every
+     * level.
+     */
+    AuditLevel auditLevel = AuditLevel::Off;
+    /**
+     * Model-fault injection spec, "kind[:seed]" ("" injects nothing;
+     * see src/core/fault_injection.hh).  The corruption is applied
+     * once, at the first audit boundary — after that boundary's audit
+     * has passed clean — so a subsequent violation is attributable to
+     * the injector.
+     */
+    std::string faultPlan;
 };
 
 /** Result of one simulation. */

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <string>
 
+#include "core/audit.hh"
 #include "core/conventional.hh"
+#include "core/fault_injection.hh"
 #include "core/rampage.hh"
 #include "trace/benchmarks.hh"
 #include "util/debug.hh"
@@ -131,6 +133,20 @@ defaultSimConfig(bool switch_on_miss)
     // budget of 8x the benchmark references can only trip on a
     // genuine runaway point.
     sim.watchdogRefBudget = scale.refs * 8 + 1'000'000;
+    sim.auditLevel = resolveAuditLevel();
+    sim.faultPlan = resolveFaultPlanSpec();
+    return sim;
+}
+
+SimConfig
+armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs)
+{
+    SimConfig sim;
+    sim.maxRefs = refs;
+    sim.quantumRefs = quantum_refs;
+    sim.watchdogRefBudget = refs * 8 + 1'000'000;
+    sim.auditLevel = resolveAuditLevel();
+    sim.faultPlan = resolveFaultPlanSpec();
     return sim;
 }
 
@@ -162,6 +178,8 @@ pointStatusName(PointStatus status)
         return "ok";
       case PointStatus::Failed:
         return "failed";
+      case PointStatus::AuditFailed:
+        return "audit-failed";
       case PointStatus::Skipped:
         return "skipped";
     }
@@ -189,11 +207,17 @@ SweepRunner::add(const std::string &id, std::function<SimResult()> body)
 }
 
 /*
- * Checkpoint manifest format (one line per completed point, appended
+ * Checkpoint manifest format (one line per finished point, appended
  * and flushed as each point finishes):
  *
  *   # rampage-sweep-checkpoint v1
  *   ok wall=<seconds> elapsed_ps=<ticks> id=<point id to end of line>
+ *   audit wall=<seconds> invariant=<name> id=<point id to end of line>
+ *
+ * Only "ok" lines mark a point done; "audit" lines are informational —
+ * they record *which* model invariant an audit found violated, so a
+ * resumed campaign (which will re-run the point) carries the forensic
+ * trail of why the previous attempt was rejected.
  *
  * Parsing is deliberately lenient: unrecognized or damaged lines are
  * warned about and skipped, so a torn final line (the crash case the
@@ -215,6 +239,8 @@ SweepRunner::loadManifest() const
         ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
+        if (line.rfind("audit ", 0) == 0)
+            continue; // forensic record only; the point is not done
         double wall = 0;
         std::string id;
         std::size_t id_at = line.find(" id=");
@@ -253,10 +279,19 @@ SweepRunner::appendManifest(const PointOutcome &outcome) const
     }
     if (std::ftell(file) == 0)
         std::fprintf(file, "# rampage-sweep-checkpoint v1\n");
-    std::fprintf(file, "ok wall=%.6f elapsed_ps=%llu id=%s\n",
-                 outcome.wallSeconds,
-                 static_cast<unsigned long long>(outcome.result.elapsedPs),
-                 outcome.id.c_str());
+    if (outcome.status == PointStatus::AuditFailed)
+        std::fprintf(file, "audit wall=%.6f invariant=%s id=%s\n",
+                     outcome.wallSeconds,
+                     outcome.auditInvariant.empty()
+                         ? "unknown"
+                         : outcome.auditInvariant.c_str(),
+                     outcome.id.c_str());
+    else
+        std::fprintf(file, "ok wall=%.6f elapsed_ps=%llu id=%s\n",
+                     outcome.wallSeconds,
+                     static_cast<unsigned long long>(
+                         outcome.result.elapsedPs),
+                     outcome.id.c_str());
     std::fflush(file);
     std::fclose(file);
 }
@@ -309,6 +344,11 @@ SweepRunner::run()
             outcome.result = point.body();
             outcome.haveResult = true;
             outcome.status = PointStatus::Ok;
+        } catch (const AuditError &e) {
+            outcome.status = PointStatus::AuditFailed;
+            outcome.errorCategory = e.category();
+            outcome.error = e.what();
+            outcome.auditInvariant = e.firstInvariant();
         } catch (const SimError &e) {
             outcome.status = PointStatus::Failed;
             outcome.errorCategory = e.category();
@@ -333,6 +373,10 @@ SweepRunner::run()
                    point.id.c_str(), outcome.wallSeconds,
                    outcome.refsPerSecond);
         } else {
+            // An audit rejection is still checkpointed (as a
+            // non-completing forensic line naming the invariant).
+            if (outcome.status == PointStatus::AuditFailed)
+                appendManifest(outcome);
             outcome.debugTail = debugRingTail(16);
             warn("sweep: '%s' failed (%s error): %s", point.id.c_str(),
                  errorCategoryName(outcome.errorCategory),

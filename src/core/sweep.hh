@@ -63,8 +63,20 @@ RampageConfig rampageConfig(std::uint64_t issue_hz,
                             std::uint64_t page_bytes,
                             bool switch_on_miss = false);
 
-/** SimConfig at the environment scale. */
+/**
+ * SimConfig at the environment scale, with the runaway watchdog armed
+ * and the audit level / fault plan resolved from their overrides and
+ * environment variables (RAMPAGE_AUDIT, RAMPAGE_INJECT_FAULT).
+ */
 SimConfig defaultSimConfig(bool switch_on_miss = false);
+
+/**
+ * SimConfig for an explicit (refs, quantum) pair with the same
+ * hardening as defaultSimConfig(): armed watchdog, resolved audit
+ * level and fault plan.  Use this instead of building a raw SimConfig
+ * whenever a bench or example picks its own scale.
+ */
+SimConfig armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs);
 
 /** Build, run and report a conventional system on the §4.2 workload. */
 SimResult simulateConventional(const ConventionalConfig &config,
@@ -78,12 +90,13 @@ SimResult simulateRampage(const RampageConfig &config,
 
 /** How one sweep point ended. */
 enum class PointStatus {
-    Ok,      ///< simulated to completion this run
-    Failed,  ///< raised an error; the campaign continued
-    Skipped, ///< already completed per the checkpoint manifest
+    Ok,          ///< simulated to completion this run
+    Failed,      ///< raised an error; the campaign continued
+    AuditFailed, ///< a model-integrity audit rejected live state
+    Skipped,     ///< already completed per the checkpoint manifest
 };
 
-/** Stable lower-case name ("ok", "failed", "skipped"). */
+/** Stable lower-case name ("ok", "failed", "audit-failed", ...). */
 const char *pointStatusName(PointStatus status);
 
 /** Outcome record for one sweep point. */
@@ -91,10 +104,15 @@ struct PointOutcome
 {
     std::string id;
     PointStatus status = PointStatus::Failed;
-    /** Failure classification; meaningful only when Failed. */
+    /** Failure classification; meaningful unless Ok/Skipped. */
     ErrorCategory errorCategory = ErrorCategory::Internal;
-    /** Diagnostic message; empty unless Failed. */
+    /** Diagnostic message; empty when Ok/Skipped. */
     std::string error;
+    /**
+     * First violated invariant's stable name ("inclusion.l1",
+     * "time.conservation"); empty unless AuditFailed.
+     */
+    std::string auditInvariant;
     /** Wall time of this execution (or the checkpointed value). */
     double wallSeconds = 0;
     /** Hierarchy references per wall-clock second; 0 unless Ok. */
@@ -118,11 +136,19 @@ struct SweepReport
     std::size_t count(PointStatus status) const;
     std::size_t okCount() const { return count(PointStatus::Ok); }
     std::size_t failedCount() const { return count(PointStatus::Failed); }
+    std::size_t auditFailedCount() const
+    {
+        return count(PointStatus::AuditFailed);
+    }
     std::size_t skippedCount() const
     {
         return count(PointStatus::Skipped);
     }
-    bool allOk() const { return failedCount() == 0; }
+    bool
+    allOk() const
+    {
+        return failedCount() == 0 && auditFailedCount() == 0;
+    }
 };
 
 /**

@@ -1,5 +1,9 @@
 #include "os/dram_directory.hh"
 
+#include <iterator>
+#include <unordered_set>
+
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -56,6 +60,70 @@ DramDirectory::physAddr(Pid pid, Addr vaddr)
 {
     std::uint64_t frame = frameOf(pid, vaddr >> pageBits);
     return (frame << pageBits) | lowBits(vaddr, pageBits);
+}
+
+bool
+DramDirectory::lookup(Pid pid, std::uint64_t vpn,
+                      std::uint64_t *frame_out) const
+{
+    auto it = map.find(keyOf(pid, vpn));
+    if (it == map.end())
+        return false;
+    if (frame_out)
+        *frame_out = it->second;
+    return true;
+}
+
+void
+DramDirectory::auditState(AuditContext &ctx) const
+{
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(map.size());
+    for (const auto &[key, frame] : map) {
+        Pid pid = static_cast<Pid>(key >> 48);
+        std::uint64_t vpn = key ^ (static_cast<std::uint64_t>(pid) << 48);
+        if (!ctx.check(frame < used.size(), "dir.count",
+                       "pid=%u vpn=0x%llx maps to frame %llu beyond "
+                       "the %zu-frame pool",
+                       static_cast<unsigned>(pid),
+                       static_cast<unsigned long long>(vpn),
+                       static_cast<unsigned long long>(frame),
+                       used.size()))
+            continue;
+        ctx.check(used[frame], "dir.count",
+                  "pid=%u vpn=0x%llx maps to frame %llu whose "
+                  "occupancy bit is clear",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn),
+                  static_cast<unsigned long long>(frame));
+        ctx.check(seen.insert(frame).second, "dir.alias",
+                  "DRAM frame %llu is home to two pages (second: "
+                  "pid=%u vpn=0x%llx)",
+                  static_cast<unsigned long long>(frame),
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn));
+    }
+
+    std::uint64_t occupied = 0;
+    for (bool bit : used)
+        occupied += bit ? 1 : 0;
+    ctx.check(map.size() == nAllocated && occupied == nAllocated,
+              "dir.count",
+              "%zu directory entries, %llu occupancy bits, but "
+              "allocatedFrames() says %llu",
+              map.size(), static_cast<unsigned long long>(occupied),
+              static_cast<unsigned long long>(nAllocated));
+}
+
+bool
+DramDirectory::corruptAlias()
+{
+    if (map.size() < 2)
+        return false;
+    auto first = map.begin();
+    auto second = std::next(first);
+    second->second = first->second;
+    return true;
 }
 
 void

@@ -35,6 +35,8 @@
 namespace rampage
 {
 
+class AuditContext;
+
 /** DRAM frame mapping with first-touch allocation. */
 class DramDirectory
 {
@@ -75,6 +77,30 @@ class DramDirectory
     std::uint64_t allocatedFrames() const { return nAllocated; }
     std::uint64_t allocatedBytes() const { return nAllocated * pageSize; }
     std::uint64_t physPages() const { return used.size(); }
+
+    /**
+     * Counter-free residency query: unlike frameOf() this never
+     * allocates, so audits can consult the directory without
+     * perturbing first-touch placement.
+     * @retval true (pid, vpn) has a DRAM home; `*frame_out` receives it.
+     */
+    bool lookup(Pid pid, std::uint64_t vpn,
+                std::uint64_t *frame_out = nullptr) const;
+
+    /**
+     * Self-audit: the (pid, vpn) -> frame mapping must be injective
+     * (DRAM is infinite, frames are never shared or reclaimed), every
+     * mapped frame's occupancy bit must be set, and the allocation
+     * counters must agree with both structures.
+     */
+    void auditState(AuditContext &ctx) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): redirect one mapping onto
+     * another mapping's frame, silently aliasing two pages in DRAM.
+     * @retval true two mappings existed and now alias.
+     */
+    bool corruptAlias();
 
   private:
     static std::uint64_t keyOf(Pid pid, std::uint64_t vpn);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "util/audit.hh"
 #include "util/bitops.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
@@ -138,6 +140,97 @@ InvertedPageTable::frameVpn(std::uint64_t frame) const
 {
     RAMPAGE_ASSERT(mapped(frame), "frame not mapped");
     return entries[frame].vpn;
+}
+
+void
+InvertedPageTable::auditState(AuditContext &ctx) const
+{
+    // Walk every anchor chain with explicit bounds (a cycle or a link
+    // to an invalid entry must be reported, not crashed or looped on).
+    std::vector<bool> reached(entries.size(), false);
+    std::uint64_t reachable = 0;
+    for (std::uint64_t bucket = 0; bucket < anchors.size(); ++bucket) {
+        std::uint64_t frame = anchors[bucket];
+        std::uint64_t hops = 0;
+        while (frame != noFrame) {
+            if (!ctx.check(frame < entries.size(), "ipt.chain",
+                           "bucket %llu links to frame %llu beyond "
+                           "the %zu-frame table",
+                           static_cast<unsigned long long>(bucket),
+                           static_cast<unsigned long long>(frame),
+                           entries.size()))
+                break;
+            const Entry &entry = entries[frame];
+            if (!ctx.check(entry.valid, "ipt.chain",
+                           "bucket %llu chains through invalid frame "
+                           "%llu",
+                           static_cast<unsigned long long>(bucket),
+                           static_cast<unsigned long long>(frame)))
+                break;
+            if (!ctx.check(!reached[frame], "ipt.chain",
+                           "frame %llu reachable twice (chain cycle "
+                           "or cross-link)",
+                           static_cast<unsigned long long>(frame)))
+                break;
+            reached[frame] = true;
+            ++reachable;
+            ctx.check(hashOf(entry.pid, entry.vpn) == bucket,
+                      "ipt.chain",
+                      "frame %llu (pid=%u vpn=0x%llx) hashes to "
+                      "bucket %llu but chains from bucket %llu",
+                      static_cast<unsigned long long>(frame),
+                      static_cast<unsigned>(entry.pid),
+                      static_cast<unsigned long long>(entry.vpn),
+                      static_cast<unsigned long long>(
+                          hashOf(entry.pid, entry.vpn)),
+                      static_cast<unsigned long long>(bucket));
+            if (!ctx.check(++hops <= entries.size(), "ipt.chain",
+                           "bucket %llu chain exceeds the table size "
+                           "(cycle)",
+                           static_cast<unsigned long long>(bucket)))
+                break;
+            frame = entry.next;
+        }
+    }
+
+    // Every valid entry must be reachable, or lookup() will fault a
+    // page that is in fact resident (then double-map its vpn).
+    for (std::uint64_t frame = 0; frame < entries.size(); ++frame) {
+        if (!entries[frame].valid)
+            continue;
+        ctx.check(reached[frame], "ipt.chain",
+                  "valid frame %llu (pid=%u vpn=0x%llx) unreachable "
+                  "from its anchor chain",
+                  static_cast<unsigned long long>(frame),
+                  static_cast<unsigned>(entries[frame].pid),
+                  static_cast<unsigned long long>(entries[frame].vpn));
+    }
+
+    ctx.check(reachable == nMapped, "ipt.count",
+              "%llu frames reachable through chains but mappedCount() "
+              "says %llu",
+              static_cast<unsigned long long>(reachable),
+              static_cast<unsigned long long>(nMapped));
+}
+
+bool
+InvertedPageTable::corruptUnlink(std::uint64_t frame)
+{
+    if (frame >= entries.size() || !entries[frame].valid)
+        return false;
+    Entry &entry = entries[frame];
+    std::uint64_t bucket = hashOf(entry.pid, entry.vpn);
+    std::uint64_t *link = &anchors[bucket];
+    while (*link != noFrame && *link != frame)
+        link = &entries[*link].next;
+    if (*link != frame)
+        return false;
+    // Unlink but deliberately keep the entry valid and nMapped
+    // untouched: the classic lost-update bug this models leaves a
+    // resident page the lookup path can no longer find.
+    *link = entry.next;
+    entry.next = noFrame;
+    return true;
 }
 
 double

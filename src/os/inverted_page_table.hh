@@ -30,6 +30,8 @@
 namespace rampage
 {
 
+class AuditContext;
+
 /** Bytes per inverted-page-table entry (see file comment). */
 constexpr std::uint64_t iptEntryBytes = 20;
 
@@ -95,6 +97,23 @@ class InvertedPageTable
 
     /** Mean hash-chain probes over all lookups so far. */
     double meanProbeDepth() const;
+
+    /**
+     * Self-audit: every chain entry valid and bucketed under its own
+     * hash, every valid entry reachable from exactly one anchor chain,
+     * no chain longer than the table, and the reachable count equal to
+     * mappedCount().  Walks chains with explicit bounds, so it stays
+     * safe on state lookup() would assert on.
+     */
+    void auditState(AuditContext &ctx) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): unlink `frame` from its
+     * hash chain while leaving the entry valid and mappedCount()
+     * untouched — a mapped page the lookup path can no longer reach.
+     * @retval true the frame was valid and has been unlinked.
+     */
+    bool corruptUnlink(std::uint64_t frame);
 
   private:
     struct Entry

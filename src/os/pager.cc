@@ -1,6 +1,10 @@
 #include "os/pager.hh"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "stats/registry.hh"
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -131,6 +135,104 @@ SramPager::handleFault(Pid pid, std::uint64_t vpn)
                     result.victimValid ? 1 : 0,
                     result.victimDirty ? 1 : 0, result.scanCost);
     return result;
+}
+
+void
+SramPager::auditState(AuditContext &ctx) const
+{
+    ipt->auditState(ctx);
+
+    for (std::uint64_t f = 0; f < nOsFrames; ++f)
+        ctx.check(!ipt->mapped(f), "pager.os_reserve",
+                  "pinned OS frame %llu maps pid=%u vpn=0x%llx",
+                  static_cast<unsigned long long>(f),
+                  static_cast<unsigned>(
+                      ipt->mapped(f) ? ipt->framePid(f) : 0),
+                  static_cast<unsigned long long>(
+                      ipt->mapped(f) ? ipt->frameVpn(f) : 0));
+
+    // Outside handleFault(), every cold-filled user frame holds a page:
+    // the fault path removes a victim and reinserts in one call, so an
+    // unmapped frame below the cold-fill cursor is leaked capacity.
+    std::uint64_t cursor = std::min(nextFreeFrame, nFrames);
+    for (std::uint64_t f = nOsFrames; f < cursor; ++f)
+        ctx.check(ipt->mapped(f), "pager.leak",
+                  "user frame %llu below the cold-fill cursor (%llu) "
+                  "maps no page",
+                  static_cast<unsigned long long>(f),
+                  static_cast<unsigned long long>(nextFreeFrame));
+
+    for (std::uint64_t f = cursor; f < nFrames; ++f)
+        ctx.check(!ipt->mapped(f), "pager.cold_region",
+                  "frame %llu beyond the cold-fill cursor (%llu) maps "
+                  "pid=%u vpn=0x%llx",
+                  static_cast<unsigned long long>(f),
+                  static_cast<unsigned long long>(nextFreeFrame),
+                  static_cast<unsigned>(
+                      ipt->mapped(f) ? ipt->framePid(f) : 0),
+                  static_cast<unsigned long long>(
+                      ipt->mapped(f) ? ipt->frameVpn(f) : 0));
+
+    // A dirty bit on an unmapped user frame would either be lost (the
+    // data is gone) or charged to whatever page lands there next.
+    // OS frames are exempt: they are dirtied by handler stores but
+    // pinned outside the table.
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f) {
+        if (dirty[f])
+            ctx.check(ipt->mapped(f), "pager.stale_dirty",
+                      "unmapped user frame %llu is marked dirty",
+                      static_cast<unsigned long long>(f));
+    }
+
+    // Two frames holding the same page would make residency depend on
+    // probe order (the chain audit cannot see this: both entries hash
+    // to — and legitimately chain from — the same bucket).
+    std::unordered_set<std::uint64_t> pages;
+    pages.reserve(ipt->mappedCount());
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f) {
+        if (!ipt->mapped(f))
+            continue;
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(ipt->framePid(f)) << 48) ^
+            ipt->frameVpn(f);
+        ctx.check(pages.insert(key).second, "pager.double_map",
+                  "pid=%u vpn=0x%llx resident in two frames (second: "
+                  "%llu)",
+                  static_cast<unsigned>(ipt->framePid(f)),
+                  static_cast<unsigned long long>(ipt->frameVpn(f)),
+                  static_cast<unsigned long long>(f));
+    }
+}
+
+bool
+SramPager::corruptUnlinkEntry()
+{
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f)
+        if (ipt->mapped(f))
+            return ipt->corruptUnlink(f);
+    return false;
+}
+
+bool
+SramPager::corruptStaleDirty()
+{
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f) {
+        if (!ipt->mapped(f)) {
+            dirty[f] = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SramPager::corruptLeakFrame()
+{
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f) {
+        if (f < nextFreeFrame && ipt->mapped(f))
+            return ipt->remove(f);
+    }
+    return false;
 }
 
 Addr

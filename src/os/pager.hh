@@ -34,6 +34,7 @@
 namespace rampage
 {
 
+class AuditContext;
 class StatsRegistry;
 
 /** Static configuration of the SRAM main memory. */
@@ -155,6 +156,26 @@ class SramPager
     const PagerStats &stats() const { return stat; }
     const InvertedPageTable &table() const { return *ipt; }
     const PageReplacementPolicy &policy() const { return *repl; }
+
+    /**
+     * Self-audit: the pinned OS reserve never mapped, every cold-filled
+     * user frame mapped (an unmapped one is leaked SRAM capacity), the
+     * cold region beyond the fill cursor empty, no dirty bit on an
+     * unmapped user frame, no (pid, vpn) resident in two frames — plus
+     * the inverted page table's own chain/count audit.
+     */
+    void auditState(AuditContext &ctx) const;
+
+    /**
+     * Fault-injection hooks (tests/CI only).  Each models one classic
+     * pager bug; every hook returns true when it corrupted state.
+     */
+    /** Unlink a mapped frame's table entry from its hash chain. */
+    bool corruptUnlinkEntry();
+    /** Set the dirty bit of a frame that maps no page. */
+    bool corruptStaleDirty();
+    /** Drop a cold-filled frame's mapping (leak the frame). */
+    bool corruptLeakFrame();
 
   private:
     PagerParams prm;

@@ -1,6 +1,7 @@
 #include "os/scheduler.hh"
 
 #include "stats/registry.hh"
+#include "util/audit.hh"
 #include "util/debug.hh"
 #include "util/logging.hh"
 
@@ -92,6 +93,33 @@ Scheduler::rotate(Tick now)
 {
     ++stat.quantumSwitches;
     return pickFrom((running + 1) % blockedUntil.size(), now);
+}
+
+void
+Scheduler::auditState(AuditContext &ctx, Tick now) const
+{
+    ctx.check(running < blockedUntil.size(), "sched.queue",
+              "running index %zu out of range (%zu processes)",
+              running, blockedUntil.size());
+    if (running < blockedUntil.size())
+        ctx.check(blockedUntil[running] <= now, "sched.queue",
+                  "running process %zu is blocked until %llu ps "
+                  "(now %llu ps)",
+                  running,
+                  static_cast<unsigned long long>(
+                      blockedUntil[running]),
+                  static_cast<unsigned long long>(now));
+    ctx.check(refsInSlice <= quantumRefs, "sched.queue",
+              "slice counter %llu exceeds the %llu-ref quantum",
+              static_cast<unsigned long long>(refsInSlice),
+              static_cast<unsigned long long>(quantumRefs));
+}
+
+bool
+Scheduler::corruptBlockRunning(Tick until)
+{
+    blockedUntil[running] = until;
+    return true;
 }
 
 SchedPick

@@ -24,6 +24,7 @@
 namespace rampage
 {
 
+class AuditContext;
 class StatsRegistry;
 
 /** Result of a scheduling decision. */
@@ -89,6 +90,22 @@ class Scheduler
     /** Register the scheduler's counters under `prefix` (e.g. "sched"). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * Self-audit at time `now`: the running process must exist and be
+     * ready (the simulator always advances time to the pick's
+     * resumeAt before executing), and the slice counter must not
+     * exceed the quantum (onRef() resets it at expiry).
+     */
+    void auditState(AuditContext &ctx, Tick now) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): block the *running*
+     * process until `until` without switching away, modelling a
+     * lost-wakeup scheduler bug.
+     * @retval true always (the running process always exists).
+     */
+    bool corruptBlockRunning(Tick until);
 
   private:
     /**

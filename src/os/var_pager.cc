@@ -1,6 +1,9 @@
 #include "os/var_pager.hh"
 
+#include <unordered_set>
+
 #include "stats/registry.hh"
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -267,6 +270,100 @@ VarPager::osPhysAddr(Addr os_vaddr) const
     RAMPAGE_ASSERT(os_vaddr >= prm.osVirtBase && os_vaddr < osVirtEnd(),
                    "address outside the pinned OS region");
     return os_vaddr - prm.osVirtBase;
+}
+
+void
+VarPager::auditState(AuditContext &ctx) const
+{
+    std::unordered_set<std::uint32_t> free_set(freeSlots.begin(),
+                                               freeSlots.end());
+    for (std::uint32_t slot : free_set)
+        ctx.check(slot < pages.size() && !pages[slot].valid,
+                  "var.count", "free slot %u holds a valid page", slot);
+
+    std::uint64_t valid_pages = 0;
+    for (std::uint32_t slot = 0; slot < pages.size(); ++slot) {
+        const Page &page = pages[slot];
+        if (!page.valid) {
+            ctx.check(free_set.count(slot) != 0, "var.count",
+                      "invalid slot %u is not on the free list", slot);
+            continue;
+        }
+        ++valid_pages;
+
+        bool placed = ctx.check(
+            page.frames > 0 && page.start % page.frames == 0 &&
+                page.start >= nOsFrames &&
+                page.start + page.frames <= nFrames,
+            "var.frame_map",
+            "page pid=%u vpn=0x%llx misplaced: frames [%llu,+%llu) "
+            "(reserve %llu, total %llu, alignment %llu)",
+            static_cast<unsigned>(page.pid),
+            static_cast<unsigned long long>(page.vpn),
+            static_cast<unsigned long long>(page.start),
+            static_cast<unsigned long long>(page.frames),
+            static_cast<unsigned long long>(nOsFrames),
+            static_cast<unsigned long long>(nFrames),
+            static_cast<unsigned long long>(page.frames));
+        if (placed) {
+            for (std::uint64_t f = page.start;
+                 f < page.start + page.frames; ++f)
+                ctx.check(frameOwner[f] ==
+                              static_cast<std::int32_t>(slot),
+                          "var.frame_map",
+                          "frame %llu of page pid=%u vpn=0x%llx is "
+                          "owned by slot %d, not %u",
+                          static_cast<unsigned long long>(f),
+                          static_cast<unsigned>(page.pid),
+                          static_cast<unsigned long long>(page.vpn),
+                          frameOwner[f], slot);
+        }
+
+        auto it = table.find(keyOf(page.pid, page.vpn));
+        ctx.check(it != table.end() && it->second == slot,
+                  "var.frame_map",
+                  "valid page pid=%u vpn=0x%llx (slot %u) missing "
+                  "from the residency table",
+                  static_cast<unsigned>(page.pid),
+                  static_cast<unsigned long long>(page.vpn), slot);
+    }
+
+    // Frames may legitimately be unowned below the bump cursor
+    // (cold-fill alignment holes), but an owner must always be a
+    // live, in-range slot, and the OS reserve is never owned.
+    for (std::uint64_t f = 0; f < nFrames; ++f) {
+        std::int32_t slot = frameOwner[f];
+        if (slot < 0)
+            continue;
+        ctx.check(f >= nOsFrames, "var.frame_map",
+                  "pinned OS frame %llu is owned by slot %d",
+                  static_cast<unsigned long long>(f), slot);
+        ctx.check(static_cast<std::uint32_t>(slot) < pages.size() &&
+                      pages[static_cast<std::uint32_t>(slot)].valid,
+                  "var.frame_map",
+                  "frame %llu owned by dead slot %d",
+                  static_cast<unsigned long long>(f), slot);
+    }
+
+    ctx.check(valid_pages == nResident && table.size() == nResident,
+              "var.count",
+              "%llu valid pages, %zu table entries, but "
+              "residentPages() says %llu",
+              static_cast<unsigned long long>(valid_pages),
+              table.size(),
+              static_cast<unsigned long long>(nResident));
+}
+
+bool
+VarPager::corruptDropOwner()
+{
+    for (std::uint64_t f = nOsFrames; f < nFrames; ++f) {
+        if (frameOwner[f] >= 0) {
+            frameOwner[f] = -1;
+            return true;
+        }
+    }
+    return false;
 }
 
 } // namespace rampage

@@ -36,6 +36,7 @@
 namespace rampage
 {
 
+class AuditContext;
 class StatsRegistry;
 
 /** Configuration of the variable-page-size SRAM main memory. */
@@ -139,11 +140,38 @@ class VarPager
     /** Number of resident (mapped) pages. */
     std::uint64_t residentPages() const { return nResident; }
 
+    /** @return true when a page owns `base_frame` (audit/inspection). */
+    bool
+    frameOwned(std::uint64_t base_frame) const
+    {
+        return base_frame < frameOwner.size() &&
+               frameOwner[base_frame] >= 0;
+    }
+
     const VarPagerStats &stats() const { return stat; }
 
     /** Register the pager's counters under `prefix` (e.g. "pager"). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * Self-audit: every valid page aligned to its own length, inside
+     * the user frame range, owning exactly its frames (back-pointers
+     * agree), indexed by the table under its (pid, vpn); counts
+     * consistent; free slots invalid; no frame owned by a free or
+     * invalid slot.  Cold-fill alignment holes below the bump cursor
+     * are legitimate, so unowned frames are only audited against slot
+     * validity, not demanded to be full.
+     */
+    void auditState(AuditContext &ctx) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): clear one owned frame's
+     * back-pointer, leaving its page claiming a frame the frame map
+     * says is free.
+     * @retval true a frame back-pointer was dropped.
+     */
+    bool corruptDropOwner();
 
   private:
     struct Page

@@ -1,6 +1,7 @@
 #include "tlb/tlb.hh"
 
 #include "stats/registry.hh"
+#include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -158,6 +159,58 @@ Tlb::validEntries() const
         if (entry.valid)
             ++count;
     return count;
+}
+
+void
+Tlb::forEachValidEntry(
+    const std::function<bool(Pid, std::uint64_t, std::uint64_t)> &visit)
+    const
+{
+    for (const Entry &entry : entries) {
+        if (!entry.valid)
+            continue;
+        if (!visit(entry.pid, entry.vpn, entry.frame))
+            return;
+    }
+}
+
+void
+Tlb::auditState(AuditContext &ctx) const
+{
+    // A duplicated (pid, vpn) would make the translation depend on
+    // probe order; insert() refreshes in place precisely to prevent
+    // this.  O(entries^2) but the TLB is tiny (paper: 64 entries).
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (!entries[i].valid)
+            continue;
+        for (std::size_t j = i + 1; j < entries.size(); ++j) {
+            ctx.check(!entries[j].valid ||
+                          entries[j].pid != entries[i].pid ||
+                          entries[j].vpn != entries[i].vpn,
+                      "tlb.dup_entry",
+                      "pid=%u vpn=0x%llx mapped twice (frames %llu "
+                      "and %llu)",
+                      static_cast<unsigned>(entries[i].pid),
+                      static_cast<unsigned long long>(entries[i].vpn),
+                      static_cast<unsigned long long>(entries[i].frame),
+                      static_cast<unsigned long long>(
+                          entries[j].frame));
+        }
+    }
+}
+
+bool
+Tlb::corruptFrameXor(std::uint64_t frame_xor)
+{
+    if (frame_xor == 0)
+        return false;
+    for (Entry &entry : entries) {
+        if (!entry.valid)
+            continue;
+        entry.frame ^= frame_xor;
+        return true;
+    }
+    return false;
 }
 
 } // namespace rampage

@@ -17,6 +17,7 @@
 #define RAMPAGE_TLB_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 namespace rampage
 {
 
+class AuditContext;
 class StatsRegistry;
 
 /** TLB geometry and policy. */
@@ -94,6 +96,30 @@ class Tlb
     /** Register the TLB's counters under `prefix` (e.g. "tlb"). */
     void registerStats(StatsRegistry &reg,
                        const std::string &prefix) const;
+
+    /**
+     * Visit every valid entry as (pid, vpn, frame); return false from
+     * the callback to stop early.  Pure inspection — used by the
+     * model-integrity audits and the fault injector.
+     */
+    void forEachValidEntry(
+        const std::function<bool(Pid, std::uint64_t, std::uint64_t)>
+            &visit) const;
+
+    /**
+     * Self-audit: no two valid entries may translate the same
+     * (pid, vpn).  Whether each frame is *backed* by a live mapping
+     * is a cross-component question checked by the hierarchy.
+     */
+    void auditState(AuditContext &ctx) const;
+
+    /**
+     * Fault-injection hook (tests/CI only): XOR the first valid
+     * entry's frame with `frame_xor`, making the TLB translate to a
+     * frame the page tables never assigned.
+     * @retval true an entry was corrupted.
+     */
+    bool corruptFrameXor(std::uint64_t frame_xor);
 
   private:
     struct Entry

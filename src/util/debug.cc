@@ -34,7 +34,7 @@ state()
 }
 
 const char *const channelNames[numDebugChannels] = {
-    "cache", "tlb", "pager", "sched", "dram", "trace",
+    "cache", "tlb", "pager", "sched", "dram", "trace", "audit",
 };
 
 /** Parse one channel name; numDebugChannels when unknown. */

@@ -2,7 +2,8 @@
  * @file
  * gem5-DPRINTF-style per-subsystem debug tracing.
  *
- * Six channels — cache, tlb, pager, sched, dram, trace — are selected
+ * Seven channels — cache, tlb, pager, sched, dram, trace, audit — are
+ * selected
  * at runtime via the RAMPAGE_DEBUG environment variable (a comma list
  * such as "pager,sched", or "all") or programmatically through
  * setDebugChannels() (the benches' --debug flag).  Trace points use
@@ -42,9 +43,10 @@ enum class DebugChannel : unsigned
     Sched, ///< context switches, blocks, stalls
     Dram,  ///< DRAM transactions
     Trace, ///< trace ingestion (rewinds, malformed records)
+    Audit, ///< model-integrity audit runs and violations
 };
 
-constexpr unsigned numDebugChannels = 6;
+constexpr unsigned numDebugChannels = 7;
 
 /** Stable lower-case channel name ("cache", "tlb", ...). */
 const char *debugChannelName(DebugChannel channel);

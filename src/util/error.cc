@@ -1,6 +1,7 @@
 #include "util/error.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/debug.hh"
 #include "util/logging.hh"
@@ -18,8 +19,52 @@ errorCategoryName(ErrorCategory category)
         return "trace";
       case ErrorCategory::Internal:
         return "internal";
+      case ErrorCategory::Audit:
+        return "audit";
     }
     return "unknown";
+}
+
+namespace
+{
+
+std::string
+formatAuditMessage(const std::string &scope,
+                   const std::vector<AuditViolation> &violations)
+{
+    std::string msg = formatErrorMessage(
+        "model-integrity audit failed at %s: %zu violation%s",
+        scope.c_str(), violations.size(),
+        violations.size() == 1 ? "" : "s");
+    // Keep the what() line bounded; the full list stays available
+    // through violations().
+    constexpr std::size_t maxListed = 4;
+    for (std::size_t i = 0; i < violations.size() && i < maxListed; ++i) {
+        msg += i == 0 ? ": " : "; ";
+        msg += "[" + violations[i].invariant + "] " +
+               violations[i].detail;
+    }
+    if (violations.size() > maxListed)
+        msg += formatErrorMessage(" (+%zu more)",
+                                  violations.size() - maxListed);
+    return msg;
+}
+
+} // namespace
+
+AuditError::AuditError(std::string scope,
+                       std::vector<AuditViolation> violations)
+    : SimError(ErrorCategory::Audit,
+               formatAuditMessage(scope, violations)),
+      where(std::move(scope)), viol(std::move(violations))
+{
+}
+
+const std::string &
+AuditError::firstInvariant() const
+{
+    static const std::string none = "none";
+    return viol.empty() ? none : viol.front().invariant;
 }
 
 std::string
@@ -79,6 +124,14 @@ cliMain(const std::function<int()> &body)
 {
     try {
         return body();
+    } catch (const AuditError &e) {
+        // The model's live state failed an integrity audit: flush the
+        // debug ring (the audit recorded every violation into it) and
+        // exit with the distinct audit status so CI can tell a caught
+        // model corruption from an ordinary fatal error.
+        flushDebugRing(stderr);
+        std::fprintf(stderr, "audit: %s\n", e.what());
+        std::exit(auditExitStatus);
     } catch (const InternalError &e) {
         // A SimError escaped to the CLI: dump the recent debug-trace
         // events (if any channel was recording) as a post-mortem.

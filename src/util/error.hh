@@ -13,13 +13,16 @@
  *                   truncated;
  *  - InternalError: a simulator invariant broke — a bug in this code
  *                   base (also raised by RAMPAGE_ASSERT and the
- *                   runaway-point watchdog).
+ *                   runaway-point watchdog);
+ *  - AuditError:    a runtime model-integrity audit found live
+ *                   component state violating a cross-component
+ *                   invariant (see src/core/audit.hh).
  *
  * The legacy fatal()/panic() reporters (util/logging.hh) survive only
  * as *top-level CLI handlers*: a bench or example wraps its body in
  * cliMain(), which maps ConfigError/TraceError to the historical
- * "fatal: ... exit(1)" behaviour and InternalError to "panic: ...
- * abort()".
+ * "fatal: ... exit(1)" behaviour, AuditError to "audit: ...
+ * exit(auditExitStatus)" and InternalError to "panic: ... abort()".
  */
 
 #ifndef RAMPAGE_UTIL_ERROR_HH
@@ -29,12 +32,13 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace rampage
 {
 
 /** Which kind of failure a SimError reports. */
-enum class ErrorCategory { Config, Trace, Internal };
+enum class ErrorCategory { Config, Trace, Internal, Audit };
 
 /** Stable lower-case name for a category ("config", "trace", ...). */
 const char *errorCategoryName(ErrorCategory category);
@@ -107,10 +111,49 @@ class InternalError : public SimError
         __attribute__((format(printf, 2, 3)));
 };
 
+/** One invariant the Auditor found violated in live model state. */
+struct AuditViolation
+{
+    /** Stable invariant name ("inclusion.l1", "time.conservation"). */
+    std::string invariant;
+    /** Formatted description of the violating state. */
+    std::string detail;
+};
+
+/**
+ * A runtime model-integrity audit failed.  Carries the structured
+ * violation report so SweepRunner can record *which* invariant broke
+ * and the CLI handler can print every violation, not just the first.
+ */
+class AuditError : public SimError
+{
+  public:
+    AuditError(std::string scope, std::vector<AuditViolation> violations);
+
+    const std::vector<AuditViolation> &violations() const
+    {
+        return viol;
+    }
+
+    /** First violated invariant's stable name (manifest key). */
+    const std::string &firstInvariant() const;
+
+    /** Where the audit ran ("quantum boundary (ref 40000)", ...). */
+    const std::string &scope() const { return where; }
+
+  private:
+    std::string where;
+    std::vector<AuditViolation> viol;
+};
+
+/** Process exit status cliMain() uses for an escaped AuditError. */
+constexpr int auditExitStatus = 2;
+
 /**
  * Top-level CLI handler for benches and examples: run `body` and map
  * escaped errors to the historical process-exit behaviour — user /
- * trace errors print "fatal: ..." and exit(1), internal errors print
+ * trace errors print "fatal: ..." and exit(1), audit failures print
+ * "audit: ..." and exit(auditExitStatus), internal errors print
  * "panic: ..." and abort so a core dump stays useful.
  */
 int cliMain(const std::function<int()> &body);

@@ -44,8 +44,9 @@ TEST_F(DebugTest, ChannelNamesAreStable)
     EXPECT_STREQ(debugChannelName(DebugChannel::Cache), "cache");
     EXPECT_STREQ(debugChannelName(DebugChannel::Pager), "pager");
     EXPECT_STREQ(debugChannelName(DebugChannel::Trace), "trace");
+    EXPECT_STREQ(debugChannelName(DebugChannel::Audit), "audit");
     EXPECT_EQ(debugChannelList(),
-              "cache,tlb,pager,sched,dram,trace");
+              "cache,tlb,pager,sched,dram,trace,audit");
 }
 
 TEST_F(DebugTest, SpecSelectsExactlyTheNamedChannels)
