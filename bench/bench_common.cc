@@ -96,12 +96,15 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                 setAuditLevelOverride(parseAuditLevel(argv[++i]));
             } else if (arg == "--inject-fault" && i + 1 < argc) {
                 setFaultPlanOverride(argv[++i]);
+            } else if (arg == "--jobs" && i + 1 < argc) {
+                setJobsOverride(parseJobs(argv[++i]));
             } else {
                 throw ConfigError(
                     "unknown argument '%s'\nusage: %s [--json <path>] "
                     "[--debug <%s|all>] "
                     "[--audit <off|boundaries|paranoid>] "
-                    "[--inject-fault <kind[:seed]>]",
+                    "[--inject-fault <kind[:seed]>] "
+                    "[--jobs <n>]",
                     arg.c_str(), benchReport().name.c_str(),
                     debugChannelList().c_str());
             }
@@ -182,33 +185,55 @@ blockSizeLabels()
 std::vector<SimResult>
 runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
 {
-    std::vector<SimResult> results;
     SimConfig sim = defaultSimConfig();
+    // The block-size points are independent, so they run on the
+    // SweepRunner worker pool (--jobs / RAMPAGE_JOBS; serial by
+    // default).  Outcomes come back in add() order, so the JSON
+    // results and the returned vector are identical for any job
+    // count.
+    SweepRunner runner;
     for (std::uint64_t size : blockSizeSweep()) {
-        auto started = std::chrono::steady_clock::now();
+        std::string id = family + "/" + formatByteSize(size);
         if (family == "baseline") {
-            results.push_back(
-                simulateConventional(baselineConfig(issue_hz, size), sim));
+            runner.add(id, [=] {
+                return simulateConventional(
+                    baselineConfig(issue_hz, size), sim);
+            });
         } else if (family == "2way") {
-            results.push_back(
-                simulateConventional(twoWayConfig(issue_hz, size), sim));
+            runner.add(id, [=] {
+                return simulateConventional(twoWayConfig(issue_hz, size),
+                                            sim);
+            });
         } else if (family == "rampage") {
-            results.push_back(
-                simulateRampage(rampageConfig(issue_hz, size), sim));
+            runner.add(id, [=] {
+                return simulateRampage(rampageConfig(issue_hz, size),
+                                       sim);
+            });
         } else {
-            fatal("unknown system family '%s'", family.c_str());
+            throw ConfigError("unknown system family '%s'",
+                              family.c_str());
         }
-        double wall = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - started)
-                          .count();
-        const SimResult &result = results.back();
-        std::fprintf(stderr, "  [%s %s done in %.2f s, %.0f refs/s]\n",
-                     family.c_str(), formatByteSize(size).c_str(), wall,
-                     wall > 0 ? static_cast<double>(result.counts.refs) /
-                                    wall
-                              : 0.0);
-        benchRecordResult(family + "/" + formatByteSize(size), result,
-                          wall);
+    }
+
+    SweepReport report = runner.run();
+    std::vector<SimResult> results;
+    results.reserve(report.outcomes.size());
+    for (const PointOutcome &outcome : report.outcomes) {
+        if (outcome.status != PointStatus::Ok) {
+            // A bench has no per-point fault tolerance: surface the
+            // first failure exactly as a serial run would have, with
+            // its debug-ring tail replayed onto this thread so
+            // cliMain's post-mortem flush still shows it.
+            debugReplay(outcome.debugTail);
+            if (outcome.exception)
+                std::rethrow_exception(outcome.exception);
+            throw InternalError("sweep point '%s' failed: %s",
+                                outcome.id.c_str(),
+                                outcome.error.c_str());
+        }
+        benchRecordResult(outcome.id, outcome.result,
+                          outcome.wallSeconds);
+        results.push_back(outcome.result);
     }
     return results;
 }

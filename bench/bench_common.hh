@@ -38,6 +38,8 @@ namespace rampage
  *                          RAMPAGE_INJECT_FAULT) to prove the audits
  *                          fire — an audited run then exits with
  *                          status 2 and a debug-ring post-mortem
+ *   --jobs <n>             SweepRunner worker threads for the bench's
+ *                          sweeps (overrides RAMPAGE_JOBS; default 1)
  *
  * The human-readable table on stdout is unchanged byte-for-byte; all
  * telemetry goes to stderr or the JSON file.
@@ -74,7 +76,10 @@ std::vector<std::string> blockSizeLabels();
 /**
  * Run one behavioural (blocking) simulation per block size for a
  * system family and return the results in sweep order.  `family` is
- * "baseline", "2way" or "rampage".
+ * "baseline", "2way" or "rampage".  Points execute on the SweepRunner
+ * worker pool (--jobs / RAMPAGE_JOBS); results are returned and
+ * recorded in sweep order regardless of the job count, and the first
+ * failing point is rethrown exactly as a serial run would raise it.
  */
 std::vector<SimResult> runBlockingSweep(const std::string &family,
                                         std::uint64_t issue_hz);

@@ -9,7 +9,9 @@
  *
  * Usage: sweep_campaign [checkpoint-path]
  *        (default checkpoint: ./sweep_campaign.checkpoint;
- *         delete the file to start the campaign over)
+ *         delete the file to start the campaign over;
+ *         RAMPAGE_JOBS=n runs the points on a worker pool — the
+ *         outcome table and checkpoint set are the same either way)
  */
 
 #include <cstdio>

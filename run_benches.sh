@@ -6,7 +6,12 @@
 # (results + full stats dumps) to results/<name>.json via --json;
 # micro_components is a google-benchmark binary with its own CLI and
 # is run as-is.
+#
+# Sweep-based benches run their points on the SweepRunner worker pool;
+# --jobs defaults to the machine's core count (override with
+# RAMPAGE_JOBS=n).  Results are identical for any job count.
 mkdir -p results
+jobs="${RAMPAGE_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 status=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -14,7 +19,7 @@ for b in build/bench/*; do
   echo "=== $name ==="
   case "$name" in
     micro_components) set -- ;;
-    *) set -- --json "results/$name.json" ;;
+    *) set -- --json "results/$name.json" --jobs "$jobs" ;;
   esac
   if "$b" "$@" >"results/$name.txt" 2>&1; then
     cat "results/$name.txt"

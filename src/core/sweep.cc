@@ -1,10 +1,16 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/audit.hh"
 #include "core/conventional.hh"
@@ -29,6 +35,34 @@ envOrNull(const char *name)
     return (value && *value) ? value : nullptr;
 }
 
+/**
+ * strtoull with the validation it does not do on its own: rejects
+ * signs and leading whitespace ("-5" silently wraps, " 24" silently
+ * skips), trailing junk ("24x" silently truncates to 24), text with
+ * no digits at all ("abc" silently parses as 0) and out-of-range
+ * values, naming `origin` (the environment variable or flag the text
+ * came from) and the offending text in the ConfigError.
+ */
+std::uint64_t
+parseCount(const char *origin, const char *text)
+{
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        throw ConfigError("%s: expected an unsigned integer, got '%s'",
+                          origin, text);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno == ERANGE)
+        throw ConfigError("%s: value '%s' is out of range", origin,
+                          text);
+    if (end == text || *end != '\0')
+        throw ConfigError(
+            "%s: trailing junk after the number in '%s'", origin, text);
+    return value;
+}
+
+unsigned jobsOverride = 0;
+
 } // namespace
 
 ExperimentScale
@@ -40,13 +74,43 @@ experimentScale()
         scale.refs = 1'100'000'000;
         scale.quantumRefs = 500'000;
     }
-    if (const char *refs = envOrNull("RAMPAGE_REFS"))
-        scale.refs = std::strtoull(refs, nullptr, 10);
-    if (const char *quantum = envOrNull("RAMPAGE_QUANTUM"))
-        scale.quantumRefs = std::strtoull(quantum, nullptr, 10);
-    if (scale.refs == 0 || scale.quantumRefs == 0)
-        throw ConfigError("RAMPAGE_REFS / RAMPAGE_QUANTUM must be positive");
+    if (const char *refs = envOrNull("RAMPAGE_REFS")) {
+        scale.refs = parseCount("RAMPAGE_REFS", refs);
+        if (scale.refs == 0)
+            throw ConfigError("RAMPAGE_REFS must be positive");
+    }
+    if (const char *quantum = envOrNull("RAMPAGE_QUANTUM")) {
+        scale.quantumRefs = parseCount("RAMPAGE_QUANTUM", quantum);
+        if (scale.quantumRefs == 0)
+            throw ConfigError("RAMPAGE_QUANTUM must be positive");
+    }
     return scale;
+}
+
+unsigned
+parseJobs(const std::string &text, const char *origin)
+{
+    std::uint64_t jobs = parseCount(origin, text.c_str());
+    if (jobs == 0 || jobs > maxSweepJobs)
+        throw ConfigError("%s: worker count must be in [1, %u], got '%s'",
+                          origin, maxSweepJobs, text.c_str());
+    return static_cast<unsigned>(jobs);
+}
+
+unsigned
+resolveJobs()
+{
+    if (jobsOverride)
+        return jobsOverride;
+    if (const char *env = envOrNull("RAMPAGE_JOBS"))
+        return parseJobs(env, "RAMPAGE_JOBS");
+    return 1;
+}
+
+void
+setJobsOverride(unsigned jobs)
+{
+    jobsOverride = jobs;
 }
 
 std::vector<std::uint64_t>
@@ -277,6 +341,12 @@ SweepRunner::appendManifest(const PointOutcome &outcome) const
              opts.checkpointPath.c_str(), outcome.id.c_str());
         return;
     }
+    // The initial position of an append-mode stream is
+    // implementation-defined (C11 7.21.5.3): some libcs report 0 until
+    // the first write even on a non-empty file.  Seek to the real end
+    // before deciding whether this is a fresh manifest needing the
+    // header, or a resume that already has one.
+    std::fseek(file, 0, SEEK_END);
     if (std::ftell(file) == 0)
         std::fprintf(file, "# rampage-sweep-checkpoint v1\n");
     if (outcome.status == PointStatus::AuditFailed)
@@ -296,102 +366,189 @@ SweepRunner::appendManifest(const PointOutcome &outcome) const
     std::fclose(file);
 }
 
+PointOutcome
+SweepRunner::executePoint(const Point &point) const
+{
+    PointOutcome outcome;
+    outcome.id = point.id;
+
+    // Each point starts with a clean ring so a failure's tail holds
+    // only its own events.  The ring is thread-local, so concurrent
+    // points cannot pollute each other's post-mortems.
+    clearDebugRing();
+    auto started = std::chrono::steady_clock::now();
+    try {
+        outcome.result = point.body();
+        outcome.haveResult = true;
+        outcome.status = PointStatus::Ok;
+    } catch (const AuditError &e) {
+        outcome.status = PointStatus::AuditFailed;
+        outcome.errorCategory = e.category();
+        outcome.error = e.what();
+        outcome.auditInvariant = e.firstInvariant();
+        outcome.exception = std::current_exception();
+    } catch (const SimError &e) {
+        outcome.status = PointStatus::Failed;
+        outcome.errorCategory = e.category();
+        outcome.error = e.what();
+        outcome.exception = std::current_exception();
+    } catch (const std::exception &e) {
+        outcome.status = PointStatus::Failed;
+        outcome.errorCategory = ErrorCategory::Internal;
+        outcome.error = e.what();
+        outcome.exception = std::current_exception();
+    }
+    outcome.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+
+    if (outcome.status == PointStatus::Ok) {
+        if (outcome.wallSeconds > 0)
+            outcome.refsPerSecond =
+                static_cast<double>(outcome.result.counts.refs) /
+                outcome.wallSeconds;
+    } else {
+        outcome.debugTail = debugRingTail(16);
+    }
+
+    // Checkpoint as soon as the point finishes (not when it is
+    // reported) so a crash costs at most the points still in flight.
+    // An audit rejection is also checkpointed, as a non-completing
+    // forensic line naming the invariant.
+    if (outcome.status == PointStatus::Ok ||
+        outcome.status == PointStatus::AuditFailed) {
+        std::lock_guard<std::mutex> lock(manifestMutex);
+        appendManifest(outcome);
+    }
+    return outcome;
+}
+
+void
+SweepRunner::reportOutcome(const PointOutcome &outcome) const
+{
+    switch (outcome.status) {
+      case PointStatus::Skipped:
+        inform("sweep: '%s' already checkpointed, skipping",
+               outcome.id.c_str());
+        return;
+      case PointStatus::Ok:
+        inform("sweep: '%s' ok (%.2f s, %.0f refs/s)",
+               outcome.id.c_str(), outcome.wallSeconds,
+               outcome.refsPerSecond);
+        return;
+      case PointStatus::Failed:
+      case PointStatus::AuditFailed:
+        break;
+    }
+    warn("sweep: '%s' failed (%s error): %s", outcome.id.c_str(),
+         errorCategoryName(outcome.errorCategory),
+         outcome.error.c_str());
+    if (!outcome.debugTail.empty()) {
+        std::fprintf(stderr, "---- debug ring tail for '%s' ----\n",
+                     outcome.id.c_str());
+        for (const std::string &event : outcome.debugTail)
+            std::fprintf(stderr, "  %s\n", event.c_str());
+        std::fprintf(stderr, "----\n");
+    }
+}
+
 SweepReport
 SweepRunner::run()
 {
     SweepReport report;
-    report.outcomes.reserve(points.size());
+    report.outcomes.resize(points.size());
     std::map<std::string, double> done = loadManifest();
+    unsigned jobs = opts.jobs ? opts.jobs : resolveJobs();
 
-    auto campaign_started = std::chrono::steady_clock::now();
-    auto last_heartbeat = campaign_started;
-
-    for (const Point &point : points) {
-        PointOutcome outcome;
-        outcome.id = point.id;
-
-        auto checkpointed = done.find(point.id);
+    // Points the manifest marks complete are resolved up front; the
+    // rest form the work queue the pool drains.
+    std::vector<std::size_t> pending;
+    std::vector<char> ready(points.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        PointOutcome &outcome = report.outcomes[i];
+        outcome.id = points[i].id;
+        auto checkpointed = done.find(points[i].id);
         if (checkpointed != done.end()) {
             outcome.status = PointStatus::Skipped;
             outcome.wallSeconds = checkpointed->second;
-            inform("sweep: '%s' already checkpointed, skipping",
-                   point.id.c_str());
-            report.outcomes.push_back(std::move(outcome));
-            continue;
-        }
-
-        // Heartbeat at point boundaries: enough for a human watching
-        // a long campaign without touching the hot simulation loop.
-        auto now_tp = std::chrono::steady_clock::now();
-        if (opts.heartbeatSeconds > 0 &&
-            std::chrono::duration<double>(now_tp - last_heartbeat)
-                    .count() >= opts.heartbeatSeconds) {
-            last_heartbeat = now_tp;
-            inform("sweep: heartbeat %zu/%zu points done, %.1f s "
-                   "elapsed, next '%s'",
-                   report.outcomes.size(), points.size(),
-                   std::chrono::duration<double>(now_tp -
-                                                 campaign_started)
-                       .count(),
-                   point.id.c_str());
-        }
-
-        // Each point starts with a clean ring so a failure's tail
-        // holds only its own events.
-        clearDebugRing();
-        auto started = std::chrono::steady_clock::now();
-        try {
-            outcome.result = point.body();
-            outcome.haveResult = true;
-            outcome.status = PointStatus::Ok;
-        } catch (const AuditError &e) {
-            outcome.status = PointStatus::AuditFailed;
-            outcome.errorCategory = e.category();
-            outcome.error = e.what();
-            outcome.auditInvariant = e.firstInvariant();
-        } catch (const SimError &e) {
-            outcome.status = PointStatus::Failed;
-            outcome.errorCategory = e.category();
-            outcome.error = e.what();
-        } catch (const std::exception &e) {
-            outcome.status = PointStatus::Failed;
-            outcome.errorCategory = ErrorCategory::Internal;
-            outcome.error = e.what();
-        }
-        outcome.wallSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - started)
-                .count();
-
-        if (outcome.status == PointStatus::Ok) {
-            if (outcome.wallSeconds > 0)
-                outcome.refsPerSecond =
-                    static_cast<double>(outcome.result.counts.refs) /
-                    outcome.wallSeconds;
-            appendManifest(outcome);
-            inform("sweep: '%s' ok (%.2f s, %.0f refs/s)",
-                   point.id.c_str(), outcome.wallSeconds,
-                   outcome.refsPerSecond);
+            ready[i] = 1;
         } else {
-            // An audit rejection is still checkpointed (as a
-            // non-completing forensic line naming the invariant).
-            if (outcome.status == PointStatus::AuditFailed)
-                appendManifest(outcome);
-            outcome.debugTail = debugRingTail(16);
-            warn("sweep: '%s' failed (%s error): %s", point.id.c_str(),
-                 errorCategoryName(outcome.errorCategory),
-                 outcome.error.c_str());
-            if (!outcome.debugTail.empty()) {
-                std::fprintf(stderr,
-                             "---- debug ring tail for '%s' ----\n",
-                             point.id.c_str());
-                for (const std::string &event : outcome.debugTail)
-                    std::fprintf(stderr, "  %s\n", event.c_str());
-                std::fprintf(stderr, "----\n");
-            }
+            pending.push_back(i);
         }
-        report.outcomes.push_back(std::move(outcome));
     }
+
+    std::mutex mtx; // guards report.outcomes, ready, simulated_done
+    std::condition_variable point_done;
+    std::atomic<std::size_t> next_work{0};
+    std::size_t simulated_done = 0;
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t slot = next_work.fetch_add(1);
+            if (slot >= pending.size())
+                return;
+            std::size_t index = pending[slot];
+            PointOutcome outcome = executePoint(points[index]);
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                report.outcomes[index] = std::move(outcome);
+                ready[index] = 1;
+                ++simulated_done;
+            }
+            point_done.notify_all();
+        }
+    };
+
+    std::size_t worker_count =
+        std::min<std::size_t>(jobs, pending.size());
+    std::vector<std::thread> pool;
+    pool.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i)
+        pool.emplace_back(worker);
+
+    // The main thread is the reporter: it emits every per-point
+    // status line in add() order regardless of completion order, so
+    // the campaign's output is identical for any jobs value.  It also
+    // owns the heartbeat — a timed wait rather than a point-boundary
+    // check, so a long-running first point still shows signs of life,
+    // and checkpointed points are never counted as work done.
+    auto campaign_started = std::chrono::steady_clock::now();
+    auto last_heartbeat = campaign_started;
+    std::size_t skipped = points.size() - pending.size();
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        std::size_t next_report = 0;
+        while (next_report < report.outcomes.size()) {
+            if (ready[next_report]) {
+                reportOutcome(report.outcomes[next_report]);
+                ++next_report;
+                continue;
+            }
+            if (opts.heartbeatSeconds <= 0) {
+                point_done.wait(lock);
+                continue;
+            }
+            auto now_tp = std::chrono::steady_clock::now();
+            double since = std::chrono::duration<double>(
+                               now_tp - last_heartbeat)
+                               .count();
+            if (since >= opts.heartbeatSeconds) {
+                last_heartbeat = now_tp;
+                inform("sweep: heartbeat %zu/%zu points simulated "
+                       "this run (%zu skipped), %.1f s elapsed",
+                       simulated_done, pending.size(), skipped,
+                       std::chrono::duration<double>(
+                           now_tp - campaign_started)
+                           .count());
+                continue;
+            }
+            point_done.wait_for(lock,
+                                std::chrono::duration<double>(
+                                    opts.heartbeatSeconds - since));
+        }
+    }
+    for (std::thread &thread : pool)
+        thread.join();
     return report;
 }
 

@@ -13,14 +13,17 @@
  *  - RAMPAGE_FULL=1       paper scale: 1.1 G references, 500 K quantum
  *  - RAMPAGE_RATES=a,b,c  issue rates (default 200MHz,500MHz,1GHz,
  *                         2GHz,4GHz)
+ *  - RAMPAGE_JOBS=<n>     SweepRunner worker threads (default 1)
  */
 
 #ifndef RAMPAGE_CORE_SWEEP_HH
 #define RAMPAGE_CORE_SWEEP_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,6 +46,27 @@ ExperimentScale experimentScale();
 
 /** Issue rates to sweep (RAMPAGE_RATES or the paper-like default). */
 std::vector<std::uint64_t> issueRates();
+
+/** Largest worker-pool size resolveJobs()/parseJobs() accept. */
+constexpr unsigned maxSweepJobs = 256;
+
+/**
+ * Parse a worker count ("4") with full validation: rejects empty or
+ * non-numeric text, signs, trailing junk ("4x"), zero and anything
+ * above maxSweepJobs, naming `origin` (the flag or environment
+ * variable the text came from) in the ConfigError.
+ */
+unsigned parseJobs(const std::string &text, const char *origin = "--jobs");
+
+/**
+ * SweepRunner worker threads to use when Options::jobs is 0: the
+ * setJobsOverride() value if one was set (the benches' --jobs flag),
+ * else RAMPAGE_JOBS, else 1.
+ */
+unsigned resolveJobs();
+
+/** CLI override for resolveJobs(); 0 clears the override (tests). */
+void setJobsOverride(unsigned jobs);
 
 /** The paper's block/page size sweep: 128 B ... 4 KB. */
 std::vector<std::uint64_t> blockSizeSweep();
@@ -123,6 +147,13 @@ struct PointOutcome
      * Failed and tracing was active.
      */
     std::vector<std::string> debugTail;
+    /**
+     * The exception the point raised, for embedders that want to
+     * rethrow a failure with full fidelity (runBlockingSweep turns a
+     * failed bench point back into the error a serial run would have
+     * surfaced).  Null unless Failed/AuditFailed.
+     */
+    std::exception_ptr exception;
     /** True when `result` holds a simulation run from this campaign. */
     bool haveResult = false;
     SimResult result;
@@ -164,6 +195,25 @@ struct SweepReport
  * (reported as Skipped) and re-executes only failed or new ones.
  * Manifest lines that do not parse are warned about and ignored, so a
  * damaged checkpoint degrades to re-simulation rather than an error.
+ *
+ * With jobs > 1 (Options::jobs, --jobs, RAMPAGE_JOBS) independent
+ * points execute concurrently on a worker pool while every observable
+ * stays equivalent to a serial run:
+ *  - outcomes land in add() order, and the per-point status lines are
+ *    emitted by the main thread in that order, so stdout/stderr do
+ *    not depend on completion order;
+ *  - manifest appends are serialized behind a mutex (one fopen/write
+ *    critical section per point); line *order* may differ from a
+ *    serial run but the line *set* is the same;
+ *  - the post-mortem debug ring is thread-local, so a failing point's
+ *    tail holds only its own events;
+ *  - each point builds its own hierarchy (with its own seeded Rngs)
+ *    inside its body and retires it when the body returns, so results
+ *    never depend on scheduling and memory stays bounded by the
+ *    worker count, not the campaign size.
+ * Point bodies must therefore not share mutable state with each
+ * other; everything under src/ already satisfies this (points only
+ * share the read-only trace roster).
  */
 class SweepRunner
 {
@@ -173,11 +223,20 @@ class SweepRunner
         /** Checkpoint manifest path; empty disables checkpointing. */
         std::string checkpointPath;
         /**
-         * Emit a progress heartbeat (points done / total, campaign
-         * wall time) when this many seconds have passed since the
-         * last one, checked at point boundaries.  0 disables.
+         * Emit a progress heartbeat (points simulated this run /
+         * points to simulate, skipped count, campaign wall time) when
+         * this many seconds have passed since the last one.  The
+         * heartbeat is driven by the reporting thread's timed wait,
+         * so it fires even while one long point is still running.
+         * 0 disables.
          */
         double heartbeatSeconds = 0;
+        /**
+         * Worker threads executing points concurrently; 1 runs the
+         * campaign serially, 0 (the default) resolves the count via
+         * resolveJobs() (--jobs override, then RAMPAGE_JOBS, then 1).
+         */
+        unsigned jobs = 0;
     };
 
     SweepRunner() = default;
@@ -203,10 +262,18 @@ class SweepRunner
 
     /** id -> checkpointed wall seconds from a previous campaign. */
     std::map<std::string, double> loadManifest() const;
+    /** Caller must hold manifestMutex when workers are live. */
     void appendManifest(const PointOutcome &outcome) const;
+
+    /** Run one point (worker context): body, timing, checkpointing. */
+    PointOutcome executePoint(const Point &point) const;
+    /** Emit the point's status lines (reporter context, in order). */
+    void reportOutcome(const PointOutcome &outcome) const;
 
     Options opts;
     std::vector<Point> points;
+    /** Serializes checkpoint-manifest appends across workers. */
+    mutable std::mutex manifestMutex;
 };
 
 } // namespace rampage

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
+#include <mutex>
 
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -16,22 +18,30 @@ namespace
 
 constexpr std::size_t ringCapacity = 128;
 
-struct DebugState
+/**
+ * The post-mortem ring is thread-local: each SweepRunner worker (and
+ * the main thread) records into its own ring, so a concurrent
+ * campaign's failing point flushes a tail holding only its own
+ * events.  The channel mask stays process-global — which subsystems
+ * are being traced is a per-run decision, not a per-thread one.
+ */
+struct RingState
 {
-    unsigned enabledMask = 0;
-    bool initialized = false;
-
     std::array<std::string, ringCapacity> ring;
-    std::size_t ringNext = 0;  ///< slot the next event lands in
-    std::size_t ringCount = 0; ///< valid events, <= ringCapacity
+    std::size_t next = 0;  ///< slot the next event lands in
+    std::size_t count = 0; ///< valid events, <= ringCapacity
 };
 
-DebugState &
-state()
+RingState &
+ring()
 {
-    static DebugState instance;
+    thread_local RingState instance;
     return instance;
 }
+
+std::atomic<unsigned> enabledMask{0};
+std::atomic<bool> maskResolved{false};
+std::mutex maskMutex; ///< serializes env-init against setDebugChannels
 
 const char *const channelNames[numDebugChannels] = {
     "cache", "tlb", "pager", "sched", "dram", "trace", "audit",
@@ -47,16 +57,56 @@ channelIndex(const std::string &name)
     return numDebugChannels;
 }
 
+/** Parse a channel spec into a mask (throws/warns per `strict`). */
+unsigned
+parseChannelMask(const std::string &spec, bool strict)
+{
+    unsigned mask = 0;
+    if (spec.empty() || spec == "none")
+        return mask;
+
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        if (name == "all") {
+            mask = (1u << numDebugChannels) - 1;
+            continue;
+        }
+        unsigned idx = channelIndex(name);
+        if (idx == numDebugChannels) {
+            if (strict)
+                throw ConfigError(
+                    "unknown debug channel '%s' (known: %s,all)",
+                    name.c_str(), debugChannelList().c_str());
+            warn("RAMPAGE_DEBUG: ignoring unknown channel '%s' "
+                 "(known: %s,all)",
+                 name.c_str(), debugChannelList().c_str());
+            continue;
+        }
+        mask |= 1u << idx;
+    }
+    return mask;
+}
+
 void
 initFromEnv()
 {
-    DebugState &st = state();
-    if (st.initialized)
+    if (maskResolved.load(std::memory_order_acquire))
         return;
-    st.initialized = true;
+    std::lock_guard<std::mutex> lock(maskMutex);
+    if (maskResolved.load(std::memory_order_relaxed))
+        return;
     const char *env = std::getenv("RAMPAGE_DEBUG");
     if (env && *env)
-        setDebugChannels(env, /*strict=*/false);
+        enabledMask.store(parseChannelMask(env, /*strict=*/false),
+                          std::memory_order_relaxed);
+    maskResolved.store(true, std::memory_order_release);
 }
 
 } // namespace
@@ -83,38 +133,11 @@ debugChannelList()
 void
 setDebugChannels(const std::string &spec, bool strict)
 {
-    DebugState &st = state();
-    st.initialized = true;
-    st.enabledMask = 0;
-    if (spec.empty() || spec == "none")
-        return;
-
-    std::size_t pos = 0;
-    while (pos <= spec.size()) {
-        std::size_t comma = spec.find(',', pos);
-        if (comma == std::string::npos)
-            comma = spec.size();
-        std::string name = spec.substr(pos, comma - pos);
-        pos = comma + 1;
-        if (name.empty())
-            continue;
-        if (name == "all") {
-            st.enabledMask = (1u << numDebugChannels) - 1;
-            continue;
-        }
-        unsigned idx = channelIndex(name);
-        if (idx == numDebugChannels) {
-            if (strict)
-                throw ConfigError(
-                    "unknown debug channel '%s' (known: %s,all)",
-                    name.c_str(), debugChannelList().c_str());
-            warn("RAMPAGE_DEBUG: ignoring unknown channel '%s' "
-                 "(known: %s,all)",
-                 name.c_str(), debugChannelList().c_str());
-            continue;
-        }
-        st.enabledMask |= 1u << idx;
-    }
+    // Parse first so a strict error leaves the mask unchanged.
+    unsigned mask = parseChannelMask(spec, strict);
+    std::lock_guard<std::mutex> lock(maskMutex);
+    enabledMask.store(mask, std::memory_order_relaxed);
+    maskResolved.store(true, std::memory_order_release);
 }
 
 bool
@@ -123,20 +146,34 @@ debugEnabled(DebugChannel channel)
     initFromEnv();
     unsigned idx = static_cast<unsigned>(channel);
     return idx < numDebugChannels &&
-           (state().enabledMask & (1u << idx)) != 0;
+           (enabledMask.load(std::memory_order_relaxed) & (1u << idx)) !=
+               0;
 }
 
 void
 debugRecord(DebugChannel channel, const std::string &message)
 {
-    DebugState &st = state();
     std::string line = debugChannelName(channel);
     line += ": ";
     line += message;
-    st.ring[st.ringNext] = std::move(line);
-    st.ringNext = (st.ringNext + 1) % ringCapacity;
-    if (st.ringCount < ringCapacity)
-        ++st.ringCount;
+    debugRecordRaw(std::move(line));
+}
+
+void
+debugRecordRaw(std::string line)
+{
+    RingState &st = ring();
+    st.ring[st.next] = std::move(line);
+    st.next = (st.next + 1) % ringCapacity;
+    if (st.count < ringCapacity)
+        ++st.count;
+}
+
+void
+debugReplay(const std::vector<std::string> &events)
+{
+    for (const std::string &event : events)
+        debugRecordRaw(event);
 }
 
 void
@@ -155,13 +192,12 @@ debugLog(DebugChannel channel, const char *fmt, ...)
 std::vector<std::string>
 debugRingTail(std::size_t max_events)
 {
-    const DebugState &st = state();
-    std::size_t take = std::min(max_events, st.ringCount);
+    const RingState &st = ring();
+    std::size_t take = std::min(max_events, st.count);
     std::vector<std::string> tail;
     tail.reserve(take);
-    // ringNext is one past the newest event; walk back `take` slots.
-    std::size_t start =
-        (st.ringNext + ringCapacity - take) % ringCapacity;
+    // `next` is one past the newest event; walk back `take` slots.
+    std::size_t start = (st.next + ringCapacity - take) % ringCapacity;
     for (std::size_t i = 0; i < take; ++i)
         tail.push_back(st.ring[(start + i) % ringCapacity]);
     return tail;
@@ -170,17 +206,17 @@ debugRingTail(std::size_t max_events)
 std::size_t
 debugRingSize()
 {
-    return state().ringCount;
+    return ring().count;
 }
 
 void
 clearDebugRing()
 {
-    DebugState &st = state();
+    RingState &st = ring();
     for (std::string &slot : st.ring)
         slot.clear();
-    st.ringNext = 0;
-    st.ringCount = 0;
+    st.next = 0;
+    st.count = 0;
 }
 
 void

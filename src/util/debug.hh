@@ -22,6 +22,14 @@
  * with the events leading up to it.  The ring runtime itself is
  * built in every configuration (tests and tools can record into it
  * directly); only the macro is compiled out.
+ *
+ * Thread model: the channel mask is process-global (atomic reads on
+ * the trace path; setDebugChannels() is safe against the lazy
+ * RAMPAGE_DEBUG init), while the ring is *thread-local* — every
+ * SweepRunner worker accumulates its own post-mortem tail, so
+ * concurrently failing points never interleave events.  Ring
+ * accessors (record/tail/clear/flush) therefore act on the calling
+ * thread's ring only.
  */
 
 #ifndef RAMPAGE_UTIL_DEBUG_HH
@@ -79,6 +87,20 @@ void debugLog(DebugChannel channel, const char *fmt, ...)
  * printing it (used by debugLog and directly by tests).
  */
 void debugRecord(DebugChannel channel, const std::string &message);
+
+/**
+ * Record a fully rendered "channel: message" line verbatim (no
+ * channel prefix added) in the calling thread's ring.
+ */
+void debugRecordRaw(std::string line);
+
+/**
+ * Load a previously captured tail (e.g. a PointOutcome::debugTail
+ * from a worker thread) into the calling thread's ring, so a
+ * top-level flushDebugRing() post-mortem can show events that were
+ * recorded on another thread.
+ */
+void debugReplay(const std::vector<std::string> &events);
 
 /** Most recent ring events, oldest first, at most `max_events`. */
 std::vector<std::string> debugRingTail(std::size_t max_events = 32);

@@ -1,8 +1,10 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace rampage
@@ -10,12 +12,19 @@ namespace rampage
 
 namespace
 {
-bool quietFlag = false;
+std::atomic<bool> quietFlag{false};
 
 constexpr std::uint64_t defaultWarnRateLimit = 5;
-std::uint64_t rateLimit = defaultWarnRateLimit;
+std::atomic<std::uint64_t> rateLimit{defaultWarnRateLimit};
 
-/** Occurrence count per warnOnce/warnRateLimited format string. */
+/**
+ * Occurrence count per warnOnce/warnRateLimited format string.  The
+ * filters fire from SweepRunner worker threads, so the map is behind
+ * a mutex; holding it across the print also keeps "exactly once" /
+ * "exactly rateLimit times" true under concurrency.
+ */
+std::mutex warnMutex;
+
 std::map<std::string, std::uint64_t> &
 warnCounts()
 {
@@ -55,7 +64,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -66,7 +75,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -77,8 +86,9 @@ inform(const char *fmt, ...)
 void
 warnOnce(const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(warnMutex);
     std::uint64_t seen = ++warnCounts()[fmt];
-    if (seen > 1 || quietFlag)
+    if (seen > 1 || quietFlag.load(std::memory_order_relaxed))
         return;
     va_list args;
     va_start(args, fmt);
@@ -89,15 +99,17 @@ warnOnce(const char *fmt, ...)
 void
 warnRateLimited(const char *fmt, ...)
 {
+    std::lock_guard<std::mutex> lock(warnMutex);
     std::uint64_t seen = ++warnCounts()[fmt];
-    if (quietFlag)
+    if (quietFlag.load(std::memory_order_relaxed))
         return;
-    if (seen <= rateLimit) {
+    std::uint64_t limit = rateLimit.load(std::memory_order_relaxed);
+    if (seen <= limit) {
         va_list args;
         va_start(args, fmt);
         vreport("warn", fmt, args);
         va_end(args);
-    } else if (seen == rateLimit + 1) {
+    } else if (seen == limit + 1) {
         std::fprintf(stderr,
                      "warn: further occurrences of \"%s\" suppressed\n",
                      fmt);
@@ -107,18 +119,20 @@ warnRateLimited(const char *fmt, ...)
 std::uint64_t
 warnRateLimit()
 {
-    return rateLimit;
+    return rateLimit.load(std::memory_order_relaxed);
 }
 
 void
 setWarnRateLimit(std::uint64_t limit)
 {
-    rateLimit = limit == 0 ? defaultWarnRateLimit : limit;
+    rateLimit.store(limit == 0 ? defaultWarnRateLimit : limit,
+                    std::memory_order_relaxed);
 }
 
 std::uint64_t
 warnOccurrences(const char *fmt)
 {
+    std::lock_guard<std::mutex> lock(warnMutex);
     auto found = warnCounts().find(fmt);
     return found == warnCounts().end() ? 0 : found->second;
 }
@@ -126,20 +140,21 @@ warnOccurrences(const char *fmt)
 void
 resetWarnFilters()
 {
+    std::lock_guard<std::mutex> lock(warnMutex);
     warnCounts().clear();
-    rateLimit = defaultWarnRateLimit;
+    rateLimit.store(defaultWarnRateLimit, std::memory_order_relaxed);
 }
 
 void
 setQuiet(bool quiet_flag)
 {
-    quietFlag = quiet_flag;
+    quietFlag.store(quiet_flag, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 } // namespace rampage

@@ -22,6 +22,11 @@
  *  - warnOnce():        first occurrence of a format string only;
  *  - warnRateLimited(): first few occurrences, then one suppression
  *                       notice (occurrences keep being counted).
+ *
+ * All reporters are safe to call from SweepRunner worker threads: the
+ * quiet flag and rate limit are atomic, and the once/rate-limited
+ * occurrence filters update and print under one lock, so "exactly
+ * once" holds even when points warn concurrently.
  */
 
 #ifndef RAMPAGE_UTIL_LOGGING_HH

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "core/sweep.hh"
+#include "util/error.hh"
 
 namespace rampage
 {
@@ -96,6 +98,113 @@ TEST(Sweep, RatesFromEnv)
     ASSERT_EQ(rates.size(), 2u);
     EXPECT_EQ(rates[0], 250'000'000u);
     EXPECT_EQ(rates[1], 1'000'000'000u);
+}
+
+/** The ConfigError must name the variable and echo the bad text. */
+void
+expectScaleRejects(const char *var, const char *value)
+{
+    ScopedEnv env(var, value);
+    try {
+        experimentScale();
+        FAIL() << var << "=" << value << " was accepted";
+    } catch (const ConfigError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find(var), std::string::npos) << what;
+        EXPECT_NE(what.find(value), std::string::npos) << what;
+    }
+}
+
+TEST(Sweep, RejectsNonNumericScale)
+{
+    // strtoull alone parses "abc" as 0 without setting errno; the
+    // validated parser must refuse it instead.
+    expectScaleRejects("RAMPAGE_REFS", "abc");
+    expectScaleRejects("RAMPAGE_QUANTUM", "abc");
+}
+
+TEST(Sweep, RejectsTrailingJunkInScale)
+{
+    // "24x" silently truncates to 24 under bare strtoull.
+    expectScaleRejects("RAMPAGE_REFS", "24x");
+    expectScaleRejects("RAMPAGE_QUANTUM", "24x");
+}
+
+TEST(Sweep, RejectsSignedScale)
+{
+    // "-5" wraps to a huge unsigned value under bare strtoull.
+    expectScaleRejects("RAMPAGE_REFS", "-5");
+    expectScaleRejects("RAMPAGE_QUANTUM", "-5");
+}
+
+TEST(Sweep, RejectsOutOfRangeScale)
+{
+    expectScaleRejects("RAMPAGE_REFS", "99999999999999999999999999");
+}
+
+TEST(Sweep, RejectsZeroScale)
+{
+    ScopedEnv refs("RAMPAGE_REFS", "0");
+    EXPECT_THROW(experimentScale(), ConfigError);
+}
+
+TEST(Sweep, RatesErrorNamesVariable)
+{
+    ScopedEnv env("RAMPAGE_RATES", "1GHz,garbage");
+    try {
+        issueRates();
+        FAIL() << "RAMPAGE_RATES=1GHz,garbage was accepted";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("RAMPAGE_RATES"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Sweep, ParseJobsValidates)
+{
+    EXPECT_EQ(parseJobs("1"), 1u);
+    EXPECT_EQ(parseJobs("4"), 4u);
+    EXPECT_EQ(parseJobs("256"), maxSweepJobs);
+    EXPECT_THROW(parseJobs("abc"), ConfigError);
+    EXPECT_THROW(parseJobs("4x"), ConfigError);
+    EXPECT_THROW(parseJobs("-2"), ConfigError);
+    EXPECT_THROW(parseJobs("0"), ConfigError);
+    EXPECT_THROW(parseJobs("257"), ConfigError);
+    EXPECT_THROW(parseJobs(""), ConfigError);
+    try {
+        parseJobs("lots", "RAMPAGE_JOBS");
+        FAIL() << "parseJobs accepted 'lots'";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("RAMPAGE_JOBS"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Sweep, ResolveJobsPrecedence)
+{
+    // CI runs the suite with RAMPAGE_JOBS set; park it during the
+    // precedence checks and let ScopedEnv put it back afterwards.
+    ScopedEnv outer("RAMPAGE_JOBS", "1");
+    setJobsOverride(0);
+    ::unsetenv("RAMPAGE_JOBS");
+    EXPECT_EQ(resolveJobs(), 1u); // serial default
+
+    {
+        ScopedEnv env("RAMPAGE_JOBS", "3");
+        EXPECT_EQ(resolveJobs(), 3u);
+        setJobsOverride(8); // the --jobs flag beats the environment
+        EXPECT_EQ(resolveJobs(), 8u);
+        setJobsOverride(0);
+        EXPECT_EQ(resolveJobs(), 3u);
+    }
+    EXPECT_EQ(resolveJobs(), 1u);
+
+    {
+        ScopedEnv bad("RAMPAGE_JOBS", "4x");
+        EXPECT_THROW(resolveJobs(), ConfigError);
+    }
 }
 
 TEST(Sweep, BlockSizeSweepIsPapers)

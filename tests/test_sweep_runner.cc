@@ -7,15 +7,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/audit.hh"
 #include "core/sweep.hh"
 #include "trace/corrupter.hh"
 #include "trace/file_format.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
+#include "util/units.hh"
 
 namespace rampage
 {
@@ -54,6 +62,71 @@ class SweepRunnerTest : public ::testing::Test
         sim.quantumRefs = 500;
         return simulateConventional(
             baselineConfig(200'000'000ull, l2_block), sim);
+    }
+
+    /** The §4.7 2-way system at the same tiny scale. */
+    static SimResult tinyTwoWay(std::uint64_t l2_block)
+    {
+        SimConfig sim;
+        sim.maxRefs = 2'000;
+        sim.quantumRefs = 500;
+        return simulateConventional(
+            twoWayConfig(200'000'000ull, l2_block), sim);
+    }
+
+    /** The §4.5 RAMpage system at the same tiny scale. */
+    static SimResult tinyRampage(std::uint64_t page_bytes)
+    {
+        SimConfig sim;
+        sim.maxRefs = 2'000;
+        sim.quantumRefs = 500;
+        return simulateRampage(
+            rampageConfig(200'000'000ull, page_bytes), sim);
+    }
+
+    /**
+     * The determinism campaign: eight points spanning all three
+     * system families plus a poisoned configuration and a synthetic
+     * internal bug, so the jobs=1 vs jobs=4 comparison covers Ok and
+     * both failure statuses.
+     */
+    static void addDeterminismPoints(SweepRunner &runner)
+    {
+        for (std::uint64_t block : {128u, 256u, 512u, 1024u})
+            runner.add("baseline/" + std::to_string(block),
+                       [block] { return tinyBaseline(block); });
+        runner.add("2way/512", [] { return tinyTwoWay(512); });
+        runner.add("rampage/1024", [] { return tinyRampage(1024); });
+        runner.add("poison/config",
+                   [] { return tinyBaseline(16); }); // below the L1 block
+        runner.add("poison/internal", []() -> SimResult {
+            throw InternalError("synthetic bug");
+        });
+    }
+
+    /**
+     * The manifest's lines as an order-independent set with the
+     * wall-clock token blanked: wall time is the one legitimately
+     * nondeterministic field, everything else must match exactly.
+     */
+    static std::vector<std::string> manifestLineSet(
+        const std::string &path)
+    {
+        std::vector<std::string> lines;
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::size_t wall = line.find("wall=");
+            if (wall != std::string::npos) {
+                std::size_t end = line.find(' ', wall);
+                if (end == std::string::npos)
+                    end = line.size();
+                line.erase(wall, end - wall);
+            }
+            lines.push_back(line);
+        }
+        std::sort(lines.begin(), lines.end());
+        return lines;
     }
 
     std::string manifest;
@@ -101,7 +174,7 @@ TEST_F(SweepRunnerTest, DuplicatePointIdsAreRejected)
 
 TEST_F(SweepRunnerTest, CheckpointResumeSkipsCompletedPoints)
 {
-    int executions = 0;
+    std::atomic<int> executions{0};
     bool poisoned = true;
     auto build = [&](SweepRunner &runner) {
         runner.add("a", [&] {
@@ -145,7 +218,7 @@ TEST_F(SweepRunnerTest, CheckpointResumeSkipsCompletedPoints)
 TEST_F(SweepRunnerTest, DamagedManifestLinesAreIgnored)
 {
     SweepRunner first({manifest});
-    int executions = 0;
+    std::atomic<int> executions{0};
     first.add("keep", [&] {
         ++executions;
         return fakeResult(5);
@@ -261,7 +334,7 @@ TEST_F(SweepRunnerTest, CorruptTraceAndBadConfigCampaignResumes)
     }
     truncateTraceFile(trace, 8 + 64 * 11 - 5); // injected damage
 
-    int simulated = 0;
+    std::atomic<int> simulated{0};
     auto build = [&](SweepRunner &runner) {
         runner.add("baseline/128", [&] {
             ++simulated;
@@ -303,6 +376,181 @@ TEST_F(SweepRunnerTest, CorruptTraceAndBadConfigCampaignResumes)
     EXPECT_EQ(simulated, 4); // only the invalid-config attempt repeats
 
     std::remove(trace.c_str());
+}
+
+// A resumed campaign appends to a manifest that already has content.
+// The header decision must look at the file's real size, not the
+// append-stream's initial position (implementation-defined per C11
+// 7.21.5.3), or every resume writes a second header line.
+TEST_F(SweepRunnerTest, ManifestHeaderWrittenOnceAcrossResumes)
+{
+    {
+        SweepRunner first({manifest});
+        first.add("a", [] { return fakeResult(1); });
+        first.run();
+    }
+    {
+        SweepRunner second({manifest});
+        second.add("a", [] { return fakeResult(1); });
+        second.add("b", [] { return fakeResult(2); });
+        SweepReport report = second.run();
+        EXPECT_EQ(report.skippedCount(), 1u);
+        EXPECT_EQ(report.okCount(), 1u);
+    }
+
+    std::ifstream in(manifest);
+    ASSERT_TRUE(in.is_open());
+    int headers = 0;
+    int ok_lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("# rampage-sweep-checkpoint", 0) == 0)
+            ++headers;
+        if (line.rfind("ok ", 0) == 0)
+            ++ok_lines;
+    }
+    EXPECT_EQ(headers, 1);
+    EXPECT_EQ(ok_lines, 2);
+}
+
+// The heartbeat is driven by the reporter's timed wait, so it fires
+// while one long point is still mid-simulation, and it reports points
+// simulated this run separately from checkpoint skips instead of
+// folding the skips into apparent progress.
+TEST_F(SweepRunnerTest, HeartbeatFiresDuringLongPointAndSplitsSkips)
+{
+    {
+        SweepRunner first({manifest});
+        first.add("fast", [] { return fakeResult(1); });
+        first.run();
+    }
+
+    SweepRunner::Options opts;
+    opts.checkpointPath = manifest;
+    opts.heartbeatSeconds = 0.05;
+    SweepRunner second(opts);
+    second.add("fast", [] { return fakeResult(1); });
+    second.add("slow", [] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return fakeResult(2);
+    });
+
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    SweepReport report = second.run();
+    std::string err = ::testing::internal::GetCapturedStderr();
+    setQuiet(true);
+
+    EXPECT_EQ(report.skippedCount(), 1u);
+    EXPECT_EQ(report.okCount(), 1u);
+    // Fired before 'slow' finished: nothing simulated yet, one skip.
+    EXPECT_NE(err.find("heartbeat 0/1 points simulated this run "
+                       "(1 skipped)"),
+              std::string::npos)
+        << err;
+}
+
+// The tentpole guarantee: a parallel campaign is observably identical
+// to a serial one — same per-point statuses, errors, simulated times
+// and stats snapshots, and the same checkpoint-manifest line set.
+TEST_F(SweepRunnerTest, ParallelRunMatchesSerialRun)
+{
+    std::string manifest4 = manifest + ".jobs4";
+    std::remove(manifest4.c_str());
+
+    SweepRunner::Options serial_opts;
+    serial_opts.checkpointPath = manifest;
+    serial_opts.jobs = 1;
+    SweepRunner serial(serial_opts);
+    addDeterminismPoints(serial);
+    SweepReport one = serial.run();
+
+    SweepRunner::Options parallel_opts;
+    parallel_opts.checkpointPath = manifest4;
+    parallel_opts.jobs = 4;
+    SweepRunner parallel(parallel_opts);
+    addDeterminismPoints(parallel);
+    SweepReport four = parallel.run();
+
+    ASSERT_EQ(one.outcomes.size(), 8u);
+    ASSERT_EQ(four.outcomes.size(), 8u);
+    EXPECT_EQ(one.okCount(), 6u);
+    EXPECT_EQ(one.failedCount(), 2u);
+    for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+        const PointOutcome &a = one.outcomes[i];
+        const PointOutcome &b = four.outcomes[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.status, b.status) << a.id;
+        EXPECT_EQ(a.errorCategory, b.errorCategory) << a.id;
+        EXPECT_EQ(a.error, b.error) << a.id;
+        EXPECT_EQ(a.haveResult, b.haveResult) << a.id;
+        EXPECT_EQ(a.result.elapsedPs, b.result.elapsedPs) << a.id;
+        EXPECT_EQ(a.result.stats.toText(), b.result.stats.toText())
+            << a.id;
+    }
+    EXPECT_EQ(manifestLineSet(manifest), manifestLineSet(manifest4));
+
+    std::remove(manifest4.c_str());
+}
+
+// Same determinism bar with model-integrity audits armed and a fault
+// injected: the parallel run must reject the same point for the same
+// violated invariant the serial run names.
+TEST_F(SweepRunnerTest, ParallelAuditedFaultMatchesSerial)
+{
+    auto build = [](SweepRunner &runner) {
+        runner.add("faulty/leak-frame", [] {
+            RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
+            cfg.pager.baseSramBytes = 256 * kib;
+            SimConfig sim;
+            sim.maxRefs = 60'000;
+            sim.quantumRefs = 10'000;
+            sim.auditLevel = AuditLevel::Boundaries;
+            sim.faultPlan = "leak-frame";
+            return simulateRampage(cfg, sim);
+        });
+        runner.add("clean/baseline", [] { return tinyBaseline(1024); });
+        runner.add("clean/rampage", [] { return tinyRampage(1024); });
+    };
+
+    auto runWith = [&](unsigned jobs) {
+        SweepRunner::Options opts;
+        opts.jobs = jobs;
+        SweepRunner runner(opts);
+        build(runner);
+        return runner.run();
+    };
+    SweepReport one = runWith(1);
+    SweepReport four = runWith(4);
+
+    ASSERT_EQ(one.outcomes.size(), 3u);
+    ASSERT_EQ(four.outcomes.size(), 3u);
+    EXPECT_EQ(one.outcomes[0].status, PointStatus::AuditFailed);
+    EXPECT_EQ(four.outcomes[0].status, PointStatus::AuditFailed);
+    EXPECT_EQ(one.outcomes[0].auditInvariant, "pager.leak");
+    EXPECT_EQ(four.outcomes[0].auditInvariant,
+              one.outcomes[0].auditInvariant);
+    EXPECT_EQ(four.outcomes[0].error, one.outcomes[0].error);
+    for (std::size_t i = 1; i < 3; ++i) {
+        EXPECT_EQ(one.outcomes[i].status, PointStatus::Ok);
+        EXPECT_EQ(four.outcomes[i].status, PointStatus::Ok);
+        EXPECT_EQ(four.outcomes[i].result.elapsedPs,
+                  one.outcomes[i].result.elapsedPs);
+    }
+}
+
+// Options::jobs = 0 defers to resolveJobs() so the --jobs flag and
+// RAMPAGE_JOBS reach embedders that never touch the option, and a
+// pool wider than the campaign is harmless.
+TEST_F(SweepRunnerTest, MoreWorkersThanPointsIsHarmless)
+{
+    SweepRunner::Options opts;
+    opts.jobs = 32;
+    SweepRunner runner(opts);
+    runner.add("only", [] { return fakeResult(7); });
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.okCount(), 1u);
+    EXPECT_EQ(report.outcomes[0].id, "only");
 }
 
 } // namespace
