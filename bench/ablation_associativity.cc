@@ -61,25 +61,25 @@ runBench()
     };
 
     report("direct-mapped",
-           simulateConventional(baselineConfig(rate, size), sim));
+           simulateSystem(baselineConfig(rate, size), sim));
     std::fprintf(stderr, "  [DM done]\n");
     {
         ConventionalConfig cfg = baselineConfig(rate, size);
         cfg.victimEntries = 8;
-        report("DM + 8-entry victim", simulateConventional(cfg, sim));
+        report("DM + 8-entry victim", simulateSystem(cfg, sim));
         std::fprintf(stderr, "  [victim done]\n");
     }
     {
         ConventionalConfig cfg = baselineConfig(rate, size);
         cfg.l2Style = ConventionalConfig::L2Style::ColumnAssoc;
-        report("column-associative", simulateConventional(cfg, sim));
+        report("column-associative", simulateSystem(cfg, sim));
         std::fprintf(stderr, "  [column done]\n");
     }
     report("2-way (random)",
-           simulateConventional(twoWayConfig(rate, size), sim));
+           simulateSystem(twoWayConfig(rate, size), sim));
     std::fprintf(stderr, "  [2-way done]\n");
     report("RAMpage (full, software)",
-           simulateRampage(rampageConfig(rate, size), sim));
+           simulateSystem(rampageConfig(rate, size), sim));
     std::fprintf(stderr, "  [RAMpage done]\n");
 
     std::printf("%s\n", table.render().c_str());

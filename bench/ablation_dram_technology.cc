@@ -58,8 +58,8 @@ runBench()
             RampageConfig ram = rampageConfig(rate, size);
             ram.common.dramKind = tech.kind;
             ram.common.rambus.channels = tech.channels;
-            SimResult base_res = simulateConventional(base, sim);
-            SimResult ram_res = simulateRampage(ram, sim);
+            SimResult base_res = simulateSystem(base, sim);
+            SimResult ram_res = simulateSystem(ram, sim);
             std::string cell = std::string(tech.name) + "/" +
                                formatByteSize(size);
             benchRecordResult("baseline/" + cell, base_res);

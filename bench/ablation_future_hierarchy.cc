@@ -63,8 +63,8 @@ runBench()
                 two.common = aggressiveCommon(rate);
                 ram.common = aggressiveCommon(rate);
             }
-            SimResult two_res = simulateConventional(two, sim);
-            SimResult ram_res = simulateRampage(ram, sim);
+            SimResult two_res = simulateSystem(two, sim);
+            SimResult ram_res = simulateSystem(ram, sim);
             std::string cell = std::string(tag) + "/" +
                                formatByteSize(size);
             benchRecordResult("2way/" + cell, two_res);

@@ -41,7 +41,7 @@ runBench()
         for (std::uint64_t size : blockSizeSweep()) {
             RampageConfig cfg = rampageConfig(4'000'000'000ull, size);
             cfg.common.rambus.pipelineDepth = depth;
-            SimResult result = simulateRampage(cfg, sim);
+            SimResult result = simulateSystem(cfg, sim);
             benchRecordResult(cellf("depth%u/", depth) +
                                   formatByteSize(size),
                               result);

@@ -49,9 +49,9 @@ runBench()
             for (std::uint64_t size : blockSizeSweep()) {
                 SimResult result =
                     std::string(family) == "baseline"
-                        ? simulateConventional(
+                        ? simulateSystem(
                               baselineConfig(rate, size), sim)
-                        : simulateRampage(rampageConfig(rate, size),
+                        : simulateSystem(rampageConfig(rate, size),
                                           sim);
                 std::fprintf(stderr, "  [q=%llu %s %s done]\n",
                              static_cast<unsigned long long>(quantum),

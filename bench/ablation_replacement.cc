@@ -39,7 +39,7 @@ runBench()
         RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
         cfg.pager.repl = kind;
         cfg.pager.standbyPages = 32;
-        SimResult result = simulateRampage(cfg, sim);
+        SimResult result = simulateSystem(cfg, sim);
         std::fprintf(stderr, "  [%s done]\n", pageReplKindName(kind));
         benchRecordResult(pageReplKindName(kind), result);
         Tick fast = totalTimePs(result.counts, 4'000'000'000ull);

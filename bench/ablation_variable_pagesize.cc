@@ -18,8 +18,8 @@
 
 #include "bench_common.hh"
 #include "core/cost_model.hh"
-#include "core/rampage.hh"
-#include "core/rampage_var.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
 #include "core/simulator.hh"
 #include "trace/benchmarks.hh"
 #include "util/error.hh"
@@ -39,13 +39,13 @@ probeBestSize(const ProgramProfile &profile, std::uint64_t refs)
     Tick best = ~Tick{0};
     std::uint64_t best_size = 1024;
     for (std::uint64_t size : blockSizeSweep()) {
-        RampageHierarchy hier(rampageConfig(rate, size));
+        auto hier = makeHierarchy(rampageConfig(rate, size));
         std::vector<std::unique_ptr<TraceSource>> workload;
         workload.push_back(
             std::make_unique<SyntheticProgram>(profile, 0));
         SimConfig sim = armedSimConfig(refs, refs);
         sim.insertSwitchTrace = false;
-        Simulator driver(hier, std::move(workload), sim);
+        Simulator driver(*hier, std::move(workload), sim);
         Tick t = driver.run().elapsedPs;
         if (t < best) {
             best = t;
@@ -72,8 +72,9 @@ runBench()
     std::uint64_t probe_refs = scale.refs / 24;
 
     // Step 1: per-program best sizes.
-    VarPagerParams var_params;
-    var_params.baseFrameBytes = 128;
+    PageStoreParams var_params;
+    var_params.pageBytes = 128;      // base frame size
+    var_params.defaultPageBytes = 1024;
     std::printf("per-program best page sizes (solo probes):\n  ");
     Pid pid = 0;
     for (const ProgramProfile &profile : benchmarkRoster()) {
@@ -93,7 +94,7 @@ runBench()
     Tick best_fixed = ~Tick{0};
     std::string best_fixed_label;
     for (std::uint64_t size : blockSizeSweep()) {
-        SimResult result = simulateRampage(rampageConfig(rate, size), sim);
+        SimResult result = simulateSystem(rampageConfig(rate, size), sim);
         std::fprintf(stderr, "  [fixed %s done]\n",
                      formatByteSize(size).c_str());
         benchRecordResult("fixed/" + formatByteSize(size), result);
@@ -107,11 +108,11 @@ runBench()
         }
     }
 
-    VarRampageConfig var_cfg;
+    PagedConfig var_cfg;
     var_cfg.common = defaultCommon(rate);
     var_cfg.pager = var_params;
-    VarRampageHierarchy var_hier(var_cfg);
-    Simulator var_driver(var_hier, makeWorkload(), sim);
+    auto var_hier = makeHierarchy(var_cfg);
+    Simulator var_driver(*var_hier, makeWorkload(), sim);
     SimResult var_result = var_driver.run();
     benchRecordResult("variable/per-process-best", var_result);
     table.addRow({"variable (per-process best)",

@@ -49,16 +49,16 @@ runBench()
     };
 
     report("baseline (DM)",
-           simulateConventional(baselineConfig(rate, size), sim));
+           simulateSystem(baselineConfig(rate, size), sim));
     for (unsigned entries : {4u, 16u}) {
         ConventionalConfig cfg = baselineConfig(rate, size);
         cfg.victimEntries = entries;
         report(cellf("DM + %u-entry victim", entries).c_str(),
-               simulateConventional(cfg, sim));
+               simulateSystem(cfg, sim));
     }
     report("2-way L2",
-           simulateConventional(twoWayConfig(rate, size), sim));
-    report("RAMpage", simulateRampage(rampageConfig(rate, size), sim));
+           simulateSystem(twoWayConfig(rate, size), sim));
+    report("RAMpage", simulateSystem(rampageConfig(rate, size), sim));
 
     std::printf("%s\n", table.render().c_str());
     return 0;

@@ -182,6 +182,25 @@ blockSizeLabels()
     return labels;
 }
 
+namespace
+{
+
+/** Map a sweep family name to the HierarchyConfig it simulates. */
+HierarchyConfig
+familyConfig(const std::string &family, std::uint64_t issue_hz,
+             std::uint64_t size)
+{
+    if (family == "baseline")
+        return baselineConfig(issue_hz, size);
+    if (family == "2way")
+        return twoWayConfig(issue_hz, size);
+    if (family == "rampage")
+        return rampageConfig(issue_hz, size);
+    throw ConfigError("unknown system family '%s'", family.c_str());
+}
+
+} // namespace
+
 std::vector<SimResult>
 runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
 {
@@ -194,25 +213,8 @@ runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
     SweepRunner runner;
     for (std::uint64_t size : blockSizeSweep()) {
         std::string id = family + "/" + formatByteSize(size);
-        if (family == "baseline") {
-            runner.add(id, [=] {
-                return simulateConventional(
-                    baselineConfig(issue_hz, size), sim);
-            });
-        } else if (family == "2way") {
-            runner.add(id, [=] {
-                return simulateConventional(twoWayConfig(issue_hz, size),
-                                            sim);
-            });
-        } else if (family == "rampage") {
-            runner.add(id, [=] {
-                return simulateRampage(rampageConfig(issue_hz, size),
-                                       sim);
-            });
-        } else {
-            throw ConfigError("unknown system family '%s'",
-                              family.c_str());
-        }
+        HierarchyConfig config = familyConfig(family, issue_hz, size);
+        runner.add(id, [=] { return simulateSystem(config, sim); });
     }
 
     SweepReport report = runner.run();

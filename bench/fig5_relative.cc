@@ -44,7 +44,7 @@ runBench()
         std::vector<Tick> switch_times;
         for (std::uint64_t size : blockSizeSweep()) {
             SimResult result =
-                simulateRampage(rampageConfig(rate, size, true), sim);
+                simulateSystem(rampageConfig(rate, size, true), sim);
             std::fprintf(stderr, "  [switch %s @%s done]\n",
                          formatByteSize(size).c_str(),
                          formatFrequency(rate).c_str());

@@ -10,8 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hh"
-#include "core/conventional.hh"
-#include "core/rampage.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
 #include "core/sweep.hh"
 #include "dram/rambus.hh"
 #include "os/inverted_page_table.hh"
@@ -99,13 +99,13 @@ BENCHMARK(BM_RambusPricing);
 void
 BM_ConventionalAccess(benchmark::State &state)
 {
-    ConventionalHierarchy hier(
+    auto hier = makeHierarchy(
         baselineConfig(1'000'000'000ull, state.range(0)));
     SyntheticProgram prog(benchmarkProfile("gcc"), 0);
     MemRef ref;
     for (auto _ : state) {
         prog.next(ref);
-        benchmark::DoNotOptimize(hier.access(ref).cpuPs);
+        benchmark::DoNotOptimize(hier->access(ref).cpuPs);
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -114,13 +114,13 @@ BENCHMARK(BM_ConventionalAccess)->Arg(128)->Arg(4096);
 void
 BM_RampageAccess(benchmark::State &state)
 {
-    RampageHierarchy hier(
+    auto hier = makeHierarchy(
         rampageConfig(1'000'000'000ull, state.range(0)));
     SyntheticProgram prog(benchmarkProfile("gcc"), 0);
     MemRef ref;
     for (auto _ : state) {
         prog.next(ref);
-        benchmark::DoNotOptimize(hier.access(ref).cpuPs);
+        benchmark::DoNotOptimize(hier->access(ref).cpuPs);
     }
     state.SetItemsProcessed(state.iterations());
 }

@@ -50,7 +50,7 @@ runBench()
         std::size_t i = 0;
         for (std::uint64_t size : blockSizeSweep()) {
             SimResult result =
-                simulateRampage(rampageConfig(rate, size, true), sim);
+                simulateSystem(rampageConfig(rate, size, true), sim);
             std::fprintf(stderr, "  [switch %s @%s done]\n",
                          formatByteSize(size).c_str(),
                          formatFrequency(rate).c_str());

@@ -43,9 +43,9 @@ runTool(int argc, char **argv)
                      "switching(s)", "gain", "stall(s)"});
 
     for (std::uint64_t rate : issueRates()) {
-        SimResult blocking = simulateRampage(
+        SimResult blocking = simulateSystem(
             rampageConfig(rate, page, false), sim);
-        SimResult switching = simulateRampage(
+        SimResult switching = simulateSystem(
             rampageConfig(rate, page, true), sim);
         std::fprintf(stderr, "  [%s done]\n",
                      formatFrequency(rate).c_str());

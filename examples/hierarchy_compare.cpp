@@ -57,13 +57,13 @@ runTool(int argc, char **argv)
         Family family{name, {}};
         for (std::uint64_t size : blockSizeSweep()) {
             if (std::string(name) == "baseline")
-                family.runs.push_back(simulateConventional(
+                family.runs.push_back(simulateSystem(
                     baselineConfig(1'000'000'000ull, size), sim));
             else if (std::string(name) == "2-way")
-                family.runs.push_back(simulateConventional(
+                family.runs.push_back(simulateSystem(
                     twoWayConfig(1'000'000'000ull, size), sim));
             else
-                family.runs.push_back(simulateRampage(
+                family.runs.push_back(simulateSystem(
                     rampageConfig(1'000'000'000ull, size), sim));
             std::fprintf(stderr, "  [%s %s done]\n", name,
                          formatByteSize(size).c_str());

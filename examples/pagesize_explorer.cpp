@@ -15,7 +15,8 @@
 #include <memory>
 
 #include "core/cost_model.hh"
-#include "core/rampage.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "stats/table.hh"
@@ -50,13 +51,13 @@ runTool(int argc, char **argv)
         Tick best = ~Tick{0}, at_1k = 0;
         std::string best_label;
         for (std::uint64_t size : blockSizeSweep()) {
-            RampageHierarchy hier(rampageConfig(rate, size));
+            auto hier = makeHierarchy(rampageConfig(rate, size));
             std::vector<std::unique_ptr<TraceSource>> workload;
             workload.push_back(
                 std::make_unique<SyntheticProgram>(profile, 0));
             SimConfig sim = armedSimConfig(refs, refs);
             sim.insertSwitchTrace = false;
-            Simulator driver(hier, std::move(workload), sim);
+            Simulator driver(*hier, std::move(workload), sim);
             SimResult result = driver.run();
             row.push_back(formatSeconds(result.elapsedPs));
             if (result.elapsedPs < best) {

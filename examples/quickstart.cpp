@@ -66,10 +66,10 @@ runTool(int argc, char **argv)
         });
     };
 
-    report(simulateConventional(baselineConfig(issue_hz, block), sim));
-    report(simulateConventional(twoWayConfig(issue_hz, block), sim));
-    report(simulateRampage(rampageConfig(issue_hz, block), sim));
-    report(simulateRampage(rampageConfig(issue_hz, block, true), sim));
+    report(simulateSystem(baselineConfig(issue_hz, block), sim));
+    report(simulateSystem(twoWayConfig(issue_hz, block), sim));
+    report(simulateSystem(rampageConfig(issue_hz, block), sim));
+    report(simulateSystem(rampageConfig(issue_hz, block, true), sim));
 
     std::printf("%s\n", table.render().c_str());
     std::printf("ovh%% = TLB-miss + page-fault handler references as a\n"

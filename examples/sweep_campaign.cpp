@@ -71,15 +71,15 @@ runTool(int argc, char **argv)
     SweepRunner runner(opts);
     for (std::uint64_t rate : {200'000'000ull, 1'000'000'000ull}) {
         runner.add("baseline/" + formatFrequency(rate), [=] {
-            return simulateConventional(baselineConfig(rate, 1024), sim);
+            return simulateSystem(baselineConfig(rate, 1024), sim);
         });
         runner.add("rampage/" + formatFrequency(rate), [=] {
-            return simulateRampage(rampageConfig(rate, 1024), sim);
+            return simulateSystem(rampageConfig(rate, 1024), sim);
         });
     }
     // Two deliberately poisoned points: the campaign must survive both.
     runner.add("poison/l2-block-16B", [=] {
-        return simulateConventional(
+        return simulateSystem(
             baselineConfig(1'000'000'000ull, 16), sim);
     });
     runner.add("poison/corrupt-trace", [=]() -> SimResult {

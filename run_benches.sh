@@ -30,4 +30,52 @@ for b in build/bench/*; do
     status=1
   fi
 done
+
+# Roll the per-bench JSON reports up into one simulator-throughput
+# summary (results/BENCH_core.json): every simulated point's
+# refs-per-wall-second, per bench and overall.  This is the number
+# that bounds RAMPAGE_FULL-scale runs, tracked as a CI artifact.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF' || status=1
+import glob, json
+
+benches = []
+rates = []
+for path in sorted(glob.glob("results/*.json")):
+    if path.endswith("BENCH_core.json"):
+        continue
+    with open(path) as fh:
+        doc = json.load(fh)
+    points = [
+        {"label": r["label"], "refs_per_sec": r["refs_per_sec"]}
+        for r in doc.get("results", [])
+        if "refs_per_sec" in r
+    ]
+    if not points:
+        continue
+    per = [p["refs_per_sec"] for p in points]
+    rates.extend(per)
+    benches.append({
+        "bench": doc.get("bench", path),
+        "scale": doc.get("scale", {}),
+        "points": points,
+        "mean_refs_per_sec": sum(per) / len(per),
+    })
+
+summary = {
+    "benches": benches,
+    "total_points": len(rates),
+    "mean_refs_per_sec": sum(rates) / len(rates) if rates else 0,
+    "min_refs_per_sec": min(rates) if rates else 0,
+    "max_refs_per_sec": max(rates) if rates else 0,
+}
+with open("results/BENCH_core.json", "w") as fh:
+    json.dump(summary, fh, indent=2)
+    fh.write("\n")
+print("[throughput summary written to results/BENCH_core.json:",
+      len(rates), "points]")
+EOF
+else
+  echo "python3 not found; skipping results/BENCH_core.json" >&2
+fi
 exit $status

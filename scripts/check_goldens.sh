@@ -1,0 +1,70 @@
+#!/bin/sh
+# Golden-stdout harness: the refactor-safety net for the paper tables.
+#
+# Runs the pinned benches at a tiny fixed scale and diffs their stdout
+# byte-for-byte against the committed goldens in tests/golden/.  Any
+# drift — a reordered stat, a reformatted cell, a changed count —
+# fails loudly with the diff, so "the benches still print exactly what
+# they printed" is machine-checked on every CI run instead of eyeballed.
+#
+# Usage: check_goldens.sh [bench-dir]        (default: build/bench)
+# Regenerate after an *intentional* output change:
+#   check_goldens.sh --update [bench-dir]
+set -u
+
+update=0
+if [ "${1:-}" = "--update" ]; then
+  update=1
+  shift
+fi
+bench_dir="${1:-build/bench}"
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+golden_dir="$script_dir/../tests/golden"
+
+# The pinned scale: small enough to run in seconds, large enough to
+# exercise faults, evictions and context switches in every bench.
+RAMPAGE_REFS=40000
+RAMPAGE_QUANTUM=4000
+RAMPAGE_JOBS=2
+export RAMPAGE_REFS RAMPAGE_QUANTUM RAMPAGE_JOBS
+unset RAMPAGE_FULL RAMPAGE_RATES RAMPAGE_AUDIT RAMPAGE_INJECT_FAULT \
+      RAMPAGE_DEBUG RAMPAGE_STATS 2>/dev/null
+
+tmp=$(mktemp) || exit 1
+trap 'rm -f "$tmp"' EXIT
+
+benches="table3_runtimes table4_ctx_switch fig4_overheads"
+status=0
+for name in $benches; do
+  bin="$bench_dir/$name"
+  golden="$golden_dir/$name.stdout"
+  if [ ! -x "$bin" ]; then
+    echo "check_goldens: missing bench binary '$bin'" >&2
+    status=1
+    continue
+  fi
+  if ! "$bin" > "$tmp" 2>/dev/null; then
+    echo "check_goldens: $name exited with nonzero status" >&2
+    status=1
+    continue
+  fi
+  if [ $update -eq 1 ]; then
+    mkdir -p "$golden_dir"
+    cp "$tmp" "$golden"
+    echo "check_goldens: updated $golden"
+    continue
+  fi
+  if [ ! -f "$golden" ]; then
+    echo "check_goldens: missing golden '$golden' (run with --update)" >&2
+    status=1
+    continue
+  fi
+  if cmp -s "$golden" "$tmp"; then
+    echo "check_goldens: $name ok"
+  else
+    echo "check_goldens: $name stdout DIFFERS from $golden:" >&2
+    diff -u "$golden" "$tmp" >&2
+    status=1
+  fi
+done
+exit $status

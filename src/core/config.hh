@@ -5,9 +5,9 @@
  * CommonConfig carries everything shared by all hierarchies (§4.3):
  * the issue-rate CPU model, split L1, TLB, CPU-L2 bus and Direct
  * Rambus DRAM.  ConventionalConfig adds the L2 cache geometry
- * (direct-mapped baseline §4.4, or 2-way §4.7); RampageConfig adds
- * the SRAM main-memory pager (§4.5) and the context-switch-on-miss
- * option (§4.6).
+ * (direct-mapped baseline §4.4, or 2-way §4.7); PagedConfig adds
+ * the SRAM main-memory page store (§4.5, §6.2/§6.3) and the
+ * context-switch-on-miss option (§4.6).
  */
 
 #ifndef RAMPAGE_CORE_CONFIG_HH
@@ -18,7 +18,7 @@
 #include "cache/cache.hh"
 #include "dram/rambus.hh"
 #include "dram/sdram.hh"
-#include "os/pager.hh"
+#include "os/page_store.hh"
 #include "tlb/tlb.hh"
 #include "trace/handlers.hh"
 #include "util/types.hh"
@@ -99,14 +99,21 @@ struct ConventionalConfig
     unsigned victimEntries = 0;
 };
 
-/** RAMpage hierarchy (§4.5). */
-struct RampageConfig
+/**
+ * RAMpage hierarchy (§4.5): a software-paged SRAM main memory whose
+ * page-size policy lives in the PageStoreParams (uniform pages, or
+ * the §6.2/§6.3 per-process sizes).
+ */
+struct PagedConfig
 {
     CommonConfig common{};
-    PagerParams pager{};
+    PageStoreParams pager{};
     /** Take a context switch on a miss to DRAM (§4.6). */
     bool switchOnMiss = false;
 };
+
+/** The §4.5 fixed-page-size system is the uniform page-size policy. */
+using RampageConfig = PagedConfig;
 
 } // namespace rampage
 

@@ -31,8 +31,7 @@ ConventionalHierarchy::ConventionalHierarchy(
     const ConventionalConfig &config)
     : Hierarchy(config.common),
       ccfg(config),
-      l2Cache(l2Params(config)),
-      dir(config.common.dramPageBytes)
+      l2Cache(l2Params(config))
 {
     if (ccfg.l2BlockBytes < cfg.l1BlockBytes)
         throw ConfigError("L2 block (%llu) smaller than L1 block (%llu)",
@@ -112,47 +111,37 @@ ConventionalHierarchy::osPhysAddr(Addr vaddr) const
     return osImageBase + (vaddr - cfg.handlerLayout.codeBase);
 }
 
-AccessOutcome
-ConventionalHierarchy::access(const MemRef &ref)
+unsigned
+ConventionalHierarchy::translationBits(Pid /*pid*/) const
 {
-    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    Tick dram_before = evt.dramPs;
+    return dramPageBits;
+}
 
-    ++evt.refs;
-    ++evt.traceRefs;
+Hierarchy::TranslationWalk
+ConventionalHierarchy::walkTranslation(Pid pid, std::uint64_t vpn,
+                                       std::vector<Addr> &probes)
+{
+    // The probes are cacheable physical references into the page
+    // table's memory image; the frame itself is produced after the
+    // interleaved lookup trace (resolveFault).
+    dir.probeAddrs(pid, vpn, probes);
+    return TranslationWalk{};
+}
 
-    Addr paddr;
-    if (ref.pid == osPid) {
-        paddr = osPhysAddr(ref.vaddr);
-    } else {
-        std::uint64_t vpn = ref.vaddr >> dramPageBits;
-        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
-        std::uint64_t frame;
-        if (look.hit) {
-            frame = look.frame;
-        } else {
-            // TLB miss: interleave the page-table-lookup trace
-            // (§4.3); the probes are cacheable physical references
-            // into the table's memory image.
-            ++evt.tlbMisses;
-            probeScratch.clear();
-            dir.probeAddrs(ref.pid, vpn, probeScratch);
-            handlerScratch.clear();
-            handlers.tlbMiss(handlerScratch, probeScratch);
-            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
-            frame = dir.frameOf(ref.pid, vpn);
-            tlbUnit.insert(ref.pid, vpn, frame);
-        }
-        paddr = (frame << dramPageBits) | lowBits(ref.vaddr, dramPageBits);
-    }
+std::uint64_t
+ConventionalHierarchy::resolveFault(Pid pid, std::uint64_t vpn,
+                                    AccessOutcome & /*outcome*/)
+{
+    // DRAM is infinite (no disk paging is modelled): the "fault" is
+    // just the directory allocating or returning the physical frame.
+    return dir.frameOf(pid, vpn);
+}
 
-    cachedAccess(ref, paddr);
-
-    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    AccessOutcome outcome;
-    outcome.cpuPs =
-        (cyc_after - cyc_before) * cycPs + (evt.dramPs - dram_before);
-    return outcome;
+Addr
+ConventionalHierarchy::framePhysAddr(Pid /*pid*/, std::uint64_t frame,
+                                     Addr offset)
+{
+    return (frame << dramPageBits) | offset;
 }
 
 void

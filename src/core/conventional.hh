@@ -15,7 +15,6 @@
 #include "cache/column_assoc.hh"
 #include "cache/victim_cache.hh"
 #include "core/hierarchy.hh"
-#include "os/dram_directory.hh"
 
 namespace rampage
 {
@@ -26,12 +25,10 @@ class ConventionalHierarchy : public Hierarchy
   public:
     explicit ConventionalHierarchy(const ConventionalConfig &config);
 
-    AccessOutcome access(const MemRef &ref) override;
     std::string name() const override;
     std::string l2Name() const override { return "L2"; }
 
     const SetAssocCache &l2() const { return l2Cache; }
-    const DramDirectory &directory() const { return dir; }
 
     /** Column-associative L2 statistics (L2Style::ColumnAssoc only). */
     const ColumnAssocStats &columnStats() const;
@@ -50,6 +47,14 @@ class ConventionalHierarchy : public Hierarchy
     Cycles l1WritebackCost() const override;
     Addr osPhysAddr(Addr vaddr) const override;
 
+    unsigned translationBits(Pid pid) const override;
+    TranslationWalk walkTranslation(Pid pid, std::uint64_t vpn,
+                                    std::vector<Addr> &probes) override;
+    std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
+                               AccessOutcome &outcome) override;
+    Addr framePhysAddr(Pid pid, std::uint64_t frame,
+                       Addr offset) override;
+
   private:
     /** Physical base of the OS handler code/data image in DRAM. */
     static constexpr Addr osImageBase = Addr{1} << 41;
@@ -58,7 +63,6 @@ class ConventionalHierarchy : public Hierarchy
     SetAssocCache l2Cache;
     std::unique_ptr<ColumnAssocCache> columnL2;
     std::unique_ptr<VictimCache> victim;
-    DramDirectory dir;
     unsigned dramPageBits;
 };
 

@@ -1,0 +1,57 @@
+#include "core/factory.hh"
+
+#include "core/conventional.hh"
+#include "core/paged.hh"
+#include "util/error.hh"
+
+namespace rampage
+{
+
+std::unique_ptr<Hierarchy>
+makeHierarchy(const HierarchyConfig &config)
+{
+    switch (config.family) {
+      case HierarchyConfig::Family::Conventional:
+        return std::make_unique<ConventionalHierarchy>(
+            config.conventional);
+      case HierarchyConfig::Family::Paged:
+        return std::make_unique<PagedHierarchy>(config.paged);
+    }
+    throw ConfigError("unknown hierarchy family");
+}
+
+PagedHierarchy &
+asPaged(Hierarchy &hier)
+{
+    auto *paged = dynamic_cast<PagedHierarchy *>(&hier);
+    if (paged == nullptr)
+        throw ConfigError("hierarchy '%s' is not a paged (RAMpage) "
+                          "system",
+                          hier.name().c_str());
+    return *paged;
+}
+
+const PagedHierarchy &
+asPaged(const Hierarchy &hier)
+{
+    return asPaged(const_cast<Hierarchy &>(hier));
+}
+
+ConventionalHierarchy &
+asConventional(Hierarchy &hier)
+{
+    auto *conv = dynamic_cast<ConventionalHierarchy *>(&hier);
+    if (conv == nullptr)
+        throw ConfigError("hierarchy '%s' is not a conventional cache "
+                          "system",
+                          hier.name().c_str());
+    return *conv;
+}
+
+const ConventionalHierarchy &
+asConventional(const Hierarchy &hier)
+{
+    return asConventional(const_cast<Hierarchy &>(hier));
+}
+
+} // namespace rampage

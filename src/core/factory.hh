@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Data-driven hierarchy construction: a tagged HierarchyConfig that
+ * can describe any simulated system (conventional cache stacks and
+ * every RAMpage page-size policy), and makeHierarchy() to build it.
+ *
+ * Benches, sweeps and tests describe *what* to simulate as data and
+ * construct it through one function, instead of naming a subclass
+ * per design point; the family-specific structs convert implicitly,
+ * so `makeHierarchy(baselineConfig(...))` just works.
+ */
+
+#ifndef RAMPAGE_CORE_FACTORY_HH
+#define RAMPAGE_CORE_FACTORY_HH
+
+#include <memory>
+
+#include "core/config.hh"
+
+namespace rampage
+{
+
+class Hierarchy;
+class ConventionalHierarchy;
+class PagedHierarchy;
+
+/** Tagged configuration describing any simulated system. */
+struct HierarchyConfig
+{
+    enum class Family : std::uint8_t
+    {
+        Conventional, ///< L2 cache over DRAM (§4.4, §4.7, §3.2)
+        Paged,        ///< RAMpage SRAM main memory (§4.5, §6.2/§6.3)
+    };
+
+    Family family = Family::Conventional;
+    ConventionalConfig conventional{};
+    PagedConfig paged{};
+
+    HierarchyConfig() = default;
+    /*implicit*/ HierarchyConfig(const ConventionalConfig &config)
+        : family(Family::Conventional), conventional(config)
+    {
+    }
+    /*implicit*/ HierarchyConfig(const PagedConfig &config)
+        : family(Family::Paged), paged(config)
+    {
+    }
+
+    /** The active family's shared (CommonConfig) parameters. */
+    const CommonConfig &
+    common() const
+    {
+        return family == Family::Paged ? paged.common
+                                       : conventional.common;
+    }
+    CommonConfig &
+    common()
+    {
+        return family == Family::Paged ? paged.common
+                                       : conventional.common;
+    }
+};
+
+/** Construct the hierarchy a HierarchyConfig describes. */
+std::unique_ptr<Hierarchy> makeHierarchy(const HierarchyConfig &config);
+
+/** Checked downcasts for family-specific inspection (ConfigError). */
+PagedHierarchy &asPaged(Hierarchy &hier);
+const PagedHierarchy &asPaged(const Hierarchy &hier);
+ConventionalHierarchy &asConventional(Hierarchy &hier);
+const ConventionalHierarchy &asConventional(const Hierarchy &hier);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_FACTORY_HH

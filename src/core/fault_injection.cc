@@ -4,8 +4,7 @@
 #include <vector>
 
 #include "core/conventional.hh"
-#include "core/rampage.hh"
-#include "core/rampage_var.hh"
+#include "core/paged.hh"
 #include "os/scheduler.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -139,9 +138,12 @@ FaultInjector::apply(Hierarchy &hier)
         return false;
     applied = true;
 
-    auto *ramp = dynamic_cast<RampageHierarchy *>(&hier);
+    // The unified core exposes two attachment points: the paged
+    // (RAMpage) hierarchy's shared PageStore, and the conventional
+    // hierarchy's L2.  Everything else (L1s, TLB, directory, event
+    // counters) lives in the Hierarchy base.
+    auto *paged = dynamic_cast<PagedHierarchy *>(&hier);
     auto *conv = dynamic_cast<ConventionalHierarchy *>(&hier);
-    auto *var = dynamic_cast<VarRampageHierarchy *>(&hier);
 
     switch (plan.kind) {
       case ModelFault::None:
@@ -196,61 +198,54 @@ FaultInjector::apply(Hierarchy &hier)
         return true;
 
       case ModelFault::IptUnlink:
-        if (ramp == nullptr) {
+        if (paged == nullptr) {
             warnInapplicable(plan, "needs the RAMpage hierarchy");
             return false;
         }
-        if (!ramp->pagerUnit.corruptUnlinkEntry()) {
+        if (!paged->store.corruptUnlinkEntry()) {
             warnInapplicable(plan, "no mapped user frames yet");
             return false;
         }
         return true;
 
       case ModelFault::StaleDirty:
-        if (ramp == nullptr) {
+        if (paged == nullptr || !paged->store.uniform()) {
             warnInapplicable(plan, "needs the RAMpage hierarchy");
             return false;
         }
-        if (!ramp->pagerUnit.corruptStaleDirty()) {
+        if (!paged->store.corruptStaleDirty()) {
             warnInapplicable(plan, "no unmapped user frames");
             return false;
         }
         return true;
 
       case ModelFault::LeakFrame:
-        if (ramp == nullptr) {
+        if (paged == nullptr || !paged->store.uniform()) {
             warnInapplicable(plan, "needs the RAMpage hierarchy");
             return false;
         }
-        if (!ramp->pagerUnit.corruptLeakFrame()) {
+        if (!paged->store.corruptLeakFrame()) {
             warnInapplicable(plan, "no cold-filled frames yet");
             return false;
         }
         return true;
 
-      case ModelFault::DirAlias: {
-        DramDirectory *dir = nullptr;
-        if (ramp != nullptr)
-            dir = &ramp->dir;
-        else if (conv != nullptr)
-            dir = &conv->dir;
-        else if (var != nullptr)
-            dir = &var->dir;
-        if (dir == nullptr || !dir->corruptAlias()) {
+      case ModelFault::DirAlias:
+        // Every hierarchy owns a DRAM directory (Hierarchy base).
+        if (!hier.dir.corruptAlias()) {
             warnInapplicable(plan,
                              "needs two allocated DRAM pages");
             return false;
         }
         return true;
-      }
 
       case ModelFault::VarOwnerDrop:
-        if (var == nullptr) {
+        if (paged == nullptr || paged->store.uniform()) {
             warnInapplicable(plan,
                              "needs the variable-page-size hierarchy");
             return false;
         }
-        if (!var->pagerUnit.corruptDropOwner()) {
+        if (!paged->store.corruptDropOwner()) {
             warnInapplicable(plan, "no owned user frames yet");
             return false;
         }

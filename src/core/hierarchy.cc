@@ -41,7 +41,11 @@ Hierarchy::Hierarchy(const CommonConfig &config)
       tlbUnit(config.tlb),
       rambusModel(config.rambus),
       sdramModel(config.sdram),
-      handlers(config.handlerLayout, config.handlerCosts)
+      dramSel(config.dramKind == CommonConfig::DramKind::Sdram
+                  ? static_cast<const DramModel *>(&sdramModel)
+                  : static_cast<const DramModel *>(&rambusModel)),
+      handlers(config.handlerLayout, config.handlerCosts),
+      dir(config.dramPageBytes)
 {
     l1iCache.registerStats(statsReg, "l1i");
     l1dCache.registerStats(statsReg, "l1d");
@@ -74,6 +78,63 @@ Tick
 Hierarchy::totalPs(std::uint64_t issue_hz) const
 {
     return breakdown(issue_hz).total();
+}
+
+AccessOutcome
+Hierarchy::access(const MemRef &ref)
+{
+    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick dram_before = evt.dramPs;
+
+    ++evt.refs;
+    ++evt.traceRefs;
+
+    AccessOutcome outcome;
+    Addr paddr;
+    if (ref.pid == osPid) {
+        paddr = osPhysAddr(ref.vaddr);
+    } else {
+        unsigned page_bits = translationBits(ref.pid);
+        std::uint64_t vpn = ref.vaddr >> page_bits;
+        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
+        std::uint64_t frame;
+        if (look.hit) {
+            frame = look.frame;
+        } else {
+            // TLB miss: walk the translation structure and interleave
+            // the handler trace (§4.3).  Under RAMpage the walk hits
+            // the pinned reserve and never references DRAM (§2.3) —
+            // unless the page itself has faulted out of the SRAM main
+            // memory; conventionally the probes are cacheable
+            // references into the page table's DRAM image and the
+            // frame is produced after the trace.
+            ++evt.tlbMisses;
+            probeScratch.clear();
+            TranslationWalk walk =
+                walkTranslation(ref.pid, vpn, probeScratch);
+            handlerScratch.clear();
+            handlers.tlbMiss(handlerScratch, probeScratch);
+            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
+
+            if (walk.resolved)
+                frame = walk.frame;
+            else
+                frame = resolveFault(ref.pid, vpn, outcome);
+            tlbUnit.insert(ref.pid, vpn, frame);
+        }
+        paddr = framePhysAddr(ref.pid, frame,
+                              lowBits(ref.vaddr, page_bits));
+    }
+
+    cachedAccess(ref, paddr);
+
+    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
+    Tick total = (cyc_after - cyc_before) * cycPs +
+                 (evt.dramPs - dram_before);
+    RAMPAGE_ASSERT(total >= outcome.deferPs,
+                   "deferred time exceeds the access total");
+    outcome.cpuPs = total - outcome.deferPs;
+    return outcome;
 }
 
 Cycles

@@ -25,6 +25,7 @@
 #include "core/events.hh"
 #include "dram/rambus.hh"
 #include "dram/sdram.hh"
+#include "os/dram_directory.hh"
 #include "stats/registry.hh"
 #include "tlb/tlb.hh"
 #include "trace/handlers.hh"
@@ -62,8 +63,15 @@ class Hierarchy
     Hierarchy(const Hierarchy &) = delete;
     Hierarchy &operator=(const Hierarchy &) = delete;
 
-    /** Process one benchmark-trace reference. */
-    virtual AccessOutcome access(const MemRef &ref) = 0;
+    /**
+     * Process one benchmark-trace reference.  The sequencing is the
+     * same for every hierarchy — TLB lookup, on a miss the
+     * translation walk with its interleaved handler trace, fault
+     * resolution, then the L1 + lower-level walk — so it lives here
+     * once; subclasses supply the policy hooks (translationBits,
+     * walkTranslation, resolveFault, framePhysAddr).
+     */
+    AccessOutcome access(const MemRef &ref);
 
     /**
      * Interleave the ~400-reference context-switch trace (§4.6).
@@ -82,6 +90,8 @@ class Hierarchy
     const Tlb &tlb() const { return tlbUnit; }
     const SetAssocCache &l1i() const { return l1iCache; }
     const SetAssocCache &l1d() const { return l1dCache; }
+    /** The DRAM page directory (paging device / physical allocator). */
+    const DramDirectory &directory() const { return dir; }
 
     /**
      * The hierarchy's named-stats registry.  Every component registers
@@ -154,6 +164,45 @@ class Hierarchy
      */
     virtual Addr osPhysAddr(Addr vaddr) const = 0;
 
+    // --- access() policy hooks --------------------------------------
+    /** Outcome of a translation walk on a TLB miss. */
+    struct TranslationWalk
+    {
+        bool resolved = false; ///< the page is resident; frame is set
+        std::uint64_t frame = 0;
+    };
+
+    /** log2 of the translation page size for a pid. */
+    virtual unsigned translationBits(Pid pid) const = 0;
+
+    /**
+     * Walk the translation structure on a TLB miss, recording the
+     * table words touched into `probes` (they parameterize the
+     * interleaved TLB-miss handler trace).  Runs *before* the handler
+     * trace; a walk that cannot resolve residency up front leaves
+     * `resolved` false and the frame comes from resolveFault() after
+     * the trace.
+     */
+    virtual TranslationWalk walkTranslation(Pid pid, std::uint64_t vpn,
+                                            std::vector<Addr> &probes) = 0;
+
+    /**
+     * Produce the frame for an unresolved translation, *after* the
+     * TLB-miss handler trace ran: the conventional directory allocates
+     * the DRAM frame; RAMpage services the SRAM page fault (setting
+     * `outcome`'s pageFault/deferPs).
+     */
+    virtual std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
+                                       AccessOutcome &outcome) = 0;
+
+    /**
+     * Physical address of `offset` within a translated frame, with
+     * any per-reference side effects (RAMpage touches the frame's
+     * replacement state).
+     */
+    virtual Addr framePhysAddr(Pid pid, std::uint64_t frame,
+                               Addr offset) = 0;
+
     /**
      * Invalidate every L1 block within [base, base+bytes), charging
      * one probe cycle per block per cache, and the L1 write-back
@@ -179,14 +228,11 @@ class Hierarchy
      */
     void noteDramTx(std::uint64_t bytes, bool is_write);
 
-    /** The selected DRAM timing model (§3.3). */
-    const DramModel &
-    dram() const
-    {
-        return cfg.dramKind == CommonConfig::DramKind::Sdram
-                   ? static_cast<const DramModel &>(sdramModel)
-                   : static_cast<const DramModel &>(rambusModel);
-    }
+    /**
+     * The selected DRAM timing model (§3.3), resolved once at
+     * construction — dram() sits on the miss path.
+     */
+    const DramModel &dram() const { return *dramSel; }
 
     /**
      * Price `count` back-to-back page-sized transactions: a pipelined
@@ -202,7 +248,9 @@ class Hierarchy
     Tlb tlbUnit;
     DirectRambus rambusModel;
     Sdram sdramModel;
+    const DramModel *dramSel; ///< cfg.dramKind, resolved once
     HandlerTraces handlers;
+    DramDirectory dir; ///< the DRAM paging device's page directory
     EventCounts evt;
     StatsRegistry statsReg;    ///< named stats, filled at construction
     Log2Histogram dramTxHist;  ///< DRAM transaction sizes (dram.tx_bytes)

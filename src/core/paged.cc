@@ -1,0 +1,266 @@
+#include "core/paged.hh"
+
+#include "util/audit.hh"
+#include "util/bitops.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+PagedHierarchy::PagedHierarchy(const PagedConfig &config)
+    : Hierarchy(config.common),
+      pcfg(config),
+      store(config.pager)
+{
+    const PageStoreParams &sp = store.params();
+    if (store.uniform()) {
+        if (sp.pageBytes < cfg.l1BlockBytes)
+            throw ConfigError(
+                "SRAM page (%llu) smaller than the L1 block (%llu)",
+                static_cast<unsigned long long>(sp.pageBytes),
+                static_cast<unsigned long long>(cfg.l1BlockBytes));
+        if (sp.pageBytes > cfg.dramPageBytes)
+            throw ConfigError(
+                "SRAM page larger than the DRAM page: a fault would span "
+                "DRAM pages");
+    } else {
+        if (sp.pageBytes < cfg.l1BlockBytes)
+            throw ConfigError("base frame smaller than the L1 block");
+        auto check = [&](std::uint64_t bytes) {
+            if (bytes > cfg.dramPageBytes)
+                throw ConfigError(
+                    "SRAM page larger than the DRAM page");
+        };
+        check(sp.defaultPageBytes);
+        for (const auto &[pid, bytes] : sp.pageBytesByPid) {
+            (void)pid;
+            check(bytes);
+        }
+    }
+    if (sp.osVirtBase != cfg.handlerLayout.codeBase)
+        throw ConfigError(
+            "pager OS region must start at the handler code base");
+    store.registerStats(statsReg, "pager");
+}
+
+std::string
+PagedHierarchy::name() const
+{
+    if (!store.uniform())
+        return "RAMpage-var";
+    return pcfg.switchOnMiss ? "RAMpage+switch" : "RAMpage";
+}
+
+Cycles
+PagedHierarchy::l1WritebackCost() const
+{
+    // 9 cycles: no L2 tag to update (§4.3).
+    return cfg.l1WritebackCyclesRampage;
+}
+
+Addr
+PagedHierarchy::osPhysAddr(Addr vaddr) const
+{
+    return store.osPhysAddr(vaddr);
+}
+
+unsigned
+PagedHierarchy::translationBits(Pid pid) const
+{
+    return floorLog2(store.pageBytes(pid));
+}
+
+Hierarchy::TranslationWalk
+PagedHierarchy::walkTranslation(Pid pid, std::uint64_t vpn,
+                                std::vector<Addr> &probes)
+{
+    IptLookup walk = store.lookup(pid, vpn, &probes);
+    return TranslationWalk{walk.found, walk.frame};
+}
+
+std::uint64_t
+PagedHierarchy::resolveFault(Pid pid, std::uint64_t vpn,
+                             AccessOutcome &outcome)
+{
+    outcome.pageFault = true;
+    return servicePageFault(pid, vpn, outcome.deferPs);
+}
+
+Addr
+PagedHierarchy::framePhysAddr(Pid /*pid*/, std::uint64_t frame,
+                              Addr offset)
+{
+    store.touch(frame);
+    return store.physAddr(frame, offset);
+}
+
+void
+PagedHierarchy::auditState(AuditContext &ctx) const
+{
+    Hierarchy::auditState(ctx);
+    store.auditState(ctx);
+    dir.auditState(ctx);
+
+    const InvertedPageTable &ipt = store.table();
+
+    // L1 inclusion in the SRAM main memory: every cached block must
+    // lie inside the SRAM and inside a pinned OS frame or a frame a
+    // resident page backs — a block of an evicted page is stale data.
+    auto check_inclusion = [&](const SetAssocCache &l1,
+                               const char *label) {
+        l1.forEachValidBlock([&](Addr addr, bool) {
+            if (!ctx.check(addr < store.sramBytes(), "inclusion.l1",
+                           "%s block 0x%llx lies outside the %llu-byte "
+                           "SRAM main memory",
+                           label, static_cast<unsigned long long>(addr),
+                           static_cast<unsigned long long>(
+                               store.sramBytes())))
+                return true;
+            std::uint64_t frame = addr / store.frameBytes();
+            ctx.check(store.frameBacked(frame), "inclusion.l1",
+                      "%s block 0x%llx cached from unmapped SRAM "
+                      "frame %llu",
+                      label, static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(frame));
+            return true;
+        });
+    };
+    check_inclusion(l1iCache, "l1i");
+    check_inclusion(l1dCache, "l1d");
+
+    // Every TLB entry must agree with the page table it caches (the
+    // cached frame is the page's start frame in both policies).
+    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                  std::uint64_t frame) {
+        bool backed = frame >= store.osFrames() &&
+                      frame < store.totalFrames() &&
+                      ipt.mapped(frame) && ipt.framePid(frame) == pid &&
+                      ipt.frameVpn(frame) == vpn;
+        ctx.check(backed, "tlb.backing",
+                  "TLB translates pid=%u vpn=0x%llx to SRAM frame "
+                  "%llu, which the page table does not back",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(vpn),
+                  static_cast<unsigned long long>(frame));
+        return true;
+    });
+
+    // Every resident page was faulted in through DRAM, so the paging
+    // device's directory must know its home.
+    unsigned dram_page_bits = floorLog2(cfg.dramPageBytes);
+    for (std::uint64_t frame = store.osFrames();
+         frame < store.totalFrames(); ++frame) {
+        if (!ipt.mapped(frame))
+            continue;
+        Pid pid = ipt.framePid(frame);
+        std::uint64_t dvpn =
+            (ipt.frameVpn(frame) * store.pageBytes(pid)) >>
+            dram_page_bits;
+        ctx.check(dir.lookup(pid, dvpn), "ipt.dram_home",
+                  "resident page pid=%u vpn=0x%llx (frame %llu) has "
+                  "no DRAM home in the directory",
+                  static_cast<unsigned>(pid),
+                  static_cast<unsigned long long>(ipt.frameVpn(frame)),
+                  static_cast<unsigned long long>(frame));
+    }
+}
+
+Cycles
+PagedHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
+{
+    // The SRAM main memory is a plain byte-addressed RAM: an L1 miss
+    // is a 4-bus-cycle (12 CPU cycle) transfer with no tag check.
+    // Residency is guaranteed — translation faulted the page in
+    // before the L1 was probed.
+    ++evt.l2Accesses;
+    store.touch(paddr / store.frameBytes());
+    return cfg.l2HitCycles;
+}
+
+Cycles
+PagedHierarchy::writebackBelow(Addr victim_addr)
+{
+    // A dirty L1 block drains into its SRAM page, dirtying the page;
+    // the 9-cycle charge (no tag update) is applied by the caller.
+    std::uint64_t frame = victim_addr / store.frameBytes();
+    store.markDirty(frame);
+    store.touch(frame);
+    return 0;
+}
+
+std::uint64_t
+PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
+                                 Tick &defer_ps_out)
+{
+    ++evt.l2Misses; // SRAM main-memory page faults
+    PageFaultResult fault = store.handleFault(pid, vpn);
+
+    // The fault handler body, interleaved through the hierarchy; its
+    // table probes hit the pinned reserve.
+    handlerScratch.clear();
+    handlers.pageFault(handlerScratch, fault.probes);
+    runHandlerRefs(handlerScratch, OverheadKind::PageFault);
+
+    // The replacement policy's frame-table scan (the clock hand's
+    // travel) costs one cycle per inspected entry on top of the fixed
+    // handler body.
+    evt.l1iCycles += fault.scanCost;
+
+    Tick defer = 0;
+    std::uint64_t frame_bytes = store.frameBytes();
+
+    // Flush each victim's TLB entry (§2.3) and its L1 blocks
+    // (inclusion between L1 and the SRAM main memory).  Uniform
+    // faults evict at most one equally-sized page and pair its dirty
+    // write-back with the fill read in one back-to-back DRAM burst
+    // (§6.3 pipelining hides the read's access latency behind the
+    // write's data beats); per-pid faults may evict several smaller
+    // pages, each priced as its own DRAM write.
+    bool paired = store.uniform();
+    bool write_victim = false;
+    for (const PageVictim &victim : fault.victims) {
+        tlbUnit.invalidate(victim.pid, victim.vpn);
+        Addr victim_base = victim.startFrame * frame_bytes;
+        Cycles flush_cycles = 0;
+        bool dirty = victim.dirty;
+        dirty |= invalidateL1Range(victim_base, victim.bytes,
+                                   flush_cycles);
+        if (paired) {
+            write_victim |= dirty;
+        } else if (dirty) {
+            ++evt.dramWrites;
+            noteDramTx(victim.bytes, true);
+            Tick write_ps = dram().writePs(victim.bytes);
+            addDramPs(write_ps);
+            defer += write_ps;
+        }
+    }
+
+    // Price the DRAM traffic for the faulted page streaming in (DRAM
+    // homes are resolved inside the handler body — the translation is
+    // off the critical path, §2.3, and DRAM is infinite so the lookup
+    // always hits).
+    std::uint64_t page_bytes = store.pageBytes(pid);
+    dir.physAddr(pid, vpn * page_bytes); // allocate the DRAM home
+    if (paired && write_victim) {
+        ++evt.dramWrites;
+        ++evt.dramReads;
+        noteDramTx(page_bytes, true);
+        noteDramTx(page_bytes, false);
+        Tick both = dramBurstPs(page_bytes, 2);
+        addDramPs(both);
+        defer += both;
+    } else {
+        ++evt.dramReads;
+        noteDramTx(page_bytes, false);
+        Tick read_ps = dram().readPs(page_bytes);
+        addDramPs(read_ps);
+        defer += read_ps;
+    }
+
+    defer_ps_out = pcfg.switchOnMiss ? defer : 0;
+    return fault.frame;
+}
+
+} // namespace rampage

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The RAMpage hierarchy (paper §2, §4.5): the lowest SRAM level is a
+ * software-managed paged main memory (no tags, fully associative by
+ * construction), DRAM is a paging device behind it, the TLB caches
+ * virtual -> SRAM translations, and all management — TLB miss
+ * walks, page-fault service, replacement — runs as interleaved
+ * handler traces against the pinned operating-system reserve.
+ *
+ * The page-size policy lives entirely in the PageStore: uniform
+ * pages reproduce the paper's §4.5 system, per-process page sizes
+ * its §6.2/§6.3 "dynamic tuning" extension (the TLB requirement
+ * matches MIPS: entries that translate pages of different sizes).
+ * Either way there is exactly one fault path (servicePageFault):
+ * handler trace, victim TLB/L1 flush, victim write-back, DRAM
+ * stream.
+ *
+ * Optionally takes a context switch on a miss to DRAM (§4.6): the
+ * fault's page transfer is reported as deferrable time so the
+ * simulator can overlap it with another process's execution.
+ */
+
+#ifndef RAMPAGE_CORE_PAGED_HH
+#define RAMPAGE_CORE_PAGED_HH
+
+#include "core/hierarchy.hh"
+#include "os/page_store.hh"
+
+namespace rampage
+{
+
+/** The RAMpage hierarchy (uniform or per-pid SRAM page sizes). */
+class PagedHierarchy : public Hierarchy
+{
+  public:
+    explicit PagedHierarchy(const PagedConfig &config);
+
+    std::string name() const override;
+    std::string l2Name() const override { return "SRAM MM"; }
+
+    const PageStore &pager() const { return store; }
+    const PagedConfig &config() const { return pcfg; }
+
+    /**
+     * Base audit plus: the page store's self-audit (residency,
+     * reserve, frame map), L1 inclusion in the SRAM main memory
+     * (every valid L1 block inside a pinned or resident SRAM frame),
+     * TLB entries backed by matching page-table mappings, every
+     * resident page holding a DRAM home in the directory, and the
+     * directory self-audit.
+     */
+    void auditState(AuditContext &ctx) const override;
+
+  protected:
+    friend class FaultInjector;
+    Cycles fillFromBelow(Addr paddr, bool is_write) override;
+    Cycles writebackBelow(Addr victim_addr) override;
+    Cycles l1WritebackCost() const override;
+    Addr osPhysAddr(Addr vaddr) const override;
+
+    unsigned translationBits(Pid pid) const override;
+    TranslationWalk walkTranslation(Pid pid, std::uint64_t vpn,
+                                    std::vector<Addr> &probes) override;
+    std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
+                               AccessOutcome &outcome) override;
+    Addr framePhysAddr(Pid pid, std::uint64_t frame,
+                       Addr offset) override;
+
+  private:
+    /**
+     * Service a page fault for (pid, vpn): run the fault handler
+     * trace, flush each victim's TLB entry and L1 blocks, write dirty
+     * victims back, and stream the new page from DRAM.  Uniform
+     * faults evict at most one page and pair a dirty victim's write
+     * with the fill read in one back-to-back burst; per-pid faults
+     * may evict several smaller pages, priced separately.
+     * @param defer_ps_out receives the overlappable transfer time.
+     * @return the frame (per-pid: start frame) now holding the page.
+     */
+    std::uint64_t servicePageFault(Pid pid, std::uint64_t vpn,
+                                   Tick &defer_ps_out);
+
+    PagedConfig pcfg;
+    PageStore store;
+};
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_PAGED_HH

@@ -13,9 +13,9 @@
 #include <thread>
 
 #include "core/audit.hh"
-#include "core/conventional.hh"
+#include "core/factory.hh"
 #include "core/fault_injection.hh"
-#include "core/rampage.hh"
+#include "core/hierarchy.hh"
 #include "trace/benchmarks.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -215,20 +215,13 @@ armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs)
 }
 
 SimResult
-simulateConventional(const ConventionalConfig &config, const SimConfig &sim)
+simulateSystem(const HierarchyConfig &config, const SimConfig &sim)
 {
-    ConventionalHierarchy hierarchy(config);
-    Simulator simulator(hierarchy, makeWorkload(), sim);
-    return simulator.run();
-}
-
-SimResult
-simulateRampage(const RampageConfig &config, const SimConfig &sim)
-{
-    RampageHierarchy hierarchy(config);
+    std::unique_ptr<Hierarchy> hierarchy = makeHierarchy(config);
     SimConfig effective = sim;
-    effective.switchOnMiss = config.switchOnMiss;
-    Simulator simulator(hierarchy, makeWorkload(), effective);
+    if (config.family == HierarchyConfig::Family::Paged)
+        effective.switchOnMiss = config.paged.switchOnMiss;
+    Simulator simulator(*hierarchy, makeWorkload(), effective);
     return simulator.run();
 }
 

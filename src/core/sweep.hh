@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/factory.hh"
 #include "core/simulator.hh"
 #include "util/error.hh"
 
@@ -102,13 +103,13 @@ SimConfig defaultSimConfig(bool switch_on_miss = false);
  */
 SimConfig armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs);
 
-/** Build, run and report a conventional system on the §4.2 workload. */
-SimResult simulateConventional(const ConventionalConfig &config,
-                               const SimConfig &sim);
-
-/** Build, run and report a RAMpage system on the §4.2 workload. */
-SimResult simulateRampage(const RampageConfig &config,
-                          const SimConfig &sim);
+/**
+ * Build (via makeHierarchy()), run and report any system on the §4.2
+ * workload.  A paged config's switchOnMiss policy overrides the
+ * SimConfig's, exactly as a hand-built RAMpage run would set it.
+ */
+SimResult simulateSystem(const HierarchyConfig &config,
+                         const SimConfig &sim);
 
 // ------------------------------------------------------------ SweepRunner
 

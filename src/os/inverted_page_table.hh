@@ -11,7 +11,7 @@
  * unless the access itself page-faults.
  *
  * The entry size is 20 bytes; together with the pinned-frame
- * calculation in src/os/pager.hh this reproduces the paper's §4.5
+ * calculation in src/os/page_store.hh this reproduces the paper's §4.5
  * operating-system reserve (6 pages at 4 KB pages, ~5300 at 128 B).
  *
  * The table also reports which of its own (virtual) words a lookup

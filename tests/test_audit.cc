@@ -17,8 +17,8 @@
 #include "core/audit.hh"
 #include "core/conventional.hh"
 #include "core/fault_injection.hh"
-#include "core/rampage.hh"
-#include "core/rampage_var.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "os/scheduler.hh"
@@ -66,12 +66,15 @@ smallRampage(bool switch_on_miss = false)
     return cfg;
 }
 
-VarRampageConfig
+PagedConfig
 smallVar()
 {
-    VarRampageConfig cfg;
+    // A genuinely per-pid configuration: the default page spans two
+    // base frames, so the config cannot normalize down to the uniform
+    // policy (which would make var-owner-drop inapplicable).
+    PagedConfig cfg;
     cfg.common = defaultCommon(oneGhz);
-    cfg.pager.baseFrameBytes = 1024;
+    cfg.pager.pageBytes = 512; // base frame size
     cfg.pager.defaultPageBytes = 1024;
     cfg.pager.baseSramBytes = 512 * kib;
     return cfg;
@@ -159,7 +162,8 @@ TEST(AuditConfig, ArmedSimConfigIsHardened)
 
 TEST(AuditClean, ConventionalParanoid)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.auditLevel = AuditLevel::Paranoid;
     Simulator driver(hier, tinyWorkload(), sim);
@@ -176,7 +180,8 @@ TEST(AuditClean, ConventionalParanoid)
 
 TEST(AuditClean, RampageParanoid)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.auditLevel = AuditLevel::Paranoid;
     Simulator driver(hier, tinyWorkload(), sim);
@@ -185,7 +190,8 @@ TEST(AuditClean, RampageParanoid)
 
 TEST(AuditClean, RampageSwitchOnMissParanoid)
 {
-    RampageHierarchy hier(smallRampage(true));
+    auto hier_owner = makeHierarchy(smallRampage(true));
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.switchOnMiss = true;
     sim.auditLevel = AuditLevel::Paranoid;
@@ -195,7 +201,8 @@ TEST(AuditClean, RampageSwitchOnMissParanoid)
 
 TEST(AuditClean, VarRampageParanoid)
 {
-    VarRampageHierarchy hier(smallVar());
+    auto hier_owner = makeHierarchy(smallVar());
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.auditLevel = AuditLevel::Paranoid;
     Simulator driver(hier, tinyWorkload(), sim);
@@ -208,7 +215,8 @@ TEST(AuditClean, AuditedRunIsByteIdentical)
     // outcome (timeline and every event count) matches the unaudited
     // run exactly.
     auto run = [](AuditLevel level) {
-        RampageHierarchy hier(smallRampage());
+        auto hier_owner = makeHierarchy(smallRampage());
+        Hierarchy &hier = *hier_owner;
         SimConfig sim = tinySim();
         sim.auditLevel = level;
         Simulator driver(hier, tinyWorkload(), sim);
@@ -227,7 +235,8 @@ TEST(AuditClean, AuditedRunIsByteIdentical)
 
 TEST(AuditClean, OffRunCarriesNoAuditStats)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     Simulator driver(hier, tinyWorkload(), tinySim(20'000, 10'000));
     SimResult result = driver.run();
     EXPECT_EQ(result.stats.find("audit.runs"), nullptr);
@@ -238,7 +247,8 @@ TEST(AuditClean, OffRunCarriesNoAuditStats)
 
 TEST(AuditFault, L1TagFlipBreaksRampageInclusion)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("l1-tag-flip"));
     ASSERT_TRUE(injector.apply(hier));
@@ -247,7 +257,8 @@ TEST(AuditFault, L1TagFlipBreaksRampageInclusion)
 
 TEST(AuditFault, L1TagFlipBreaksConventionalInclusion)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("l1-tag-flip"));
     ASSERT_TRUE(injector.apply(hier));
@@ -256,7 +267,8 @@ TEST(AuditFault, L1TagFlipBreaksConventionalInclusion)
 
 TEST(AuditFault, L2TagFlipOrphansL1Block)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("l2-tag-flip"));
     ASSERT_TRUE(injector.apply(hier));
@@ -265,7 +277,8 @@ TEST(AuditFault, L2TagFlipOrphansL1Block)
 
 TEST(AuditFault, TlbFrameXorBreaksBackingRampage)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("tlb-frame-xor"));
     ASSERT_TRUE(injector.apply(hier));
@@ -274,7 +287,8 @@ TEST(AuditFault, TlbFrameXorBreaksBackingRampage)
 
 TEST(AuditFault, TlbFrameXorBreaksBackingConventional)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("tlb-frame-xor"));
     ASSERT_TRUE(injector.apply(hier));
@@ -283,7 +297,8 @@ TEST(AuditFault, TlbFrameXorBreaksBackingConventional)
 
 TEST(AuditFault, IptUnlinkBreaksChain)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("ipt-unlink"));
     ASSERT_TRUE(injector.apply(hier));
@@ -294,7 +309,8 @@ TEST(AuditFault, IptUnlinkBreaksChain)
 
 TEST(AuditFault, StaleDirtyBitIsCaught)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("stale-dirty"));
     ASSERT_TRUE(injector.apply(hier));
@@ -304,7 +320,8 @@ TEST(AuditFault, StaleDirtyBitIsCaught)
 
 TEST(AuditFault, LeakedFrameIsCaught)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("leak-frame"));
     ASSERT_TRUE(injector.apply(hier));
@@ -313,7 +330,8 @@ TEST(AuditFault, LeakedFrameIsCaught)
 
 TEST(AuditFault, DirAliasIsCaughtRampage)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("dir-alias"));
     ASSERT_TRUE(injector.apply(hier));
@@ -322,7 +340,8 @@ TEST(AuditFault, DirAliasIsCaughtRampage)
 
 TEST(AuditFault, DirAliasIsCaughtConventional)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("dir-alias"));
     ASSERT_TRUE(injector.apply(hier));
@@ -331,7 +350,8 @@ TEST(AuditFault, DirAliasIsCaughtConventional)
 
 TEST(AuditFault, VarOwnerDropBreaksFrameMap)
 {
-    VarRampageHierarchy hier(smallVar());
+    auto hier_owner = makeHierarchy(smallVar());
+    Hierarchy &hier = *hier_owner;
     warmUp(hier);
     FaultInjector injector(parseFaultPlan("var-owner-drop"));
     ASSERT_TRUE(injector.apply(hier));
@@ -340,7 +360,8 @@ TEST(AuditFault, VarOwnerDropBreaksFrameMap)
 
 TEST(AuditFault, SkewedCyclesBreakTimeConservation)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     Simulator driver(hier, tinyWorkload(), tinySim());
     SimResult result = driver.run();
 
@@ -380,7 +401,8 @@ TEST(AuditFault, InapplicableFaultInjectsNothing)
     // ipt-unlink targets the RAMpage pager; on a conventional
     // hierarchy the injector warns, applies nothing, and the state
     // stays clean.
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     warmUp(hier, 20'000);
     FaultInjector injector(parseFaultPlan("ipt-unlink"));
     EXPECT_FALSE(injector.apply(hier));
@@ -392,7 +414,8 @@ TEST(AuditFault, InapplicableFaultInjectsNothing)
 
 TEST(AuditEndToEnd, SimulatorInjectsAndAuditCatches)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.auditLevel = AuditLevel::Boundaries;
     sim.faultPlan = "ipt-unlink";
@@ -408,7 +431,8 @@ TEST(AuditEndToEnd, SimulatorInjectsAndAuditCatches)
 
 TEST(AuditEndToEnd, SkewCyclesCaughtAtNextBoundary)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.auditLevel = AuditLevel::Boundaries;
     sim.faultPlan = "skew-cycles";
@@ -423,7 +447,8 @@ TEST(AuditEndToEnd, SkewCyclesCaughtAtNextBoundary)
 
 TEST(AuditEndToEnd, SchedBlockCaughtInSwitchOnMissRun)
 {
-    RampageHierarchy hier(smallRampage(true));
+    auto hier_owner = makeHierarchy(smallRampage(true));
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.switchOnMiss = true;
     sim.auditLevel = AuditLevel::Boundaries;
@@ -442,7 +467,8 @@ TEST(AuditEndToEnd, FaultWithAuditsOffRunsToCompletion)
     // The injector corrupts state but nobody audits: the run ends
     // normally.  This is exactly the silent-corruption scenario the
     // audits exist to close.
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.faultPlan = "stale-dirty";
     Simulator driver(hier, tinyWorkload(), sim);
@@ -451,7 +477,8 @@ TEST(AuditEndToEnd, FaultWithAuditsOffRunsToCompletion)
 
 TEST(AuditEndToEnd, BadFaultSpecRejectedAtConstruction)
 {
-    RampageHierarchy hier(smallRampage());
+    auto hier_owner = makeHierarchy(smallRampage());
+    Hierarchy &hier = *hier_owner;
     SimConfig sim = tinySim();
     sim.faultPlan = "smash-everything";
     EXPECT_THROW(Simulator(hier, tinyWorkload(), sim), ConfigError);
@@ -487,7 +514,8 @@ TEST(AuditSweep, AuditFailureIsDistinctOutcome)
     opts.checkpointPath = manifest;
 
     auto faultyPoint = [] {
-        RampageHierarchy hier(smallRampage());
+        auto hier_owner = makeHierarchy(smallRampage());
+        Hierarchy &hier = *hier_owner;
         SimConfig sim = tinySim();
         sim.auditLevel = AuditLevel::Boundaries;
         sim.faultPlan = "leak-frame";
@@ -495,7 +523,8 @@ TEST(AuditSweep, AuditFailureIsDistinctOutcome)
         return driver.run();
     };
     auto cleanPoint = [] {
-        ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+        auto hier_owner = makeHierarchy(baselineConfig(oneGhz, 128));
+        Hierarchy &hier = *hier_owner;
         Simulator driver(hier, tinyWorkload(),
                          tinySim(20'000, 10'000));
         return driver.run();

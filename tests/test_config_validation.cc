@@ -11,9 +11,10 @@
 #include "cache/cache.hh"
 #include "cache/column_assoc.hh"
 #include "core/conventional.hh"
-#include "core/rampage.hh"
+#include "core/factory.hh"
+#include "core/paged.hh"
 #include "core/sweep.hh"
-#include "os/pager.hh"
+#include "os/page_store.hh"
 #include "tlb/tlb.hh"
 #include "util/error.hh"
 #include "util/units.hh"
@@ -74,9 +75,9 @@ TEST(ConfigValidation, TlbGeometry)
 
 TEST(ConfigValidation, PagerPageSizePowerOfTwo)
 {
-    PagerParams params;
+    PageStoreParams params;
     params.pageBytes = 3000;
-    expectConfigError([&] { SramPager pager(params); }, "power of two");
+    expectConfigError([&] { PageStore pager(params); }, "power of two");
 }
 
 TEST(ConfigValidation, PagerReserveCannotSwallowSram)
@@ -84,24 +85,24 @@ TEST(ConfigValidation, PagerReserveCannotSwallowSram)
     // The table (~20 B/frame) plus a 12 KB fixed image cannot fit in
     // an SRAM this small: 4 KiB = 32 frames of 128 B, and the fixed
     // image alone needs 96 frames.
-    PagerParams params;
+    PageStoreParams params;
     params.pageBytes = 128;
     params.baseSramBytes = 4 * kib;
     params.osFixedBytes = 12 * kib;
-    expectConfigError([&] { SramPager pager(params); }, "reserve");
+    expectConfigError([&] { PageStore pager(params); }, "reserve");
 }
 
 TEST(ConfigValidation, RampagePageAtLeastL1Block)
 {
     RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
     cfg.pager.pageBytes = 16; // below the 32 B L1 block
-    EXPECT_THROW({ RampageHierarchy hier(cfg); }, ConfigError);
+    EXPECT_THROW({ makeHierarchy(cfg); }, ConfigError);
 }
 
 TEST(ConfigValidation, RampagePageAtMostDramPage)
 {
     RampageConfig cfg = rampageConfig(1'000'000'000ull, 8192);
-    expectConfigError([&] { RampageHierarchy hier(cfg); }, "DRAM page");
+    expectConfigError([&] { makeHierarchy(cfg); }, "DRAM page");
 }
 
 TEST(ConfigValidation, ConventionalL2BlockAtLeastL1Block)

@@ -8,7 +8,8 @@
 
 #include <gtest/gtest.h>
 
-#include "core/rampage.hh"
+#include "core/factory.hh"
+#include "core/paged.hh"
 #include "core/sweep.hh"
 #include "util/random.hh"
 
@@ -49,7 +50,8 @@ smallConfig(std::uint64_t page_bytes = 1024, bool switch_on_miss = false)
 
 TEST(Rampage, FirstAccessFaultsAndPaysPageTransfer)
 {
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     auto out = hier.access(load(0x10000000));
     EXPECT_TRUE(out.pageFault);
     const EventCounts &c = hier.counts();
@@ -65,7 +67,8 @@ TEST(Rampage, FirstAccessFaultsAndPaysPageTransfer)
 
 TEST(Rampage, ResidentPageHitsWithoutDram)
 {
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     hier.access(load(0x10000000));
     Tick dram_before = hier.counts().dramPs;
     auto out = hier.access(load(0x10000010)); // same L1 block
@@ -82,7 +85,8 @@ TEST(Rampage, TlbMissOnResidentPageNeverTouchesDram)
     // going to DRAM unless the page itself has faulted out.
     RampageConfig cfg = smallConfig(1024);
     cfg.common.tlb.entries = 4; // tiny TLB forces misses
-    RampageHierarchy hier(cfg);
+    auto hier_owner = makeHierarchy(cfg);
+    PagedHierarchy &hier = asPaged(*hier_owner);
     // Touch 8 pages (all fit in SRAM), thrashing the 4-entry TLB.
     for (Addr page = 0; page < 8; ++page)
         hier.access(load(0x10000000 + page * 1024));
@@ -101,7 +105,8 @@ TEST(Rampage, FullAssociativityAbsorbsAnyLayout)
     // Pages that would conflict in any set-indexed cache coexist in
     // the paged SRAM: touching N <= capacity pages repeatedly faults
     // exactly N times.
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     std::uint64_t user = hier.pager().userFrames();
     Rng rng(3);
     std::vector<Addr> pages;
@@ -117,7 +122,8 @@ TEST(Rampage, EvictionFlushesTlbEntry)
 {
     // §2.3: "If a page is replaced from the SRAM main memory, its
     // entry (if it has one) in the TLB is flushed."
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     std::uint64_t user = hier.pager().userFrames();
     // Fill SRAM, then touch one more page to force an eviction.
     for (std::uint64_t i = 0; i <= user; ++i)
@@ -127,7 +133,8 @@ TEST(Rampage, EvictionFlushesTlbEntry)
 
 TEST(Rampage, EvictedPageFaultsAgainAndStaysCoherent)
 {
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     std::uint64_t user = hier.pager().userFrames();
     hier.access(store(0x10000000)); // page A, dirtied in L1
     // Evict A by sweeping more pages than the SRAM holds.
@@ -144,7 +151,8 @@ TEST(Rampage, EvictedPageFaultsAgainAndStaysCoherent)
 
 TEST(Rampage, OsRegionBypassesTlbAndNeverFaults)
 {
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     Addr os_code = hier.pager().osVirtBase();
     std::uint64_t tlb_misses = hier.counts().tlbMisses;
     auto out = hier.access(fetch(os_code, osPid));
@@ -158,7 +166,8 @@ TEST(Rampage, PinnedReserveSurvivesHeavyChurn)
     // The OS frames must never be chosen as victims: handler code
     // keeps hitting after arbitrarily heavy user paging.
     RampageConfig cfg = smallConfig(512);
-    RampageHierarchy hier(cfg);
+    auto hier_owner = makeHierarchy(cfg);
+    PagedHierarchy &hier = asPaged(*hier_owner);
     Rng rng(7);
     for (int i = 0; i < 20000; ++i)
         hier.access(load(0x10000000 + rng.below(1 << 22)));
@@ -173,8 +182,10 @@ TEST(Rampage, PinnedReserveSurvivesHeavyChurn)
 
 TEST(Rampage, SwitchOnMissDefersTransferTime)
 {
-    RampageHierarchy blocking(smallConfig(1024, false));
-    RampageHierarchy switching(smallConfig(1024, true));
+    auto blocking_owner = makeHierarchy(smallConfig(1024, false));
+    PagedHierarchy &blocking = asPaged(*blocking_owner);
+    auto switching_owner = makeHierarchy(smallConfig(1024, true));
+    PagedHierarchy &switching = asPaged(*switching_owner);
     auto out_b = blocking.access(load(0x10000000));
     auto out_s = switching.access(load(0x10000000));
     EXPECT_TRUE(out_s.pageFault);
@@ -187,7 +198,8 @@ TEST(Rampage, SwitchOnMissDefersTransferTime)
 TEST(Rampage, DirtyEvictionDefersWriteAndRead)
 {
     RampageConfig cfg = smallConfig(1024, true);
-    RampageHierarchy hier(cfg);
+    auto hier_owner = makeHierarchy(cfg);
+    PagedHierarchy &hier = asPaged(*hier_owner);
     std::uint64_t user = hier.pager().userFrames();
     for (std::uint64_t i = 0; i < user; ++i)
         hier.access(store(0x10000000 + i * 1024));
@@ -200,7 +212,8 @@ TEST(Rampage, DirtyEvictionDefersWriteAndRead)
 
 TEST(Rampage, BreakdownMatchesEventTotals)
 {
-    RampageHierarchy hier(smallConfig(1024));
+    auto hier_owner = makeHierarchy(smallConfig(1024));
+    PagedHierarchy &hier = asPaged(*hier_owner);
     Rng rng(9);
     Tick accumulated = 0;
     for (int i = 0; i < 5000; ++i) {
@@ -220,7 +233,8 @@ TEST(Rampage, BreakdownMatchesEventTotals)
 TEST(Rampage, PageSizeSweepConstructs)
 {
     for (std::uint64_t page : blockSizeSweep()) {
-        RampageHierarchy hier(rampageConfig(oneGhz, page));
+        auto hier_owner = makeHierarchy(rampageConfig(oneGhz, page));
+        PagedHierarchy &hier = asPaged(*hier_owner);
         EXPECT_EQ(hier.pager().pageBytes(), page);
         EXPECT_EQ(hier.l2Name(), "SRAM MM");
     }
@@ -228,9 +242,9 @@ TEST(Rampage, PageSizeSweepConstructs)
 
 TEST(Rampage, NameReflectsMode)
 {
-    EXPECT_EQ(RampageHierarchy(smallConfig(1024, false)).name(),
+    EXPECT_EQ(makeHierarchy(smallConfig(1024, false))->name(),
               "RAMpage");
-    EXPECT_EQ(RampageHierarchy(smallConfig(1024, true)).name(),
+    EXPECT_EQ(makeHierarchy(smallConfig(1024, true))->name(),
               "RAMpage+switch");
 }
 

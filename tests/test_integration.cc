@@ -8,7 +8,6 @@
 #include <gtest/gtest.h>
 
 #include "core/conventional.hh"
-#include "core/rampage.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "trace/benchmarks.hh"
@@ -33,14 +32,14 @@ integrationSim()
 SimResult
 runBaseline(std::uint64_t block)
 {
-    return simulateConventional(baselineConfig(oneGhz, block),
+    return simulateSystem(baselineConfig(oneGhz, block),
                                 integrationSim());
 }
 
 SimResult
 runRampage(std::uint64_t page)
 {
-    return simulateRampage(rampageConfig(oneGhz, page),
+    return simulateSystem(rampageConfig(oneGhz, page),
                            integrationSim());
 }
 
@@ -63,7 +62,7 @@ TEST(Integration, TwoWayMissesBetweenDirectMappedAndRampage)
     // conflict misses full (software) associativity removes.
     std::uint64_t block = 2048;
     SimResult dm = runBaseline(block);
-    SimResult two = simulateConventional(twoWayConfig(oneGhz, block),
+    SimResult two = simulateSystem(twoWayConfig(oneGhz, block),
                                          integrationSim());
     SimResult paged = runRampage(block);
     EXPECT_LT(two.counts.l2Misses, dm.counts.l2Misses);
@@ -137,9 +136,9 @@ TEST(Integration, SwitchOnMissWinsAtHighIssueRate)
 {
     // Table 4 at 4 GHz: overlapping transfers beats blocking.
     SimConfig sim = integrationSim();
-    SimResult blocking = simulateRampage(
+    SimResult blocking = simulateSystem(
         rampageConfig(fourGhz, 4096, false), sim);
-    SimResult switching = simulateRampage(
+    SimResult switching = simulateSystem(
         rampageConfig(fourGhz, 4096, true), sim);
     EXPECT_LT(switching.elapsedPs, blocking.elapsedPs);
 }

@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include "core/conventional.hh"
-#include "core/rampage.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "trace/benchmarks.hh"
@@ -34,7 +33,7 @@ smallSim()
 TEST(Invariants, BehaviourIsIssueRateIndependent)
 {
     auto run = [](std::uint64_t hz) {
-        return simulateConventional(baselineConfig(hz, 512), smallSim());
+        return simulateSystem(baselineConfig(hz, 512), smallSim());
     };
     SimResult slow = run(200'000'000ull);
     SimResult fast = run(4'000'000'000ull);
@@ -57,7 +56,7 @@ TEST(Invariants, BehaviourIsIssueRateIndependent)
 TEST(Invariants, RampageBehaviourIsIssueRateIndependent)
 {
     auto run = [](std::uint64_t hz) {
-        return simulateRampage(rampageConfig(hz, 1024), smallSim());
+        return simulateSystem(rampageConfig(hz, 1024), smallSim());
     };
     SimResult slow = run(200'000'000ull);
     SimResult fast = run(4'000'000'000ull);
@@ -72,7 +71,7 @@ TEST(Invariants, RampageBehaviourIsIssueRateIndependent)
 TEST(Invariants, DramTimeDecomposesIntoTransactions)
 {
     SimResult result =
-        simulateConventional(baselineConfig(1'000'000'000ull, 256),
+        simulateSystem(baselineConfig(1'000'000'000ull, 256),
                              smallSim());
     // All conventional DRAM traffic is 256 B blocks: 50 ns + 128
     // beats = 210 ns each.
@@ -86,7 +85,7 @@ TEST(Invariants, DramTimeDecomposesIntoTransactions)
 TEST(Invariants, ReferenceAccountingBalances)
 {
     SimResult result =
-        simulateRampage(rampageConfig(1'000'000'000ull, 512), smallSim());
+        simulateSystem(rampageConfig(1'000'000'000ull, 512), smallSim());
     EXPECT_EQ(result.counts.refs,
               result.counts.traceRefs + result.counts.overheadRefs);
     EXPECT_EQ(result.counts.traceRefs, smallSim().maxRefs);
@@ -101,7 +100,7 @@ TEST(Invariants, ReferenceAccountingBalances)
 TEST(Invariants, MissesBoundedByAccesses)
 {
     for (std::uint64_t size : {128ull, 1024ull, 4096ull}) {
-        SimResult result = simulateConventional(
+        SimResult result = simulateSystem(
             baselineConfig(1'000'000'000ull, size), smallSim());
         const EventCounts &c = result.counts;
         EXPECT_LE(c.l2Misses, c.l2Accesses);
@@ -114,7 +113,7 @@ TEST(Invariants, MissesBoundedByAccesses)
 TEST(Invariants, EndToEndDeterminism)
 {
     auto run = [] {
-        return simulateRampage(
+        return simulateSystem(
             rampageConfig(4'000'000'000ull, 1024, true),
             [] {
                 SimConfig sim;
@@ -143,7 +142,7 @@ TEST(Invariants, GoldenScenario)
     sim.maxRefs = 100'000;
     sim.quantumRefs = 10'000;
     SimResult result =
-        simulateRampage(rampageConfig(1'000'000'000ull, 1024), sim);
+        simulateSystem(rampageConfig(1'000'000'000ull, 1024), sim);
     const EventCounts &c = result.counts;
 
     // Structural facts that must never drift silently.

@@ -1,12 +1,13 @@
 /**
  * @file
- * Unit tests for the SRAM main-memory pager (paper §2.2, §4.5),
- * including the paper's capacity arithmetic.
+ * Unit tests for the SRAM main-memory page store in its uniform
+ * (fixed page size) policy (paper §2.2, §4.5), including the paper's
+ * capacity arithmetic.
  */
 
 #include <gtest/gtest.h>
 
-#include "os/pager.hh"
+#include "os/page_store.hh"
 #include "util/random.hh"
 
 namespace rampage
@@ -14,11 +15,11 @@ namespace rampage
 namespace
 {
 
-PagerParams
+PageStoreParams
 smallParams(std::uint64_t page_bytes = 1024,
             std::uint64_t sram_bytes = 64 * 1024)
 {
-    PagerParams p;
+    PageStoreParams p;
     p.pageBytes = page_bytes;
     p.baseSramBytes = sram_bytes;
     p.osFixedBytes = 4 * 1024;
@@ -29,9 +30,10 @@ TEST(Pager, PaperCapacityAt128BytePages)
 {
     // §4.5: at 128 B pages the SRAM main memory is 4 MB + 128 KB of
     // reclaimed tag space = 4.125 MB = 33792 frames.
-    PagerParams p;
+    PageStoreParams p;
     p.pageBytes = 128;
-    SramPager pager(p);
+    PageStore pager(p);
+    EXPECT_TRUE(pager.uniform());
     EXPECT_EQ(pager.sramBytes(), 4 * mib + 128 * kib);
     EXPECT_EQ(pager.totalFrames(), 33792u);
     // The pinned reserve stays near the paper's 5336 pages (667 KB).
@@ -45,9 +47,9 @@ TEST(Pager, PaperCapacityAt4KPages)
     // bonus is 4 KB (one page) and the OS reserve is a handful of
     // pages (the paper says 6; ours is slightly larger because the
     // fixed handler image is modelled explicitly).
-    PagerParams p;
+    PageStoreParams p;
     p.pageBytes = 4096;
-    SramPager pager(p);
+    PageStore pager(p);
     EXPECT_EQ(pager.sramBytes(), 4 * mib + 4096);
     EXPECT_EQ(pager.totalFrames(), 1025u);
     EXPECT_GE(pager.osFrames(), 6u);
@@ -56,11 +58,11 @@ TEST(Pager, PaperCapacityAt4KPages)
 
 TEST(Pager, ColdFillUsesFreeFramesFirst)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     std::uint64_t first = pager.osFrames();
     auto fault = pager.handleFault(1, 100);
     EXPECT_EQ(fault.frame, first);
-    EXPECT_FALSE(fault.victimValid);
+    EXPECT_TRUE(fault.victims.empty());
     fault = pager.handleFault(1, 101);
     EXPECT_EQ(fault.frame, first + 1);
     EXPECT_EQ(pager.stats().coldFills, 2u);
@@ -68,7 +70,7 @@ TEST(Pager, ColdFillUsesFreeFramesFirst)
 
 TEST(Pager, LookupFindsFaultedPage)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     auto fault = pager.handleFault(2, 55);
     auto look = pager.lookup(2, 55);
     EXPECT_TRUE(look.found);
@@ -78,31 +80,31 @@ TEST(Pager, LookupFindsFaultedPage)
 
 TEST(Pager, EvictionReportsVictimAndUnmapsIt)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     std::uint64_t user = pager.userFrames();
     // Fill the whole user space.
     for (std::uint64_t vpn = 0; vpn < user; ++vpn)
         pager.handleFault(1, vpn);
     // Next fault must evict someone.
     auto fault = pager.handleFault(1, 10'000);
-    EXPECT_TRUE(fault.victimValid);
-    EXPECT_EQ(fault.victimPid, 1);
-    EXPECT_FALSE(pager.lookup(1, fault.victimVpn).found);
+    ASSERT_EQ(fault.victims.size(), 1u);
+    EXPECT_EQ(fault.victims[0].pid, 1);
+    EXPECT_FALSE(pager.lookup(1, fault.victims[0].vpn).found);
     EXPECT_TRUE(pager.lookup(1, 10'000).found);
     EXPECT_GE(fault.frame, pager.osFrames());
 }
 
 TEST(Pager, DirtyVictimFlagged)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     std::uint64_t user = pager.userFrames();
     for (std::uint64_t vpn = 0; vpn < user; ++vpn) {
         auto fault = pager.handleFault(1, vpn);
         pager.markDirty(fault.frame);
     }
     auto fault = pager.handleFault(1, 99'999);
-    ASSERT_TRUE(fault.victimValid);
-    EXPECT_TRUE(fault.victimDirty);
+    ASSERT_EQ(fault.victims.size(), 1u);
+    EXPECT_TRUE(fault.victims[0].dirty);
     EXPECT_EQ(pager.stats().dirtyWritebacks, 1u);
     // The reused frame starts clean.
     EXPECT_FALSE(pager.isDirty(fault.frame));
@@ -110,7 +112,7 @@ TEST(Pager, DirtyVictimFlagged)
 
 TEST(Pager, FaultProbesLieInPinnedTable)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     auto fault = pager.handleFault(1, 5);
     ASSERT_FALSE(fault.probes.empty());
     for (Addr addr : fault.probes) {
@@ -121,7 +123,7 @@ TEST(Pager, FaultProbesLieInPinnedTable)
 
 TEST(Pager, OsPhysAddrIsIdentityIntoReserve)
 {
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     Addr base = pager.osVirtBase();
     EXPECT_EQ(pager.osPhysAddr(base), 0u);
     EXPECT_EQ(pager.osPhysAddr(base + 123), 123u);
@@ -133,7 +135,7 @@ TEST(Pager, OsPhysAddrIsIdentityIntoReserve)
 
 TEST(Pager, PhysAddrComposition)
 {
-    SramPager pager(smallParams(1024));
+    PageStore pager(smallParams(1024));
     EXPECT_EQ(pager.physAddr(3, 17), 3 * 1024 + 17u);
 }
 
@@ -142,7 +144,7 @@ TEST(Pager, TouchKeepsHotPagesResidentUnderClock)
     // Property: once the degenerate all-referenced state clears (the
     // clock's first sweep wipes every mark), a constantly-touched
     // page survives arbitrary fault churn.
-    SramPager pager(smallParams());
+    PageStore pager(smallParams());
     auto hot = pager.handleFault(9, 1);
     std::uint64_t hot_frame = hot.frame;
     bool warmed = false;
@@ -158,7 +160,7 @@ TEST(Pager, TouchKeepsHotPagesResidentUnderClock)
             hot_frame = refault.frame;
             warmed = true;
         }
-        if (fault.victimValid)
+        if (!fault.victims.empty())
             warmed = true;
     }
     EXPECT_TRUE(pager.lookup(9, 1).found);
@@ -166,10 +168,10 @@ TEST(Pager, TouchKeepsHotPagesResidentUnderClock)
 
 TEST(Pager, StandbyPolicyIntegrates)
 {
-    PagerParams p = smallParams();
+    PageStoreParams p = smallParams();
     p.repl = PageReplKind::Standby;
     p.standbyPages = 4;
-    SramPager pager(p);
+    PageStore pager(p);
     for (std::uint64_t vpn = 0; vpn < 3 * pager.userFrames(); ++vpn)
         pager.handleFault(1, vpn);
     EXPECT_GT(pager.stats().faults, pager.userFrames());
@@ -182,9 +184,9 @@ class PagerPageSizes : public ::testing::TestWithParam<std::uint64_t>
 TEST_P(PagerPageSizes, SizingInvariants)
 {
     // The paper's sweep: every page size yields a consistent layout.
-    PagerParams p;
+    PageStoreParams p;
     p.pageBytes = GetParam();
-    SramPager pager(p);
+    PageStore pager(p);
     EXPECT_EQ(pager.sramBytes(), pager.totalFrames() * pager.pageBytes());
     EXPECT_GE(pager.sramBytes(), 4 * mib);
     EXPECT_GT(pager.userFrames(), 0u);

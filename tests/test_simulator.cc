@@ -8,8 +8,8 @@
 
 #include <memory>
 
-#include "core/conventional.hh"
-#include "core/rampage.hh"
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
 #include "core/simulator.hh"
 #include "core/sweep.hh"
 #include "trace/synthetic.hh"
@@ -48,8 +48,8 @@ tinySim(std::uint64_t refs = 60'000, std::uint64_t quantum = 10'000)
 TEST(Simulator, BlockingRunIsDeterministic)
 {
     auto run = [] {
-        ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
-        Simulator sim(hier, tinyWorkload(), tinySim());
+        auto hier = makeHierarchy(baselineConfig(oneGhz, 128));
+        Simulator sim(*hier, tinyWorkload(), tinySim());
         return sim.run();
     };
     SimResult a = run();
@@ -61,16 +61,16 @@ TEST(Simulator, BlockingRunIsDeterministic)
 
 TEST(Simulator, ProcessesExactlyMaxRefs)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
-    Simulator sim(hier, tinyWorkload(), tinySim(12'345));
+    auto hier = makeHierarchy(baselineConfig(oneGhz, 128));
+    Simulator sim(*hier, tinyWorkload(), tinySim(12'345));
     SimResult result = sim.run();
     EXPECT_EQ(result.counts.traceRefs, 12'345u);
 }
 
 TEST(Simulator, ContextSwitchTracePerSlice)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
-    Simulator sim(hier, tinyWorkload(), tinySim(60'000, 10'000));
+    auto hier = makeHierarchy(baselineConfig(oneGhz, 128));
+    Simulator sim(*hier, tinyWorkload(), tinySim(60'000, 10'000));
     SimResult result = sim.run();
     // 6 slices -> 6 context-switch traces (first slice included).
     EXPECT_EQ(result.counts.contextSwitches, 6u);
@@ -78,10 +78,10 @@ TEST(Simulator, ContextSwitchTracePerSlice)
 
 TEST(Simulator, SwitchTraceCanBeDisabled)
 {
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
+    auto hier = makeHierarchy(baselineConfig(oneGhz, 128));
     SimConfig cfg = tinySim();
     cfg.insertSwitchTrace = false;
-    Simulator sim(hier, tinyWorkload(), cfg);
+    Simulator sim(*hier, tinyWorkload(), cfg);
     SimResult result = sim.run();
     EXPECT_EQ(result.counts.contextSwitches, 0u);
 }
@@ -91,8 +91,8 @@ TEST(Simulator, ElapsedMatchesRecostAtSameRate)
     // For blocking runs, the timeline total equals the priced event
     // counts at the run's own issue rate — the Table 3 re-costing is
     // exact, not approximate.
-    ConventionalHierarchy hier(baselineConfig(oneGhz, 512));
-    Simulator sim(hier, tinyWorkload(), tinySim());
+    auto hier = makeHierarchy(baselineConfig(oneGhz, 512));
+    Simulator sim(*hier, tinyWorkload(), tinySim());
     SimResult result = sim.run();
     EXPECT_EQ(result.elapsedPs, totalTimePs(result.counts, oneGhz));
 }
@@ -101,8 +101,8 @@ TEST(Simulator, RampageBlockingElapsedMatchesRecost)
 {
     RampageConfig cfg = rampageConfig(oneGhz, 1024);
     cfg.pager.baseSramBytes = 256 * kib;
-    RampageHierarchy hier(cfg);
-    Simulator sim(hier, tinyWorkload(), tinySim());
+    auto hier = makeHierarchy(cfg);
+    Simulator sim(*hier, tinyWorkload(), tinySim());
     SimResult result = sim.run();
     EXPECT_EQ(result.elapsedPs, totalTimePs(result.counts, oneGhz));
 }
@@ -118,10 +118,10 @@ TEST(Simulator, SwitchOnMissOverlapsTransfers)
         RampageConfig cfg = rampageConfig(4'000'000'000ull, 4096,
                                           switch_on_miss);
         cfg.pager.baseSramBytes = 1 * mib;
-        RampageHierarchy hier(cfg);
+        auto hier = makeHierarchy(cfg);
         SimConfig sim = tinySim(200'000, 25'000);
         sim.switchOnMiss = switch_on_miss;
-        Simulator driver(hier, tinyWorkload(4), sim);
+        Simulator driver(*hier, tinyWorkload(4), sim);
         return driver.run();
     };
     SimResult blocking = run(false);
@@ -137,10 +137,10 @@ TEST(Simulator, SwitchOnMissSingleProcessStalls)
     // stalls the CPU for the transfer, so elapsed time ~ blocking.
     RampageConfig cfg = rampageConfig(oneGhz, 1024, true);
     cfg.pager.baseSramBytes = 128 * kib;
-    RampageHierarchy hier(cfg);
+    auto hier = makeHierarchy(cfg);
     SimConfig sim = tinySim(30'000, 10'000);
     sim.switchOnMiss = true;
-    Simulator driver(hier, tinyWorkload(1), sim);
+    Simulator driver(*hier, tinyWorkload(1), sim);
     SimResult result = driver.run();
     EXPECT_GT(result.sched.stalls, 0u);
     EXPECT_GT(result.stallPs, 0u);
@@ -149,8 +149,8 @@ TEST(Simulator, SwitchOnMissSingleProcessStalls)
 
 TEST(Simulator, ResultMetadata)
 {
-    ConventionalHierarchy hier(twoWayConfig(oneGhz, 256));
-    Simulator sim(hier, tinyWorkload(), tinySim(5'000, 1'000));
+    auto hier = makeHierarchy(twoWayConfig(oneGhz, 256));
+    Simulator sim(*hier, tinyWorkload(), tinySim(5'000, 1'000));
     SimResult result = sim.run();
     EXPECT_EQ(result.systemName, "2-way L2");
     EXPECT_EQ(result.issueHz, oneGhz);
@@ -161,8 +161,8 @@ TEST(Simulator, ResultMetadata)
 TEST(Simulator, ElapsedGrowsWithRefs)
 {
     auto elapsed = [](std::uint64_t refs) {
-        ConventionalHierarchy hier(baselineConfig(oneGhz, 128));
-        Simulator sim(hier, tinyWorkload(), tinySim(refs));
+        auto hier = makeHierarchy(baselineConfig(oneGhz, 128));
+        Simulator sim(*hier, tinyWorkload(), tinySim(refs));
         return sim.run().elapsedPs;
     };
     EXPECT_LT(elapsed(10'000), elapsed(40'000));

@@ -60,7 +60,7 @@ class SweepRunnerTest : public ::testing::Test
         SimConfig sim;
         sim.maxRefs = 2'000;
         sim.quantumRefs = 500;
-        return simulateConventional(
+        return simulateSystem(
             baselineConfig(200'000'000ull, l2_block), sim);
     }
 
@@ -70,7 +70,7 @@ class SweepRunnerTest : public ::testing::Test
         SimConfig sim;
         sim.maxRefs = 2'000;
         sim.quantumRefs = 500;
-        return simulateConventional(
+        return simulateSystem(
             twoWayConfig(200'000'000ull, l2_block), sim);
     }
 
@@ -80,7 +80,7 @@ class SweepRunnerTest : public ::testing::Test
         SimConfig sim;
         sim.maxRefs = 2'000;
         sim.quantumRefs = 500;
-        return simulateRampage(
+        return simulateSystem(
             rampageConfig(200'000'000ull, page_bytes), sim);
     }
 
@@ -249,7 +249,7 @@ TEST_F(SweepRunnerTest, WatchdogAbortsRunawayPointCleanly)
         sim.maxRefs = 50'000;
         sim.quantumRefs = 500;
         sim.watchdogRefBudget = 1'000; // absurdly tight on purpose
-        return simulateConventional(baselineConfig(200'000'000ull, 1024),
+        return simulateSystem(baselineConfig(200'000'000ull, 1024),
                                     sim);
     });
     runner.add("healthy", [] { return tinyBaseline(1024); });
@@ -507,7 +507,7 @@ TEST_F(SweepRunnerTest, ParallelAuditedFaultMatchesSerial)
             sim.quantumRefs = 10'000;
             sim.auditLevel = AuditLevel::Boundaries;
             sim.faultPlan = "leak-frame";
-            return simulateRampage(cfg, sim);
+            return simulateSystem(cfg, sim);
         });
         runner.add("clean/baseline", [] { return tinyBaseline(1024); });
         runner.add("clean/rampage", [] { return tinyRampage(1024); });
