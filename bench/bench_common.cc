@@ -1,8 +1,10 @@
 #include "bench_common.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "core/audit.hh"
@@ -69,12 +71,37 @@ writeJsonReport()
         results.push(std::move(entry));
     doc.set("results", std::move(results));
 
+    errno = 0;
     std::ofstream out(report.path);
     if (!out.is_open()) {
-        warn("cannot write JSON report to '%s'", report.path.c_str());
+        int err = errno;
+        if (err == ENOSPC || err == EIO)
+            warnOnce("JSON report '%s': %s (host I/O failure, "
+                     "category %s)",
+                     report.path.c_str(), std::strerror(err),
+                     errorCategoryName(ErrorCategory::Io));
+        else
+            warn("cannot write JSON report to '%s'",
+                 report.path.c_str());
         return;
     }
     out << doc.dump() << "\n";
+    out.flush();
+    if (!out) {
+        // A full or failing disk surfaces here, after buffering: the
+        // stream goes bad and errno carries the write(2) error.
+        int err = errno;
+        if (err == ENOSPC || err == EIO)
+            warnOnce("JSON report '%s': %s (host I/O failure, "
+                     "category %s); report is incomplete",
+                     report.path.c_str(), std::strerror(err),
+                     errorCategoryName(ErrorCategory::Io));
+        else
+            warn("short write to JSON report '%s'; report is "
+                 "incomplete",
+                 report.path.c_str());
+        return;
+    }
     std::fprintf(stderr, "[json report written to %s]\n",
                  report.path.c_str());
 }
@@ -98,13 +125,22 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                 setFaultPlanOverride(argv[++i]);
             } else if (arg == "--jobs" && i + 1 < argc) {
                 setJobsOverride(parseJobs(argv[++i]));
+            } else if (arg == "--point-deadline" && i + 1 < argc) {
+                setPointDeadlineOverride(
+                    parsePointDeadline(argv[++i]));
+            } else if (arg == "--retries" && i + 1 < argc) {
+                setRetriesOverride(
+                    static_cast<int>(parseRetries(argv[++i])));
+            } else if (arg == "--isolate") {
+                setIsolateOverride(1);
             } else {
                 throw ConfigError(
                     "unknown argument '%s'\nusage: %s [--json <path>] "
                     "[--debug <%s|all>] "
                     "[--audit <off|boundaries|paranoid>] "
                     "[--inject-fault <kind[:seed]>] "
-                    "[--jobs <n>]",
+                    "[--jobs <n>] [--point-deadline <seconds>] "
+                    "[--retries <n>] [--isolate]",
                     arg.c_str(), benchReport().name.c_str(),
                     debugChannelList().c_str());
             }

@@ -10,8 +10,20 @@
 # Sweep-based benches run their points on the SweepRunner worker pool;
 # --jobs defaults to the machine's core count (override with
 # RAMPAGE_JOBS=n).  Results are identical for any job count.
+#
+# Fault-tolerance knobs (all optional, all preserving byte-identical
+# output when a campaign completes):
+#   RAMPAGE_DEADLINE=<seconds>  per-point deadline (--point-deadline)
+#   RAMPAGE_RETRIES=<n>         retry transient failures (--retries)
+#   RAMPAGE_ISOLATE=1           fork each point so a crash in one
+#                               point cannot take down the campaign
+#                               (--isolate)
 mkdir -p results
 jobs="${RAMPAGE_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+extra=""
+[ -n "${RAMPAGE_DEADLINE:-}" ] && extra="$extra --point-deadline $RAMPAGE_DEADLINE"
+[ -n "${RAMPAGE_RETRIES:-}" ] && extra="$extra --retries $RAMPAGE_RETRIES"
+[ "${RAMPAGE_ISOLATE:-0}" = "1" ] && extra="$extra --isolate"
 status=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
@@ -19,7 +31,10 @@ for b in build/bench/*; do
   echo "=== $name ==="
   case "$name" in
     micro_components) set -- ;;
-    *) set -- --json "results/$name.json" --jobs "$jobs" ;;
+    # $extra is a space-joined list of scalar flags; word splitting
+    # is the intended behaviour here.
+    # shellcheck disable=SC2086
+    *) set -- --json "results/$name.json" --jobs "$jobs" $extra ;;
   esac
   if "$b" "$@" >"results/$name.txt" 2>&1; then
     cat "results/$name.txt"

@@ -28,13 +28,18 @@ RAMPAGE_QUANTUM=4000
 RAMPAGE_JOBS=2
 export RAMPAGE_REFS RAMPAGE_QUANTUM RAMPAGE_JOBS
 unset RAMPAGE_FULL RAMPAGE_RATES RAMPAGE_AUDIT RAMPAGE_INJECT_FAULT \
-      RAMPAGE_DEBUG RAMPAGE_STATS 2>/dev/null
+      RAMPAGE_DEBUG RAMPAGE_STATS RAMPAGE_DEADLINE RAMPAGE_RETRIES \
+      RAMPAGE_ISOLATE RAMPAGE_SWEEP_FAULT 2>/dev/null
 
 tmp=$(mktemp) || exit 1
+# Clean the scratch file on normal exit AND on interruption — a ^C
+# mid-diff must not leave temp litter, and must still exit nonzero.
 trap 'rm -f "$tmp"' EXIT
+trap 'rm -f "$tmp"; trap - EXIT; exit 130' INT TERM HUP
 
 benches="table3_runtimes table4_ctx_switch fig4_overheads"
 status=0
+missing=0
 for name in $benches; do
   bin="$bench_dir/$name"
   golden="$golden_dir/$name.stdout"
@@ -55,7 +60,8 @@ for name in $benches; do
     continue
   fi
   if [ ! -f "$golden" ]; then
-    echo "check_goldens: missing golden '$golden' (run with --update)" >&2
+    echo "check_goldens: MISSING golden '$golden' (run with --update)" >&2
+    missing=$((missing + 1))
     status=1
     continue
   fi
@@ -67,4 +73,7 @@ for name in $benches; do
     status=1
   fi
 done
+if [ "$missing" -gt 0 ]; then
+  echo "check_goldens: $missing golden file(s) missing — failing" >&2
+fi
 exit $status

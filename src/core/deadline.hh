@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cooperative per-point deadline: the cancellation token behind
+ * `--point-deadline` / `RAMPAGE_DEADLINE`.
+ *
+ * SweepRunner arms a wall-clock deadline on the worker thread before
+ * running a point body; the simulation driver polls it at the same
+ * seam as the reference-count watchdog (once per executed reference,
+ * with the actual clock read strided so the hot path stays cheap).
+ * When the deadline passes, the poll throws `TimeoutError` carrying
+ * the references executed at cancel, which SweepRunner records as a
+ * `PointStatus::TimedOut` outcome — the point is cancelled, the
+ * campaign continues.
+ *
+ * The token is thread-local: each worker (and each `--isolate` child
+ * process) cancels only its own point, and nested/unrelated
+ * simulations on other threads are unaffected.
+ */
+
+#ifndef RAMPAGE_CORE_DEADLINE_HH
+#define RAMPAGE_CORE_DEADLINE_HH
+
+#include <cstdint>
+
+namespace rampage
+{
+
+/**
+ * Arm the calling thread's point deadline `seconds` of wall-clock
+ * time from now (must be positive).  Re-arming replaces the previous
+ * deadline.
+ */
+void armPointDeadline(double seconds);
+
+/** Disarm the calling thread's point deadline (idempotent). */
+void disarmPointDeadline();
+
+/** @return true while a deadline is armed on this thread. */
+bool pointDeadlineArmed();
+
+/**
+ * Hot-path poll: cheap when disarmed or between strides (the clock
+ * is read once every 1024 calls).  Throws `TimeoutError` — carrying
+ * `refs_executed` — once the armed deadline has passed, and disarms
+ * so the unwind cannot re-trip.
+ */
+void pollPointDeadline(std::uint64_t refs_executed);
+
+/**
+ * Unstrided poll for slow loops (the injected hang fault sleeps
+ * between checks, so a strided clock read would stretch the cancel
+ * latency by three orders of magnitude).  Same throw semantics.
+ */
+void checkPointDeadlineNow(std::uint64_t refs_executed);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CORE_DEADLINE_HH

@@ -40,6 +40,22 @@ constexpr FaultName faultNames[] = {
 bool haveOverride = false;
 std::string overrideSpec;
 
+struct SweepFaultName
+{
+    const char *name;
+    SweepFault fault;
+};
+
+constexpr SweepFaultName sweepFaultNames[] = {
+    {"none", SweepFault::None},
+    {"hang", SweepFault::Hang},
+    {"crash", SweepFault::Crash},
+    {"torn-manifest-line", SweepFault::TornManifestLine},
+};
+
+bool haveSweepOverride = false;
+std::string sweepOverrideSpec;
+
 /**
  * Tag-space XOR whose rebuilt address lands far above every address
  * the model legitimately caches (SRAM is a few MB, the conventional
@@ -127,6 +143,59 @@ resolveFaultPlanSpec()
     if (haveOverride)
         return overrideSpec;
     if (const char *env = std::getenv("RAMPAGE_INJECT_FAULT"))
+        return env;
+    return "";
+}
+
+const char *
+sweepFaultName(SweepFault fault)
+{
+    for (const SweepFaultName &entry : sweepFaultNames)
+        if (entry.fault == fault)
+            return entry.name;
+    return "unknown";
+}
+
+SweepFaultPlan
+parseSweepFaultPlan(const std::string &spec)
+{
+    SweepFaultPlan plan;
+    if (spec.empty())
+        return plan;
+
+    std::string kind = spec;
+    std::string::size_type at = spec.find('@');
+    if (at != std::string::npos) {
+        kind = spec.substr(0, at);
+        plan.pointId = spec.substr(at + 1);
+    }
+
+    for (const SweepFaultName &entry : sweepFaultNames) {
+        if (kind == entry.name) {
+            plan.kind = entry.fault;
+            return plan;
+        }
+    }
+    throw ConfigError(
+        "unknown sweep fault '%s' (try hang, crash or "
+        "torn-manifest-line, optionally @<point-id>)",
+        kind.c_str());
+}
+
+void
+setSweepFaultOverride(const std::string &spec)
+{
+    parseSweepFaultPlan(spec); // validate eagerly, like model faults
+    haveSweepOverride = true;
+    sweepOverrideSpec = spec;
+}
+
+std::string
+resolveSweepFaultSpec()
+{
+    if (haveSweepOverride)
+        return sweepOverrideSpec;
+    if (const char *env = std::getenv("RAMPAGE_SWEEP_FAULT"))
         return env;
     return "";
 }

@@ -67,6 +67,56 @@ void setFaultPlanOverride(const std::string &spec);
 std::string resolveFaultPlanSpec();
 
 /**
+ * Sweep-execution faults: deterministic failure modes of the *runner*
+ * rather than the model, used to prove SweepRunner's fault isolation
+ * (deadlines, process isolation, crash-consistent checkpointing).
+ * Unlike ModelFault these never corrupt simulator state — they make a
+ * point hang, die, or tear its checkpoint line.
+ */
+enum class SweepFault
+{
+    None,             ///< no fault (the default)
+    Hang,             ///< the point never finishes (polls the deadline)
+    Crash,            ///< the point raises SIGSEGV mid-execution
+    TornManifestLine, ///< the point's checkpoint append is cut short
+};
+
+/** Stable CLI/env name of a sweep fault ("hang", "crash", ...). */
+const char *sweepFaultName(SweepFault fault);
+
+/**
+ * One planned sweep fault.  `pointId` selects the target point; an
+ * empty id matches every point (useful for single-point smokes).
+ */
+struct SweepFaultPlan
+{
+    SweepFault kind = SweepFault::None;
+    std::string pointId;
+
+    /** Whether this plan targets the given sweep point. */
+    bool matches(const std::string &id) const
+    {
+        return kind != SweepFault::None &&
+               (pointId.empty() || pointId == id);
+    }
+};
+
+/**
+ * Parse a "kind[@point-id]" sweep-fault spec ("" => no fault).
+ * @throws ConfigError on an unknown kind.
+ */
+SweepFaultPlan parseSweepFaultPlan(const std::string &spec);
+
+/**
+ * Process-wide sweep-fault override; takes precedence over the
+ * RAMPAGE_SWEEP_FAULT environment variable.
+ */
+void setSweepFaultOverride(const std::string &spec);
+
+/** Resolve the effective sweep-fault spec: override, else env, else "". */
+std::string resolveSweepFaultSpec();
+
+/**
  * Applies a fault plan to live model state, once.  Dispatches on the
  * concrete hierarchy type; a fault that does not apply to the run's
  * hierarchy (e.g. ipt-unlink on a conventional run) warns and injects

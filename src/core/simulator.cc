@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/deadline.hh"
 #include "core/fault_injection.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -51,6 +52,10 @@ Simulator::run()
 void
 Simulator::checkWatchdog() const
 {
+    // The per-point deadline shares the watchdog's per-reference
+    // seam: both are cooperative "stop this point" checks, one on
+    // simulated work, one on wall time.
+    pollPointDeadline(hier.counts().refs);
     if (cfg.watchdogRefBudget == 0)
         return;
     std::uint64_t processed = hier.counts().refs;

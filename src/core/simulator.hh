@@ -111,7 +111,11 @@ class Simulator
     /** Pull the next reference from stream `index`, replaying at end. */
     MemRef pull(std::size_t index);
 
-    /** Enforce SimConfig::watchdogRefBudget (throws InternalError). */
+    /**
+     * Per-reference cooperative-stop seam: polls the thread's point
+     * deadline (throws TimeoutError, src/core/deadline.hh) and
+     * enforces SimConfig::watchdogRefBudget (throws InternalError).
+     */
     void checkWatchdog() const;
 
     SimResult runBlocking();

@@ -5,18 +5,31 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "core/audit.hh"
+#include "core/deadline.hh"
 #include "core/factory.hh"
 #include "core/fault_injection.hh"
 #include "core/hierarchy.hh"
+#include "core/point_ipc.hh"
 #include "trace/benchmarks.hh"
+#include "util/crc32.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -62,6 +75,9 @@ parseCount(const char *origin, const char *text)
 }
 
 unsigned jobsOverride = 0;
+double pointDeadlineOverride = 0;
+int retriesOverride = -1;
+int isolateOverride = -1;
 
 } // namespace
 
@@ -111,6 +127,96 @@ void
 setJobsOverride(unsigned jobs)
 {
     jobsOverride = jobs;
+}
+
+double
+parsePointDeadline(const std::string &text, const char *origin)
+{
+    const char *cstr = text.c_str();
+    if (text.empty() ||
+        !(std::isdigit(static_cast<unsigned char>(cstr[0])) ||
+          cstr[0] == '.'))
+        throw ConfigError(
+            "%s: expected a positive number of seconds, got '%s'",
+            origin, cstr);
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(cstr, &end);
+    if (end == cstr || *end != '\0')
+        throw ConfigError(
+            "%s: trailing junk after the number in '%s'", origin, cstr);
+    if (errno == ERANGE || !std::isfinite(value) || value <= 0)
+        throw ConfigError(
+            "%s: deadline must be a positive finite number of "
+            "seconds, got '%s'",
+            origin, cstr);
+    return value;
+}
+
+double
+resolvePointDeadline()
+{
+    if (pointDeadlineOverride > 0)
+        return pointDeadlineOverride;
+    if (const char *env = envOrNull("RAMPAGE_DEADLINE"))
+        return parsePointDeadline(env, "RAMPAGE_DEADLINE");
+    return 0;
+}
+
+void
+setPointDeadlineOverride(double seconds)
+{
+    pointDeadlineOverride = seconds;
+}
+
+unsigned
+parseRetries(const std::string &text, const char *origin)
+{
+    std::uint64_t retries = parseCount(origin, text.c_str());
+    if (retries > maxSweepRetries)
+        throw ConfigError(
+            "%s: retry count must be in [0, %u], got '%s'", origin,
+            maxSweepRetries, text.c_str());
+    return static_cast<unsigned>(retries);
+}
+
+unsigned
+resolveRetries()
+{
+    if (retriesOverride >= 0)
+        return static_cast<unsigned>(retriesOverride);
+    if (const char *env = envOrNull("RAMPAGE_RETRIES"))
+        return parseRetries(env, "RAMPAGE_RETRIES");
+    return 0;
+}
+
+void
+setRetriesOverride(int retries)
+{
+    retriesOverride = retries;
+}
+
+bool
+resolveIsolate()
+{
+    if (isolateOverride >= 0)
+        return isolateOverride != 0;
+    if (const char *env = envOrNull("RAMPAGE_ISOLATE")) {
+        std::string text(env);
+        if (text == "1")
+            return true;
+        if (text == "0")
+            return false;
+        throw ConfigError("RAMPAGE_ISOLATE: expected 0 or 1, got '%s'",
+                          env);
+    }
+    return false;
+}
+
+void
+setIsolateOverride(int isolate)
+{
+    isolateOverride = isolate;
 }
 
 std::vector<std::uint64_t>
@@ -239,6 +345,10 @@ pointStatusName(PointStatus status)
         return "audit-failed";
       case PointStatus::Skipped:
         return "skipped";
+      case PointStatus::TimedOut:
+        return "timed-out";
+      case PointStatus::Crashed:
+        return "crashed";
     }
     return "unknown";
 }
@@ -265,58 +375,176 @@ SweepRunner::add(const std::string &id, std::function<SimResult()> body)
 
 /*
  * Checkpoint manifest format (one line per finished point, appended
- * and flushed as each point finishes):
+ * with a single write(2) and fsync'd as each point finishes):
  *
- *   # rampage-sweep-checkpoint v1
- *   ok wall=<seconds> elapsed_ps=<ticks> id=<point id to end of line>
- *   audit wall=<seconds> invariant=<name> id=<point id to end of line>
+ *   # rampage-sweep-checkpoint v2
+ *   crc=<crc32 hex8> ok wall=<s> elapsed_ps=<ticks> attempts=<n> id=<id>
+ *   crc=<crc32 hex8> audit wall=<s> invariant=<name> attempts=<n> id=<id>
  *
- * Only "ok" lines mark a point done; "audit" lines are informational —
- * they record *which* model invariant an audit found violated, so a
- * resumed campaign (which will re-run the point) carries the forensic
- * trail of why the previous attempt was rejected.
+ * The crc field protects the rest of the line (everything after the
+ * "crc=XXXXXXXX " prefix), so a line that was torn mid-append — the
+ * signature of a SIGKILL or power loss between write() and the page
+ * hitting disk — is detected rather than half-parsed.  Only "ok"
+ * lines mark a point done; "audit" lines are forensic — they record
+ * *which* model invariant an audit found violated, so a resumed
+ * campaign (which will re-run the point) carries the trail of why the
+ * previous attempt was rejected.
  *
- * Parsing is deliberately lenient: unrecognized or damaged lines are
- * warned about and skipped, so a torn final line (the crash case the
- * manifest exists for) costs at most one re-simulated point.
+ * Recovery policy, from most to least specific:
+ *  - a manifest declaring a version newer than this build throws
+ *    ConfigError naming the version (guessing at an unknown format
+ *    could silently skip points);
+ *  - v1 manifests (no crc fields) are read with the legacy lenient
+ *    parse, so old checkpoints keep resuming;
+ *  - a truncated *final* line (no trailing newline, or a CRC that
+ *    does not cover a complete line) is the torn-append case: it is
+ *    repaired by truncating the file back to the last good line, and
+ *    costs exactly one re-simulated point;
+ *  - any other damaged line is warned about and skipped — a corrupt
+ *    checkpoint degrades to re-simulation, never to an error;
+ *  - a duplicate id (two runs raced on one manifest) is warned about
+ *    and collapsed to a single completion.
  */
+namespace
+{
+
+constexpr unsigned manifestVersion = 2;
+constexpr char manifestHeaderPrefix[] = "# rampage-sweep-checkpoint v";
+/** "crc=XXXXXXXX " — 4 + 8 + 1 bytes before the protected body. */
+constexpr std::size_t manifestCrcPrefixBytes = 13;
+
+/** Parse one manifest body ("ok wall=... id=..."); "" if not done. */
+std::string
+parseManifestBody(const std::string &body, double &wall)
+{
+    if (body.rfind("audit ", 0) == 0)
+        return ""; // forensic record only; the point is not done
+    if (body.rfind("ok ", 0) != 0)
+        return "";
+    std::size_t id_at = body.find(" id=");
+    if (id_at == std::string::npos)
+        return "";
+    std::size_t wall_at = body.find("wall=");
+    if (wall_at != std::string::npos)
+        wall = std::strtod(body.c_str() + wall_at + 5, nullptr);
+    return body.substr(id_at + 4);
+}
+
+/** Whether a v2 line's CRC prefix matches its body. */
+bool
+manifestLineIntact(const std::string &line, std::string &body)
+{
+    if (line.size() < manifestCrcPrefixBytes ||
+        line.compare(0, 4, "crc=") != 0 ||
+        line[manifestCrcPrefixBytes - 1] != ' ')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long stored =
+        std::strtoul(line.c_str() + 4, &end, 16);
+    if (errno == ERANGE ||
+        end != line.c_str() + manifestCrcPrefixBytes - 1)
+        return false;
+    body = line.substr(manifestCrcPrefixBytes);
+    return crc32(body) == static_cast<std::uint32_t>(stored);
+}
+
+} // namespace
+
 std::map<std::string, double>
 SweepRunner::loadManifest() const
 {
     std::map<std::string, double> done;
     if (opts.checkpointPath.empty())
         return done;
-    std::ifstream in(opts.checkpointPath);
+    std::ifstream in(opts.checkpointPath, std::ios::binary);
     if (!in.is_open())
         return done; // first run: nothing checkpointed yet
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
 
-    std::string line;
+    std::size_t pos = 0;
     std::uint64_t line_no = 0;
-    while (std::getline(in, line)) {
+    while (pos < text.size()) {
+        std::size_t line_start = pos;
+        std::size_t nl = text.find('\n', pos);
+        bool complete = nl != std::string::npos;
+        std::string line =
+            text.substr(pos, (complete ? nl : text.size()) - pos);
+        pos = complete ? nl + 1 : text.size();
         ++line_no;
-        if (line.empty() || line[0] == '#')
+        bool last = pos >= text.size();
+
+        if (line.empty())
             continue;
-        if (line.rfind("audit ", 0) == 0)
-            continue; // forensic record only; the point is not done
+        if (line[0] == '#') {
+            // Refuse manifests from a newer build: an unknown format
+            // could mark points done that are not.
+            if (line.rfind(manifestHeaderPrefix, 0) == 0) {
+                unsigned long version = std::strtoul(
+                    line.c_str() + sizeof(manifestHeaderPrefix) - 1,
+                    nullptr, 10);
+                if (version > manifestVersion)
+                    throw ConfigError(
+                        "checkpoint '%s' is a v%lu manifest; this "
+                        "build reads up to v%u — resume with a newer "
+                        "build or remove the file",
+                        opts.checkpointPath.c_str(), version,
+                        manifestVersion);
+            }
+            continue;
+        }
+
         double wall = 0;
         std::string id;
-        std::size_t id_at = line.find(" id=");
-        if (line.rfind("ok ", 0) == 0 && id_at != std::string::npos)
-            id = line.substr(id_at + 4);
-        std::size_t wall_at = line.find("wall=");
-        if (wall_at != std::string::npos)
-            wall = std::strtod(line.c_str() + wall_at + 5, nullptr);
+        if (line.rfind("crc=", 0) == 0) {
+            std::string body;
+            if (manifestLineIntact(line, body)) {
+                id = parseManifestBody(body, wall);
+                if (id.empty())
+                    continue; // intact forensic line
+            }
+        } else {
+            // v1 legacy line: no CRC to check; lenient parse.
+            id = parseManifestBody(line, wall);
+            if (id.empty() && (line.rfind("audit ", 0) == 0))
+                continue;
+        }
+
         if (id.empty()) {
-            // A torn manifest can damage many lines at once; cap the
+            if (last && !complete) {
+                // Torn final append: repair by truncation so the next
+                // append starts on a clean line, and re-simulate
+                // exactly this point.
+                warnRateLimited(
+                    "checkpoint '%s': repairing torn final manifest "
+                    "line; that point will be re-simulated",
+                    opts.checkpointPath.c_str());
+                if (::truncate(opts.checkpointPath.c_str(),
+                               static_cast<off_t>(line_start)) != 0)
+                    RAMPAGE_DPRINTF(
+                        Trace, "checkpoint '%s': truncate failed: %s",
+                        opts.checkpointPath.c_str(),
+                        std::strerror(errno));
+                continue;
+            }
+            // Interior damage (bit rot, CRC mismatch, hand edits): a
+            // torn manifest can hurt many lines at once; cap the
             // noise and keep only the count.
             warnRateLimited(
-                "checkpoint: ignoring unparseable manifest line");
+                "checkpoint: ignoring damaged manifest line");
             RAMPAGE_DPRINTF(Trace,
-                            "checkpoint '%s': unparseable line %llu",
+                            "checkpoint '%s': damaged line %llu",
                             opts.checkpointPath.c_str(),
                             static_cast<unsigned long long>(line_no));
             continue;
         }
+        if (done.count(id))
+            warnRateLimited(
+                "checkpoint '%s': duplicate manifest entry for point "
+                "'%s' (two runs raced on one manifest?)",
+                opts.checkpointPath.c_str(), id.c_str());
         done[id] = wall;
     }
     return done;
@@ -327,40 +555,153 @@ SweepRunner::appendManifest(const PointOutcome &outcome) const
 {
     if (opts.checkpointPath.empty())
         return;
-    std::FILE *file = std::fopen(opts.checkpointPath.c_str(), "a");
-    if (!file) {
-        warn("cannot append to checkpoint '%s'; point '%s' will be "
-             "re-simulated on resume",
-             opts.checkpointPath.c_str(), outcome.id.c_str());
+    int fd = ::open(opts.checkpointPath.c_str(),
+                    O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        int err = errno;
+        if (err == ENOSPC || err == EIO)
+            warnOnce("checkpoint '%s': %s (host I/O failure, category "
+                     "%s); completions will not be recorded",
+                     opts.checkpointPath.c_str(), std::strerror(err),
+                     errorCategoryName(ErrorCategory::Io));
+        else
+            warn("cannot append to checkpoint '%s' (%s); point '%s' "
+                 "will be re-simulated on resume",
+                 opts.checkpointPath.c_str(), std::strerror(err),
+                 outcome.id.c_str());
         return;
     }
-    // The initial position of an append-mode stream is
-    // implementation-defined (C11 7.21.5.3): some libcs report 0 until
-    // the first write even on a non-empty file.  Seek to the real end
-    // before deciding whether this is a fresh manifest needing the
-    // header, or a resume that already has one.
-    std::fseek(file, 0, SEEK_END);
-    if (std::ftell(file) == 0)
-        std::fprintf(file, "# rampage-sweep-checkpoint v1\n");
+
+    // Build the whole append — header if the file is fresh, a healing
+    // newline if a previous append was torn, then the CRC-protected
+    // line — in memory, and emit it with ONE write(2).  A crash can
+    // then only ever leave a *prefix* of one line behind, which the
+    // loader detects by CRC and repairs by truncation; it can never
+    // interleave with another worker's append or split the header.
+    std::string data;
+    struct stat st;
+    if (::fstat(fd, &st) == 0) {
+        if (st.st_size == 0) {
+            data += manifestHeaderPrefix;
+            data += std::to_string(manifestVersion);
+            data += '\n';
+        } else {
+            char lastByte = '\n';
+            if (::pread(fd, &lastByte, 1, st.st_size - 1) == 1 &&
+                lastByte != '\n')
+                data += '\n';
+        }
+    }
+
+    std::string body;
     if (outcome.status == PointStatus::AuditFailed)
-        std::fprintf(file, "audit wall=%.6f invariant=%s id=%s\n",
-                     outcome.wallSeconds,
-                     outcome.auditInvariant.empty()
-                         ? "unknown"
-                         : outcome.auditInvariant.c_str(),
-                     outcome.id.c_str());
+        body = formatErrorMessage(
+            "audit wall=%.6f invariant=%s attempts=%u id=%s",
+            outcome.wallSeconds,
+            outcome.auditInvariant.empty()
+                ? "unknown"
+                : outcome.auditInvariant.c_str(),
+            outcome.attempts, outcome.id.c_str());
     else
-        std::fprintf(file, "ok wall=%.6f elapsed_ps=%llu id=%s\n",
-                     outcome.wallSeconds,
-                     static_cast<unsigned long long>(
-                         outcome.result.elapsedPs),
-                     outcome.id.c_str());
-    std::fflush(file);
-    std::fclose(file);
+        body = formatErrorMessage(
+            "ok wall=%.6f elapsed_ps=%llu attempts=%u id=%s",
+            outcome.wallSeconds,
+            static_cast<unsigned long long>(outcome.result.elapsedPs),
+            outcome.attempts, outcome.id.c_str());
+    data += formatErrorMessage("crc=%08x ", crc32(body));
+    data += body;
+    data += '\n';
+
+    // Fault injection: tear this point's append mid-line, exactly as
+    // a SIGKILL between write() and completion would.
+    SweepFaultPlan fault = parseSweepFaultPlan(resolveSweepFaultSpec());
+    if (fault.kind == SweepFault::TornManifestLine &&
+        fault.matches(outcome.id))
+        data.resize(data.size() - body.size() / 2 - 1);
+
+    ssize_t written = ::write(fd, data.data(), data.size());
+    if (written != static_cast<ssize_t>(data.size())) {
+        int err = errno;
+        if (written < 0 && (err == ENOSPC || err == EIO))
+            warnOnce("checkpoint '%s': %s (host I/O failure, category "
+                     "%s); completions will not be recorded",
+                     opts.checkpointPath.c_str(), std::strerror(err),
+                     errorCategoryName(ErrorCategory::Io));
+        else
+            warn("short write to checkpoint '%s'; point '%s' will be "
+                 "re-simulated on resume",
+                 opts.checkpointPath.c_str(), outcome.id.c_str());
+    }
+    ::fsync(fd);
+    ::close(fd);
+}
+
+namespace
+{
+
+/** Disarms the per-point deadline on every exit path of an attempt. */
+struct DeadlineGuard
+{
+    explicit DeadlineGuard(double seconds)
+    {
+        if (seconds > 0)
+            armPointDeadline(seconds);
+    }
+    ~DeadlineGuard() { disarmPointDeadline(); }
+};
+
+/**
+ * The child side of --isolate relays its post-mortem ring up the
+ * outcome pipe from a fatal-signal handler before dying of the
+ * original signal, so even a SIGSEGV ships its last debug events.
+ */
+int childRelayFd = -1;
+
+extern "C" void
+relayFatalSignal(int sig)
+{
+    if (childRelayFd >= 0)
+        debugRingWriteFramed(childRelayFd, pointIpcRingTag);
+    // SA_RESETHAND restored the default action; re-raise so the
+    // parent observes the true termination signal.
+    ::raise(sig);
+}
+
+void
+installFatalSignalRelay()
+{
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = relayFatalSignal;
+    action.sa_flags = SA_RESETHAND;
+    sigemptyset(&action.sa_mask);
+    for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT})
+        ::sigaction(sig, &action, nullptr);
+}
+
+} // namespace
+
+SweepRunner::Resolved
+SweepRunner::resolveOptions() const
+{
+    Resolved how;
+    how.jobs = opts.jobs ? opts.jobs : resolveJobs();
+    if (opts.pointDeadlineSeconds > 0)
+        how.deadlineSeconds = opts.pointDeadlineSeconds;
+    else if (opts.pointDeadlineSeconds == 0)
+        how.deadlineSeconds = resolvePointDeadline();
+    how.retries = opts.maxRetries >= 0
+                      ? static_cast<unsigned>(opts.maxRetries)
+                      : resolveRetries();
+    how.backoffSeconds = opts.retryBackoffSeconds;
+    how.isolate = opts.isolate >= 0 ? opts.isolate != 0
+                                    : resolveIsolate();
+    return how;
 }
 
 PointOutcome
-SweepRunner::executePoint(const Point &point) const
+SweepRunner::runLocalAttempt(const Point &point,
+                             const Resolved &how) const
 {
     PointOutcome outcome;
     outcome.id = point.id;
@@ -369,16 +710,39 @@ SweepRunner::executePoint(const Point &point) const
     // only its own events.  The ring is thread-local, so concurrent
     // points cannot pollute each other's post-mortems.
     clearDebugRing();
+    SweepFaultPlan fault = parseSweepFaultPlan(resolveSweepFaultSpec());
     auto started = std::chrono::steady_clock::now();
     try {
+        DeadlineGuard deadline(how.deadlineSeconds);
+        if (fault.kind == SweepFault::Crash && fault.matches(point.id))
+            ::raise(SIGSEGV);
+        if (fault.kind == SweepFault::Hang && fault.matches(point.id)) {
+            // A point that never finishes but does reach the watchdog
+            // seam: sleeps in small slices, polling the deadline the
+            // way Simulator::checkWatchdog does.  Without a deadline
+            // this hangs for real — which is the point.
+            for (;;) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                checkPointDeadlineNow(0);
+            }
+        }
         outcome.result = point.body();
         outcome.haveResult = true;
         outcome.status = PointStatus::Ok;
+    } catch (const TimeoutError &e) {
+        outcome.status = PointStatus::TimedOut;
+        outcome.errorCategory = e.category();
+        outcome.error = e.what();
+        outcome.refsAtCancel = e.refsExecuted();
+        outcome.exception = std::current_exception();
     } catch (const AuditError &e) {
         outcome.status = PointStatus::AuditFailed;
         outcome.errorCategory = e.category();
         outcome.error = e.what();
         outcome.auditInvariant = e.firstInvariant();
+        outcome.auditScope = e.scope();
+        outcome.auditViolations = e.violations();
         outcome.exception = std::current_exception();
     } catch (const SimError &e) {
         outcome.status = PointStatus::Failed;
@@ -403,6 +767,183 @@ SweepRunner::executePoint(const Point &point) const
     } else {
         outcome.debugTail = debugRingTail(16);
     }
+    return outcome;
+}
+
+PointOutcome
+SweepRunner::runIsolatedAttempt(const Point &point,
+                                const Resolved &how) const
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        warnRateLimited("sweep: pipe failed (%s); running '%s' "
+                        "in-process",
+                        std::strerror(errno), point.id.c_str());
+        return runLocalAttempt(point, how);
+    }
+    auto started = std::chrono::steady_clock::now();
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        warnRateLimited("sweep: fork failed (%s); running '%s' "
+                        "in-process",
+                        std::strerror(errno), point.id.c_str());
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return runLocalAttempt(point, how);
+    }
+    if (pid == 0) {
+        // Child: run the attempt exactly as in-process would, encode
+        // the outcome bit-exactly, and die with _exit so inherited
+        // stdio buffers are not flushed twice.
+        ::close(fds[0]);
+        childRelayFd = fds[1];
+        installFatalSignalRelay();
+        PointOutcome outcome = runLocalAttempt(point, how);
+        outcome.exception = nullptr; // rebuilt from fields by parent
+        writeFramedRecord(fds[1], pointIpcOutcomeTag,
+                          encodePointOutcome(outcome));
+        ::_exit(0);
+    }
+
+    // Parent: drain the pipe until EOF.  The hard-kill backstop fires
+    // when a child blows through its deadline *without* reaching the
+    // cooperative cancellation seam (a real hang, not a slow point):
+    // deadline plus a grace period, then SIGKILL.
+    ::close(fds[1]);
+    double kill_after = 0;
+    if (how.deadlineSeconds > 0)
+        kill_after =
+            how.deadlineSeconds + std::max(1.0, how.deadlineSeconds);
+    bool hard_killed = false;
+    std::string stream;
+    for (;;) {
+        int timeout_ms = -1;
+        if (kill_after > 0 && !hard_killed) {
+            double left = kill_after -
+                          std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+            timeout_ms =
+                left <= 0 ? 0
+                          : static_cast<int>(left * 1000.0) + 1;
+        }
+        struct pollfd waiter;
+        waiter.fd = fds[0];
+        waiter.events = POLLIN;
+        waiter.revents = 0;
+        int ready = ::poll(&waiter, 1, timeout_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0) {
+            ::kill(pid, SIGKILL);
+            hard_killed = true;
+            continue; // drain whatever the child managed to write
+        }
+        char buf[4096];
+        ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        stream.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fds[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR)
+        continue;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+
+    bool torn = false;
+    std::vector<FramedRecord> records = parseFramedRecords(stream, torn);
+    PointOutcome outcome;
+    bool have_outcome = false;
+    std::vector<std::string> relayed_ring;
+    for (const FramedRecord &record : records) {
+        if (record.tag == pointIpcRingTag) {
+            relayed_ring.push_back(record.payload);
+        } else if (record.tag == pointIpcOutcomeTag) {
+            try {
+                outcome = decodePointOutcome(record.payload);
+                have_outcome = true;
+            } catch (const InternalError &e) {
+                warnRateLimited("sweep: '%s': %s", point.id.c_str(),
+                                e.what());
+            }
+        }
+    }
+    // Keep at most the tail the in-process path would keep.
+    if (relayed_ring.size() > 16)
+        relayed_ring.erase(relayed_ring.begin(),
+                           relayed_ring.end() - 16);
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0 && have_outcome) {
+        outcome.exception = rebuildPointException(outcome);
+        return outcome;
+    }
+
+    outcome = PointOutcome();
+    outcome.id = point.id;
+    outcome.wallSeconds = wall;
+    outcome.debugTail = std::move(relayed_ring);
+    if (hard_killed) {
+        outcome.status = PointStatus::TimedOut;
+        outcome.errorCategory = ErrorCategory::Timeout;
+        outcome.error = formatErrorMessage(
+            "point exceeded its %.3f s deadline without reaching the "
+            "cancellation seam; killed after %.3f s",
+            how.deadlineSeconds, kill_after);
+    } else if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        outcome.status = PointStatus::Crashed;
+        outcome.errorCategory = ErrorCategory::Internal;
+        outcome.signalNumber = sig;
+        outcome.error = formatErrorMessage(
+            "isolated point killed by signal %d (%s)", sig,
+            ::strsignal(sig));
+    } else {
+        outcome.status = PointStatus::Failed;
+        outcome.errorCategory = ErrorCategory::Internal;
+        outcome.error = formatErrorMessage(
+            "isolated point exited with status %d without reporting "
+            "an outcome",
+            WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    outcome.exception = rebuildPointException(outcome);
+    return outcome;
+}
+
+PointOutcome
+SweepRunner::executePoint(const Point &point, const Resolved &how) const
+{
+    PointOutcome outcome;
+    for (unsigned attempt = 1;; ++attempt) {
+        outcome = how.isolate ? runIsolatedAttempt(point, how)
+                              : runLocalAttempt(point, how);
+        outcome.attempts = attempt;
+        // Only transient failures retry: a deterministic error fails
+        // the same way every time, and a timeout already consumed its
+        // full deadline once.
+        if (outcome.status != PointStatus::Failed ||
+            !isRetryableCategory(outcome.errorCategory) ||
+            attempt > how.retries)
+            break;
+        double backoff =
+            how.backoffSeconds * static_cast<double>(1u << (attempt - 1));
+        backoff = std::min(backoff, 2.0);
+        RAMPAGE_DPRINTF(Trace,
+                        "sweep '%s': transient %s error, retry %u/%u "
+                        "after %.3f s",
+                        point.id.c_str(),
+                        errorCategoryName(outcome.errorCategory),
+                        attempt, how.retries, backoff);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff));
+    }
 
     // Checkpoint as soon as the point finishes (not when it is
     // reported) so a crash costs at most the points still in flight.
@@ -425,17 +966,42 @@ SweepRunner::reportOutcome(const PointOutcome &outcome) const
                outcome.id.c_str());
         return;
       case PointStatus::Ok:
-        inform("sweep: '%s' ok (%.2f s, %.0f refs/s)",
-               outcome.id.c_str(), outcome.wallSeconds,
-               outcome.refsPerSecond);
+        if (outcome.attempts > 1)
+            inform("sweep: '%s' ok (%.2f s, %.0f refs/s, "
+                   "%u attempts)",
+                   outcome.id.c_str(), outcome.wallSeconds,
+                   outcome.refsPerSecond, outcome.attempts);
+        else
+            inform("sweep: '%s' ok (%.2f s, %.0f refs/s)",
+                   outcome.id.c_str(), outcome.wallSeconds,
+                   outcome.refsPerSecond);
         return;
+      case PointStatus::TimedOut:
+        warn("sweep: '%s' timed out after %.2f s (%llu refs "
+             "executed): %s",
+             outcome.id.c_str(), outcome.wallSeconds,
+             static_cast<unsigned long long>(outcome.refsAtCancel),
+             outcome.error.c_str());
+        break;
+      case PointStatus::Crashed:
+        warn("sweep: '%s' crashed (signal %d): %s",
+             outcome.id.c_str(), outcome.signalNumber,
+             outcome.error.c_str());
+        break;
       case PointStatus::Failed:
       case PointStatus::AuditFailed:
+        if (outcome.attempts > 1)
+            warn("sweep: '%s' failed (%s error, %u attempts): %s",
+                 outcome.id.c_str(),
+                 errorCategoryName(outcome.errorCategory),
+                 outcome.attempts, outcome.error.c_str());
+        else
+            warn("sweep: '%s' failed (%s error): %s",
+                 outcome.id.c_str(),
+                 errorCategoryName(outcome.errorCategory),
+                 outcome.error.c_str());
         break;
     }
-    warn("sweep: '%s' failed (%s error): %s", outcome.id.c_str(),
-         errorCategoryName(outcome.errorCategory),
-         outcome.error.c_str());
     if (!outcome.debugTail.empty()) {
         std::fprintf(stderr, "---- debug ring tail for '%s' ----\n",
                      outcome.id.c_str());
@@ -451,7 +1017,8 @@ SweepRunner::run()
     SweepReport report;
     report.outcomes.resize(points.size());
     std::map<std::string, double> done = loadManifest();
-    unsigned jobs = opts.jobs ? opts.jobs : resolveJobs();
+    const Resolved how = resolveOptions();
+    unsigned jobs = how.jobs;
 
     // Points the manifest marks complete are resolved up front; the
     // rest form the work queue the pool drains.
@@ -481,7 +1048,7 @@ SweepRunner::run()
             if (slot >= pending.size())
                 return;
             std::size_t index = pending[slot];
-            PointOutcome outcome = executePoint(points[index]);
+            PointOutcome outcome = executePoint(points[index], how);
             {
                 std::lock_guard<std::mutex> lock(mtx);
                 report.outcomes[index] = std::move(outcome);

@@ -14,6 +14,12 @@
  *  - RAMPAGE_RATES=a,b,c  issue rates (default 200MHz,500MHz,1GHz,
  *                         2GHz,4GHz)
  *  - RAMPAGE_JOBS=<n>     SweepRunner worker threads (default 1)
+ *  - RAMPAGE_DEADLINE=<s> per-point wall-clock deadline in seconds
+ *                         (default: none)
+ *  - RAMPAGE_RETRIES=<n>  retries for transiently-failed points
+ *                         (default 0)
+ *  - RAMPAGE_ISOLATE=1    fork each sweep point into a child process
+ *                         (default 0)
  */
 
 #ifndef RAMPAGE_CORE_SWEEP_HH
@@ -69,6 +75,56 @@ unsigned resolveJobs();
 /** CLI override for resolveJobs(); 0 clears the override (tests). */
 void setJobsOverride(unsigned jobs);
 
+/** Largest retry count resolveRetries()/parseRetries() accept. */
+constexpr unsigned maxSweepRetries = 16;
+
+/**
+ * Parse a per-point wall-clock deadline ("2.5") with the same strict
+ * validation as parseJobs(): rejects non-numeric text, signs,
+ * trailing junk, zero and non-finite values, naming `origin` in the
+ * ConfigError.
+ */
+double parsePointDeadline(const std::string &text,
+                          const char *origin = "--point-deadline");
+
+/**
+ * Per-point deadline seconds when Options::pointDeadlineSeconds is 0:
+ * the setPointDeadlineOverride() value (the benches'
+ * --point-deadline flag), else RAMPAGE_DEADLINE, else 0 (disabled).
+ */
+double resolvePointDeadline();
+
+/** CLI override for resolvePointDeadline(); 0 clears it (tests). */
+void setPointDeadlineOverride(double seconds);
+
+/**
+ * Parse a retry count ("3"; 0 allowed) with strict validation,
+ * capped at maxSweepRetries, naming `origin` in the ConfigError.
+ */
+unsigned parseRetries(const std::string &text,
+                      const char *origin = "--retries");
+
+/**
+ * Retries for transiently-failed points when Options::maxRetries is
+ * negative: the setRetriesOverride() value, else RAMPAGE_RETRIES,
+ * else 0.
+ */
+unsigned resolveRetries();
+
+/** CLI override for resolveRetries(); negative clears it (tests). */
+void setRetriesOverride(int retries);
+
+/**
+ * Whether points run in forked child processes when Options::isolate
+ * is negative: the setIsolateOverride() value (the benches'
+ * --isolate flag), else RAMPAGE_ISOLATE ("0"/"1", strictly parsed),
+ * else false.
+ */
+bool resolveIsolate();
+
+/** CLI override for resolveIsolate(); negative clears it (tests). */
+void setIsolateOverride(int isolate);
+
 /** The paper's block/page size sweep: 128 B ... 4 KB. */
 std::vector<std::uint64_t> blockSizeSweep();
 
@@ -119,6 +175,8 @@ enum class PointStatus {
     Failed,      ///< raised an error; the campaign continued
     AuditFailed, ///< a model-integrity audit rejected live state
     Skipped,     ///< already completed per the checkpoint manifest
+    TimedOut,    ///< cancelled at the per-point wall-clock deadline
+    Crashed,     ///< the point's isolated child died on a signal
 };
 
 /** Stable lower-case name ("ok", "failed", "audit-failed", ...). */
@@ -138,10 +196,35 @@ struct PointOutcome
      * "time.conservation"); empty unless AuditFailed.
      */
     std::string auditInvariant;
+    /** Audit scope line ("quantum boundary (...)"); AuditFailed only. */
+    std::string auditScope;
+    /**
+     * Structured audit violations; AuditFailed only.  Together with
+     * auditScope this is enough to rebuild the original AuditError
+     * verbatim across the --isolate fork boundary.
+     */
+    std::vector<AuditViolation> auditViolations;
     /** Wall time of this execution (or the checkpointed value). */
     double wallSeconds = 0;
     /** Hierarchy references per wall-clock second; 0 unless Ok. */
     double refsPerSecond = 0;
+    /**
+     * Execution attempts this campaign made for the point (1 for a
+     * first-try success; 0 when Skipped).  Retries only happen for
+     * transient failures (isRetryableCategory) under
+     * Options::maxRetries.
+     */
+    unsigned attempts = 0;
+    /**
+     * Hierarchy references the point had executed when the per-point
+     * deadline cancelled it; meaningful only when TimedOut.
+     */
+    std::uint64_t refsAtCancel = 0;
+    /**
+     * The signal that killed the point's isolated child (SIGSEGV,
+     * SIGABRT, SIGKILL...); meaningful only when Crashed.
+     */
+    int signalNumber = 0;
     /**
      * Post-mortem: the debug ring buffer's tail at the moment of
      * failure (most recent RAMPAGE_DPRINTF events).  Empty unless
@@ -176,10 +259,19 @@ struct SweepReport
     {
         return count(PointStatus::Skipped);
     }
+    std::size_t timedOutCount() const
+    {
+        return count(PointStatus::TimedOut);
+    }
+    std::size_t crashedCount() const
+    {
+        return count(PointStatus::Crashed);
+    }
     bool
     allOk() const
     {
-        return failedCount() == 0 && auditFailedCount() == 0;
+        return failedCount() == 0 && auditFailedCount() == 0 &&
+               timedOutCount() == 0 && crashedCount() == 0;
     }
 };
 
@@ -188,14 +280,41 @@ struct SweepReport
  * try/catch: a point that throws (bad trace, invalid configuration,
  * internal bug, watchdog trip) is recorded as Failed with its error
  * category and the campaign continues, so one poisoned point costs
- * one point — never the whole parameter sweep.
+ * one point — never the whole parameter sweep.  On top of that basic
+ * containment the runner layers four independent hardening stages:
  *
- * With a checkpoint path configured, an "ok" manifest line is
- * appended and flushed after every completed point; re-running the
- * same campaign against the same manifest skips completed points
- * (reported as Skipped) and re-executes only failed or new ones.
- * Manifest lines that do not parse are warned about and ignored, so a
- * damaged checkpoint degrades to re-simulation rather than an error.
+ *  - Deadlines: with a per-point wall-clock deadline configured
+ *    (Options::pointDeadlineSeconds, --point-deadline,
+ *    RAMPAGE_DEADLINE) a runaway point is cancelled cooperatively at
+ *    the simulator's watchdog seam and recorded as TimedOut with the
+ *    reference count it had reached; healthy points are unaffected.
+ *
+ *  - Retries: a point that fails with a *transient* category
+ *    (isRetryableCategory: trace I/O, manifest/telemetry I/O) is
+ *    re-executed up to Options::maxRetries times with bounded
+ *    exponential backoff.  Deterministic errors (ConfigError,
+ *    AuditError) never retry.  The attempt count is recorded in the
+ *    outcome and the checkpoint manifest.
+ *
+ *  - Isolation: with Options::isolate (--isolate, RAMPAGE_ISOLATE=1)
+ *    each point runs in a forked child that streams its outcome (and
+ *    its post-mortem debug-ring tail) back over a pipe, so a point
+ *    that SIGSEGVs, aborts or is OOM-killed becomes a Crashed outcome
+ *    carrying the signal number while the rest of the sweep
+ *    continues.  Results are serialized bit-exactly (doubles as bit
+ *    patterns), so observables match an in-process run byte for byte.
+ *
+ *  - Crash-consistent checkpointing: see below.
+ *
+ * With a checkpoint path configured, a versioned, CRC-protected
+ * manifest line is appended with a single write(2) and fsync'd after
+ * every completed point; re-running the same campaign against the
+ * same manifest skips completed points (reported as Skipped) and
+ * re-executes only failed or new ones.  A torn final line — the
+ * signature of a mid-append SIGKILL or power loss — is detected by
+ * its CRC, repaired by truncation, and costs exactly one re-simulated
+ * point.  Damaged interior lines are warned about and ignored, so a
+ * corrupt checkpoint degrades to re-simulation rather than an error.
  *
  * With jobs > 1 (Options::jobs, --jobs, RAMPAGE_JOBS) independent
  * points execute concurrently on a worker pool while every observable
@@ -238,6 +357,34 @@ class SweepRunner
          * resolveJobs() (--jobs override, then RAMPAGE_JOBS, then 1).
          */
         unsigned jobs = 0;
+        /**
+         * Per-point wall-clock deadline in seconds; a point still
+         * running at the deadline is cancelled cooperatively and
+         * recorded as TimedOut.  0 (the default) resolves via
+         * resolvePointDeadline() (--point-deadline, then
+         * RAMPAGE_DEADLINE, then disabled).  Negative disables
+         * explicitly, overriding the environment.
+         */
+        double pointDeadlineSeconds = 0;
+        /**
+         * Re-executions allowed for a point that failed with a
+         * transient (isRetryableCategory) error.  Negative (the
+         * default) resolves via resolveRetries() (--retries, then
+         * RAMPAGE_RETRIES, then 0).
+         */
+        int maxRetries = -1;
+        /**
+         * First retry backoff in seconds; doubles per attempt, capped
+         * at 2 s.  Tests shrink this to keep retry paths fast.
+         */
+        double retryBackoffSeconds = 0.05;
+        /**
+         * Run each point in a forked child process (1), in-process
+         * (0), or resolve via resolveIsolate() (--isolate, then
+         * RAMPAGE_ISOLATE, then in-process) when negative (the
+         * default).
+         */
+        int isolate = -1;
     };
 
     SweepRunner() = default;
@@ -261,13 +408,34 @@ class SweepRunner
         std::function<SimResult()> body;
     };
 
+    /** Effective knob values for one run() (resolved once, up front). */
+    struct Resolved
+    {
+        unsigned jobs = 1;
+        double deadlineSeconds = 0; ///< 0 = no deadline
+        unsigned retries = 0;
+        double backoffSeconds = 0.05;
+        bool isolate = false;
+    };
+    Resolved resolveOptions() const;
+
     /** id -> checkpointed wall seconds from a previous campaign. */
     std::map<std::string, double> loadManifest() const;
     /** Caller must hold manifestMutex when workers are live. */
     void appendManifest(const PointOutcome &outcome) const;
 
-    /** Run one point (worker context): body, timing, checkpointing. */
-    PointOutcome executePoint(const Point &point) const;
+    /**
+     * Run one point (worker context): retry loop around a local or
+     * isolated attempt, timing, checkpointing.
+     */
+    PointOutcome executePoint(const Point &point,
+                              const Resolved &how) const;
+    /** One in-process attempt: deadline arming, try/catch taxonomy. */
+    PointOutcome runLocalAttempt(const Point &point,
+                                 const Resolved &how) const;
+    /** One forked attempt: pipe protocol, signal & hang containment. */
+    PointOutcome runIsolatedAttempt(const Point &point,
+                                    const Resolved &how) const;
     /** Emit the point's status lines (reporter context, in order). */
     void reportOutcome(const PointOutcome &outcome) const;
 

@@ -35,6 +35,12 @@ StatsSnapshot::addValue(const std::string &name, const std::string &desc,
 }
 
 void
+StatsSnapshot::addEntry(Entry entry)
+{
+    items.push_back(std::move(entry));
+}
+
+void
 StatsSnapshot::append(const StatsSnapshot &other)
 {
     items.insert(items.end(), other.items.begin(), other.items.end());

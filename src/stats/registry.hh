@@ -71,6 +71,14 @@ class StatsSnapshot
     void addValue(const std::string &name, const std::string &desc,
                   double value);
 
+    /**
+     * Append a fully-formed entry verbatim.  This is the rebuild path
+     * for snapshots that crossed a process boundary (the sweep
+     * runner's --isolate pipe): the decoder restores every field —
+     * kind, description, histogram buckets — bit-exactly.
+     */
+    void addEntry(Entry entry);
+
     /** Append every entry of another snapshot. */
     void append(const StatsSnapshot &other);
 

@@ -1,0 +1,43 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace rampage
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit)
+            value = (value >> 1) ^ ((value & 1) ? 0xEDB88320u : 0u);
+        table[i] = value;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = buildTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+    return ~crc;
+}
+
+std::uint32_t
+crc32(const std::string &text)
+{
+    return crc32(text.data(), text.size());
+}
+
+} // namespace rampage

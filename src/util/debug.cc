@@ -4,8 +4,11 @@
 #include <array>
 #include <atomic>
 #include <cstdarg>
+#include <cstdint>
 #include <cstdlib>
 #include <mutex>
+
+#include <unistd.h>
 
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -217,6 +220,31 @@ clearDebugRing()
         slot.clear();
     st.next = 0;
     st.count = 0;
+}
+
+void
+debugRingWriteFramed(int fd, char tag)
+{
+    const RingState &st = ring();
+    std::size_t start =
+        (st.next + ringCapacity - st.count) % ringCapacity;
+    for (std::size_t i = 0; i < st.count; ++i) {
+        const std::string &line = st.ring[(start + i) % ringCapacity];
+        unsigned char header[5];
+        header[0] = static_cast<unsigned char>(tag);
+        std::uint32_t size = static_cast<std::uint32_t>(line.size());
+        header[1] = static_cast<unsigned char>(size & 0xff);
+        header[2] = static_cast<unsigned char>((size >> 8) & 0xff);
+        header[3] = static_cast<unsigned char>((size >> 16) & 0xff);
+        header[4] = static_cast<unsigned char>((size >> 24) & 0xff);
+        if (::write(fd, header, sizeof(header)) !=
+            static_cast<ssize_t>(sizeof(header)))
+            return;
+        if (!line.empty() &&
+            ::write(fd, line.data(), line.size()) !=
+                static_cast<ssize_t>(line.size()))
+            return;
+    }
 }
 
 void

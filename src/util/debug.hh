@@ -117,6 +117,16 @@ void clearDebugRing();
  */
 void flushDebugRing(std::FILE *out);
 
+/**
+ * Write the calling thread's ring events to a file descriptor as
+ * framed records (tag byte `tag`, 4-byte little-endian length,
+ * payload), oldest first, using only write(2) — no allocation, no
+ * stdio.  This is the `--isolate` crash relay: a child's fatal-signal
+ * handler streams its post-mortem tail up the outcome pipe before
+ * re-raising, so the parent can attach it to the Crashed outcome.
+ */
+void debugRingWriteFramed(int fd, char tag);
+
 } // namespace rampage
 
 /**

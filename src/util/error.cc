@@ -21,8 +21,28 @@ errorCategoryName(ErrorCategory category)
         return "internal";
       case ErrorCategory::Audit:
         return "audit";
+      case ErrorCategory::Io:
+        return "io";
+      case ErrorCategory::Timeout:
+        return "timeout";
     }
     return "unknown";
+}
+
+bool
+isRetryableCategory(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Trace:
+      case ErrorCategory::Io:
+        return true;
+      case ErrorCategory::Config:
+      case ErrorCategory::Internal:
+      case ErrorCategory::Audit:
+      case ErrorCategory::Timeout:
+        return false;
+    }
+    return false;
 }
 
 namespace
@@ -112,6 +132,26 @@ TraceError::TraceError(const char *fmt, ...)
 
 InternalError::InternalError(const char *fmt, ...)
     : SimError(ErrorCategory::Internal, std::string())
+{
+    va_list args;
+    va_start(args, fmt);
+    setMessage(vformatErrorMessage(fmt, args));
+    va_end(args);
+}
+
+IoError::IoError(const char *fmt, ...)
+    : SimError(ErrorCategory::Io, std::string())
+{
+    va_list args;
+    va_start(args, fmt);
+    setMessage(vformatErrorMessage(fmt, args));
+    va_end(args);
+}
+
+TimeoutError::TimeoutError(std::uint64_t refs_executed, const char *fmt,
+                           ...)
+    : SimError(ErrorCategory::Timeout, std::string()),
+      refs(refs_executed)
 {
     va_list args;
     va_start(args, fmt);

@@ -16,7 +16,14 @@
  *                   runaway-point watchdog);
  *  - AuditError:    a runtime model-integrity audit found live
  *                   component state violating a cross-component
- *                   invariant (see src/core/audit.hh).
+ *                   invariant (see src/core/audit.hh);
+ *  - IoError:       the host filesystem failed underneath us
+ *                   (ENOSPC/EIO on a checkpoint manifest or telemetry
+ *                   write) — transient by nature, so sweep campaigns
+ *                   classify it as retryable;
+ *  - TimeoutError:  a sweep point exceeded its configured deadline
+ *                   and was cancelled cooperatively at the watchdog
+ *                   seam; carries the references executed at cancel.
  *
  * The legacy fatal()/panic() reporters (util/logging.hh) survive only
  * as *top-level CLI handlers*: a bench or example wraps its body in
@@ -29,6 +36,7 @@
 #define RAMPAGE_UTIL_ERROR_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -38,10 +46,19 @@ namespace rampage
 {
 
 /** Which kind of failure a SimError reports. */
-enum class ErrorCategory { Config, Trace, Internal, Audit };
+enum class ErrorCategory { Config, Trace, Internal, Audit, Io, Timeout };
 
 /** Stable lower-case name for a category ("config", "trace", ...). */
 const char *errorCategoryName(ErrorCategory category);
+
+/**
+ * Whether a sweep point failing with this category is worth retrying:
+ * trace and host-I/O failures are frequently transient (a file being
+ * rewritten, a full disk being drained), while config, audit and
+ * internal errors are deterministic — the same inputs will fail the
+ * same way — and a timeout has already consumed its deadline once.
+ */
+bool isRetryableCategory(ErrorCategory category);
 
 /** printf-style formatting into a std::string. */
 std::string formatErrorMessage(const char *fmt, ...)
@@ -109,6 +126,49 @@ class InternalError : public SimError
 
     InternalError(const char *fmt, ...)
         __attribute__((format(printf, 2, 3)));
+};
+
+/**
+ * The host filesystem failed underneath the simulator (a checkpoint
+ * manifest or telemetry write hit ENOSPC/EIO).  Recoverable: sweep
+ * campaigns classify it as retryable, and the manifest/telemetry
+ * writers themselves degrade to warnOnce() naming the path rather
+ * than failing the run.
+ */
+class IoError : public SimError
+{
+  public:
+    explicit IoError(const std::string &message)
+        : SimError(ErrorCategory::Io, message)
+    {
+    }
+
+    IoError(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+};
+
+/**
+ * A sweep point exceeded its configured wall-clock deadline
+ * (`--point-deadline` / `RAMPAGE_DEADLINE`) and was cancelled
+ * cooperatively at the reference-count watchdog seam.  Carries the
+ * number of hierarchy references the point had executed when the
+ * cancellation fired, which SweepRunner records in the outcome.
+ */
+class TimeoutError : public SimError
+{
+  public:
+    TimeoutError(std::uint64_t refs_executed, const std::string &message)
+        : SimError(ErrorCategory::Timeout, message), refs(refs_executed)
+    {
+    }
+
+    TimeoutError(std::uint64_t refs_executed, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Hierarchy references executed when the cancel fired. */
+    std::uint64_t refsExecuted() const { return refs; }
+
+  private:
+    std::uint64_t refs = 0;
 };
 
 /** One invariant the Auditor found violated in live model state. */

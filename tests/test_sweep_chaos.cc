@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Chaos harness for the sweep checkpoint: a campaign is SIGKILLed
+ * mid-flight — the harshest crash the kernel offers, no destructors,
+ * no flushes — and the resumed campaign must reconstruct exactly the
+ * state an uninterrupted run would have produced.  The manifest's
+ * single-write() appends and torn-line repair are what make this
+ * hold.
+ *
+ * The victim campaign runs in a fork()ed child (the gtest process is
+ * still single-threaded at that point, so the fork is clean); the
+ * parent watches the manifest grow, kills the child once at least two
+ * points have committed, and resumes in-process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "util/error.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+namespace
+{
+
+constexpr int chaosPoints = 12;
+
+/** Paced deterministic points: the sleep keeps the campaign alive
+ *  long enough for the parent to land a SIGKILL mid-flight, and the
+ *  synthetic result makes every committed line reproducible. */
+void
+addPacedPoints(SweepRunner &runner)
+{
+    for (int i = 0; i < chaosPoints; ++i) {
+        std::string id = "point/" + std::to_string(i);
+        runner.add(id, [i] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(40));
+            SimResult result;
+            result.elapsedPs = 1000 * (i + 1);
+            result.systemName = "chaos";
+            return result;
+        });
+    }
+}
+
+/** Manifest lines as an order-independent set with the two
+ *  legitimately nondeterministic tokens (wall clock and the CRC that
+ *  covers it) blanked. */
+std::vector<std::string>
+manifestLineSet(const std::string &path)
+{
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        for (const char *token : {"crc=", "wall="}) {
+            std::size_t at = line.find(token);
+            if (at == std::string::npos)
+                continue;
+            std::size_t end = line.find(' ', at);
+            if (end == std::string::npos)
+                end = line.size();
+            line.erase(at, end - at);
+        }
+        lines.push_back(line);
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+unsigned
+committedOkLines(const std::string &path)
+{
+    unsigned count = 0;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        if (line.rfind("crc=", 0) == 0 &&
+            line.find(" ok ") != std::string::npos)
+            ++count;
+    return count;
+}
+
+class SweepChaosTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setQuiet(true);
+        std::string stem =
+            std::string(::testing::TempDir()) + "/rampage_chaos_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name();
+        victim = stem + ".victim.checkpoint";
+        reference = stem + ".reference.checkpoint";
+        std::remove(victim.c_str());
+        std::remove(reference.c_str());
+    }
+
+    void TearDown() override
+    {
+        setQuiet(false);
+        std::remove(victim.c_str());
+        std::remove(reference.c_str());
+    }
+
+    /**
+     * The full chaos round: kill a checkpointed campaign mid-flight,
+     * resume it, and demand the healed manifest and outcomes match an
+     * uninterrupted reference run line for line.
+     */
+    void killResumeAndCompare(unsigned jobs)
+    {
+        // Victim campaign in a fork()ed child.  _exit() keeps the
+        // child from running gtest's atexit machinery.
+        pid_t pid = ::fork();
+        ASSERT_NE(pid, -1) << "fork failed";
+        if (pid == 0) {
+            SweepRunner::Options opts;
+            opts.checkpointPath = victim;
+            opts.jobs = jobs;
+            SweepRunner runner(opts);
+            addPacedPoints(runner);
+            runner.run();
+            ::_exit(0);
+        }
+
+        // Let at least two points commit, then SIGKILL: no warning,
+        // no cleanup, possibly mid-append.
+        auto start = std::chrono::steady_clock::now();
+        while (committedOkLines(victim) < 2 &&
+               std::chrono::steady_clock::now() - start <
+                   std::chrono::seconds(20))
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+        ::kill(pid, SIGKILL);
+        int wstatus = 0;
+        while (::waitpid(pid, &wstatus, 0) == -1 && errno == EINTR) {
+        }
+        ASSERT_TRUE(WIFSIGNALED(wstatus))
+            << "campaign finished before the kill landed; "
+               "pacing too fast for this machine";
+        ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+        unsigned committed = committedOkLines(victim);
+        ASSERT_GE(committed, 2u);
+        ASSERT_LT(committed, unsigned(chaosPoints))
+            << "kill landed after every point committed";
+
+        // Resume on the healed manifest: committed points skip,
+        // interrupted ones re-simulate.
+        SweepRunner::Options opts;
+        opts.checkpointPath = victim;
+        opts.jobs = jobs;
+        SweepRunner runner(opts);
+        addPacedPoints(runner);
+        SweepReport resumed = runner.run();
+        ASSERT_TRUE(resumed.allOk());
+        unsigned skipped = 0;
+        for (const PointOutcome &outcome : resumed.outcomes)
+            if (outcome.status == PointStatus::Skipped)
+                ++skipped;
+        EXPECT_GE(skipped, 2u);
+        EXPECT_LT(skipped, unsigned(chaosPoints));
+
+        // Uninterrupted reference run.
+        SweepRunner::Options ref_opts;
+        ref_opts.checkpointPath = reference;
+        ref_opts.jobs = jobs;
+        SweepRunner ref_runner(ref_opts);
+        addPacedPoints(ref_runner);
+        SweepReport ref = ref_runner.run();
+        ASSERT_TRUE(ref.allOk());
+
+        // The healed-and-resumed manifest is byte-identical to the
+        // uninterrupted one up to wall clock — this covers the
+        // elapsed_ps of every point, including the ones the resume
+        // skipped.  Points the resume re-simulated are additionally
+        // checked outcome-to-outcome.
+        EXPECT_EQ(manifestLineSet(victim),
+                  manifestLineSet(reference));
+        ASSERT_EQ(resumed.outcomes.size(), ref.outcomes.size());
+        for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+            EXPECT_EQ(resumed.outcomes[i].id, ref.outcomes[i].id);
+            if (resumed.outcomes[i].status != PointStatus::Ok)
+                continue;
+            EXPECT_EQ(resumed.outcomes[i].result.elapsedPs,
+                      ref.outcomes[i].result.elapsedPs)
+                << ref.outcomes[i].id;
+        }
+    }
+
+    std::string victim;
+    std::string reference;
+};
+
+TEST_F(SweepChaosTest, SigkillMidCampaignResumesIdenticallySerial)
+{
+    killResumeAndCompare(1);
+}
+
+TEST_F(SweepChaosTest, SigkillMidCampaignResumesIdenticallyParallel)
+{
+    killResumeAndCompare(4);
+}
+
+} // namespace
+} // namespace rampage

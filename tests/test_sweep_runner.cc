@@ -10,13 +10,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/audit.hh"
+#include "core/fault_injection.hh"
 #include "core/sweep.hh"
 #include "trace/corrupter.hh"
 #include "trace/file_format.hh"
@@ -36,8 +40,15 @@ class SweepRunnerTest : public ::testing::Test
     void SetUp() override
     {
         setQuiet(true);
+        // Per-test path: ctest runs fixture tests as concurrent
+        // processes, and the manifest loader now *repairs* damaged
+        // files in place — sharing one path would race.
         manifest = std::string(::testing::TempDir()) +
-                   "/rampage_sweep.checkpoint";
+                   "/rampage_sweep_" +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+                   ".checkpoint";
         std::remove(manifest.c_str());
     }
 
@@ -108,6 +119,8 @@ class SweepRunnerTest : public ::testing::Test
      * The manifest's lines as an order-independent set with the
      * wall-clock token blanked: wall time is the one legitimately
      * nondeterministic field, everything else must match exactly.
+     * The crc token goes too — it covers the wall text, so it is
+     * exactly as nondeterministic as the field it protects.
      */
     static std::vector<std::string> manifestLineSet(
         const std::string &path)
@@ -116,12 +129,14 @@ class SweepRunnerTest : public ::testing::Test
         std::ifstream in(path);
         std::string line;
         while (std::getline(in, line)) {
-            std::size_t wall = line.find("wall=");
-            if (wall != std::string::npos) {
-                std::size_t end = line.find(' ', wall);
+            for (const char *token : {"crc=", "wall="}) {
+                std::size_t at = line.find(token);
+                if (at == std::string::npos)
+                    continue;
+                std::size_t end = line.find(' ', at);
                 if (end == std::string::npos)
                     end = line.size();
-                line.erase(wall, end - wall);
+                line.erase(at, end - at);
             }
             lines.push_back(line);
         }
@@ -406,7 +421,9 @@ TEST_F(SweepRunnerTest, ManifestHeaderWrittenOnceAcrossResumes)
     while (std::getline(in, line)) {
         if (line.rfind("# rampage-sweep-checkpoint", 0) == 0)
             ++headers;
-        if (line.rfind("ok ", 0) == 0)
+        // v2 completion lines carry a "crc=XXXXXXXX " prefix.
+        if (line.rfind("crc=", 0) == 0 &&
+            line.find(" ok ") == 12)
             ++ok_lines;
     }
     EXPECT_EQ(headers, 1);
@@ -551,6 +568,578 @@ TEST_F(SweepRunnerTest, MoreWorkersThanPointsIsHarmless)
     SweepReport report = runner.run();
     ASSERT_EQ(report.okCount(), 1u);
     EXPECT_EQ(report.outcomes[0].id, "only");
+}
+
+// ---------------------------------------------------------- deadlines
+
+// A runaway point is cancelled cooperatively at the watchdog seam:
+// the outcome records TimedOut with the references executed at
+// cancel, healthy points are untouched, and the timed-out point is
+// NOT checkpointed — a resume re-runs it.
+TEST_F(SweepRunnerTest, DeadlineCancelsRunawayPointCooperatively)
+{
+    auto runaway = [] {
+        // Far more work than the deadline allows at this scale; the
+        // per-reference deadline poll cancels it mid-simulation.
+        SimConfig sim;
+        sim.maxRefs = 400'000'000;
+        sim.quantumRefs = 100'000;
+        return simulateSystem(baselineConfig(200'000'000ull, 128),
+                              sim);
+    };
+
+    SweepRunner::Options opts;
+    opts.checkpointPath = manifest;
+    opts.jobs = 1;
+    opts.pointDeadlineSeconds = 0.2;
+    SweepRunner runner(opts);
+    runner.add("runaway", runaway);
+    runner.add("healthy", [] { return tinyBaseline(1024); });
+
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.outcomes.size(), 2u);
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::TimedOut);
+    EXPECT_EQ(report.outcomes[0].errorCategory,
+              ErrorCategory::Timeout);
+    EXPECT_GT(report.outcomes[0].refsAtCancel, 0u);
+    EXPECT_NE(report.outcomes[0].error.find("deadline"),
+              std::string::npos);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(report.timedOutCount(), 1u);
+    EXPECT_FALSE(report.allOk());
+
+    // Only the healthy point is checkpointed.
+    std::vector<std::string> lines = manifestLineSet(manifest);
+    for (const std::string &line : lines)
+        EXPECT_EQ(line.find("id=runaway"), std::string::npos) << line;
+}
+
+// The injected hang fault spins at the cancellation seam forever; a
+// deadline turns that into a TimedOut outcome within a small factor
+// of the configured bound.
+TEST_F(SweepRunnerTest, HangFaultTimesOutWithinDeadline)
+{
+    setSweepFaultOverride("hang@stuck");
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.pointDeadlineSeconds = 0.2;
+    SweepRunner runner(opts);
+    runner.add("stuck", [] { return fakeResult(1); });
+    runner.add("fine", [] { return fakeResult(2); });
+
+    auto started = std::chrono::steady_clock::now();
+    SweepReport report = runner.run();
+    double took = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+    setSweepFaultOverride("");
+
+    ASSERT_EQ(report.outcomes.size(), 2u);
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::TimedOut);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_LT(took, 5.0); // cancelled, not hung
+}
+
+TEST_F(SweepRunnerTest, DeadlineParsingIsStrict)
+{
+    EXPECT_THROW(parsePointDeadline("abc"), ConfigError);
+    EXPECT_THROW(parsePointDeadline("-1"), ConfigError);
+    EXPECT_THROW(parsePointDeadline("0"), ConfigError);
+    EXPECT_THROW(parsePointDeadline("1.5x"), ConfigError);
+    EXPECT_THROW(parsePointDeadline(""), ConfigError);
+    EXPECT_THROW(parsePointDeadline("inf"), ConfigError);
+    EXPECT_DOUBLE_EQ(parsePointDeadline("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(parsePointDeadline(".5"), 0.5);
+
+    // Environment resolution uses the same strict parse.
+    setPointDeadlineOverride(0);
+    ::setenv("RAMPAGE_DEADLINE", "soon", 1);
+    EXPECT_THROW(resolvePointDeadline(), ConfigError);
+    ::setenv("RAMPAGE_DEADLINE", "1.25", 1);
+    EXPECT_DOUBLE_EQ(resolvePointDeadline(), 1.25);
+    ::unsetenv("RAMPAGE_DEADLINE");
+    EXPECT_DOUBLE_EQ(resolvePointDeadline(), 0);
+}
+
+// ------------------------------------------------------------ retries
+
+// A transient (trace/io) failure retries up to maxRetries with the
+// attempt count recorded in the outcome and the manifest line; a
+// deterministic config failure never retries.
+TEST_F(SweepRunnerTest, TransientFailuresRetryDeterministicOnesDoNot)
+{
+    std::atomic<int> flaky_runs{0};
+    std::atomic<int> config_runs{0};
+
+    SweepRunner::Options opts;
+    opts.checkpointPath = manifest;
+    opts.jobs = 1;
+    opts.maxRetries = 3;
+    opts.retryBackoffSeconds = 0.001;
+    SweepRunner runner(opts);
+    runner.add("flaky", [&]() -> SimResult {
+        if (++flaky_runs < 3)
+            throw TraceError("transient trace damage");
+        return fakeResult(42);
+    });
+    runner.add("broken", [&]() -> SimResult {
+        ++config_runs;
+        throw ConfigError("deterministically invalid");
+    });
+
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.outcomes.size(), 2u);
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Ok);
+    EXPECT_EQ(report.outcomes[0].attempts, 3u);
+    EXPECT_EQ(flaky_runs, 3);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Failed);
+    EXPECT_EQ(report.outcomes[1].attempts, 1u);
+    EXPECT_EQ(config_runs, 1);
+
+    // The manifest records how many attempts the completion took.
+    bool found = false;
+    for (const std::string &line : manifestLineSet(manifest))
+        if (line.find("id=flaky") != std::string::npos) {
+            EXPECT_NE(line.find("attempts=3"), std::string::npos)
+                << line;
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(SweepRunnerTest, RetriesExhaustedReportsLastError)
+{
+    std::atomic<int> runs{0};
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.maxRetries = 2;
+    opts.retryBackoffSeconds = 0.001;
+    SweepRunner runner(opts);
+    runner.add("always-bad", [&]() -> SimResult {
+        ++runs;
+        throw IoError("disk on fire");
+    });
+
+    SweepReport report = runner.run();
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Failed);
+    EXPECT_EQ(report.outcomes[0].errorCategory, ErrorCategory::Io);
+    EXPECT_EQ(report.outcomes[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(runs, 3);
+}
+
+TEST_F(SweepRunnerTest, RetryCategoryClassification)
+{
+    EXPECT_TRUE(isRetryableCategory(ErrorCategory::Trace));
+    EXPECT_TRUE(isRetryableCategory(ErrorCategory::Io));
+    EXPECT_FALSE(isRetryableCategory(ErrorCategory::Config));
+    EXPECT_FALSE(isRetryableCategory(ErrorCategory::Internal));
+    EXPECT_FALSE(isRetryableCategory(ErrorCategory::Audit));
+    EXPECT_FALSE(isRetryableCategory(ErrorCategory::Timeout));
+}
+
+TEST_F(SweepRunnerTest, RetriesAndIsolateParsingAreStrict)
+{
+    EXPECT_THROW(parseRetries("abc"), ConfigError);
+    EXPECT_THROW(parseRetries("-1"), ConfigError);
+    EXPECT_THROW(parseRetries("3x"), ConfigError);
+    EXPECT_THROW(parseRetries("17"), ConfigError); // > maxSweepRetries
+    EXPECT_EQ(parseRetries("0"), 0u);
+    EXPECT_EQ(parseRetries("16"), 16u);
+
+    setRetriesOverride(-1);
+    ::setenv("RAMPAGE_RETRIES", "many", 1);
+    EXPECT_THROW(resolveRetries(), ConfigError);
+    ::setenv("RAMPAGE_RETRIES", "2", 1);
+    EXPECT_EQ(resolveRetries(), 2u);
+    ::unsetenv("RAMPAGE_RETRIES");
+    EXPECT_EQ(resolveRetries(), 0u);
+
+    setIsolateOverride(-1);
+    ::setenv("RAMPAGE_ISOLATE", "yes", 1);
+    EXPECT_THROW(resolveIsolate(), ConfigError);
+    ::setenv("RAMPAGE_ISOLATE", "1", 1);
+    EXPECT_TRUE(resolveIsolate());
+    ::setenv("RAMPAGE_ISOLATE", "0", 1);
+    EXPECT_FALSE(resolveIsolate());
+    ::unsetenv("RAMPAGE_ISOLATE");
+    EXPECT_FALSE(resolveIsolate());
+}
+
+// -------------------------------------------------- process isolation
+
+// NOTE: isolation tests pin jobs = 1.  fork() from a multithreaded
+// process may only safely call async-signal-safe functions in the
+// child, and TSan rejects it outright; the runner itself forks from
+// its worker threads, which is safe for *this* child (it only
+// simulates and writes a pipe), but the tests stay conservative.
+
+// A point that dies of SIGSEGV becomes a Crashed outcome carrying the
+// signal and the debug-ring tail it relayed before dying, and the
+// campaign continues to the next point.
+TEST_F(SweepRunnerTest, IsolatedCrashIsContainedWithRingTail)
+{
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.isolate = 1;
+    SweepRunner runner(opts);
+    runner.add("doomed", []() -> SimResult {
+        debugRecordRaw("pager: about to dereference garbage");
+        ::raise(SIGSEGV);
+        return SimResult{};
+    });
+    runner.add("survivor", [] { return tinyBaseline(1024); });
+
+    SweepReport report = runner.run();
+    ASSERT_EQ(report.outcomes.size(), 2u);
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Crashed);
+    EXPECT_EQ(report.outcomes[0].signalNumber, SIGSEGV);
+    EXPECT_NE(report.outcomes[0].error.find("signal"),
+              std::string::npos);
+    ASSERT_FALSE(report.outcomes[0].debugTail.empty());
+    EXPECT_NE(report.outcomes[0]
+                  .debugTail.back()
+                  .find("dereference garbage"),
+              std::string::npos);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(report.crashedCount(), 1u);
+    EXPECT_FALSE(report.allOk());
+}
+
+// The injected crash fault exercises the same containment through
+// the fault-injection plumbing the CI smoke uses.
+TEST_F(SweepRunnerTest, IsolatedCrashFaultIsContained)
+{
+    setSweepFaultOverride("crash@victim");
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.isolate = 1;
+    SweepRunner runner(opts);
+    runner.add("victim", [] { return fakeResult(1); });
+    runner.add("bystander", [] { return fakeResult(2); });
+    SweepReport report = runner.run();
+    setSweepFaultOverride("");
+
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Crashed);
+    EXPECT_EQ(report.outcomes[0].signalNumber, SIGSEGV);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+}
+
+// Every observable of an isolated campaign — statuses, categories,
+// error text, audit invariants, simulated times, the full stats
+// snapshot — must match the in-process run bit for bit: doubles cross
+// the pipe as bit patterns, exceptions are rebuilt field-exact.
+TEST_F(SweepRunnerTest, IsolatedCampaignMatchesInProcess)
+{
+    auto build = [](SweepRunner &runner) {
+        runner.add("baseline/512", [] { return tinyBaseline(512); });
+        runner.add("2way/512", [] { return tinyTwoWay(512); });
+        runner.add("rampage/1024", [] { return tinyRampage(1024); });
+        runner.add("poison/config",
+                   [] { return tinyBaseline(16); });
+        runner.add("faulty/leak-frame", [] {
+            RampageConfig cfg = rampageConfig(1'000'000'000ull, 1024);
+            cfg.pager.baseSramBytes = 256 * kib;
+            SimConfig sim;
+            sim.maxRefs = 60'000;
+            sim.quantumRefs = 10'000;
+            sim.auditLevel = AuditLevel::Boundaries;
+            sim.faultPlan = "leak-frame";
+            return simulateSystem(cfg, sim);
+        });
+    };
+
+    auto runWith = [&](int isolate) {
+        SweepRunner::Options opts;
+        opts.jobs = 1;
+        opts.isolate = isolate;
+        SweepRunner runner(opts);
+        build(runner);
+        return runner.run();
+    };
+    SweepReport inProcess = runWith(0);
+    SweepReport forked = runWith(1);
+
+    ASSERT_EQ(inProcess.outcomes.size(), forked.outcomes.size());
+    for (std::size_t i = 0; i < inProcess.outcomes.size(); ++i) {
+        const PointOutcome &a = inProcess.outcomes[i];
+        const PointOutcome &b = forked.outcomes[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.status, b.status) << a.id;
+        EXPECT_EQ(a.errorCategory, b.errorCategory) << a.id;
+        EXPECT_EQ(a.error, b.error) << a.id;
+        EXPECT_EQ(a.auditInvariant, b.auditInvariant) << a.id;
+        EXPECT_EQ(a.haveResult, b.haveResult) << a.id;
+        EXPECT_EQ(a.result.elapsedPs, b.result.elapsedPs) << a.id;
+        EXPECT_EQ(a.result.stallPs, b.result.stallPs) << a.id;
+        EXPECT_EQ(a.result.systemName, b.result.systemName) << a.id;
+        EXPECT_EQ(a.result.issueHz, b.result.issueHz) << a.id;
+        EXPECT_EQ(a.result.counts.refs, b.result.counts.refs) << a.id;
+        EXPECT_EQ(a.result.stats.toText(), b.result.stats.toText())
+            << a.id;
+        // Rebuilt exceptions rethrow with identical what().
+        if (a.exception) {
+            ASSERT_TRUE(b.exception) << a.id;
+            std::string what_a, what_b;
+            try {
+                std::rethrow_exception(a.exception);
+            } catch (const std::exception &e) {
+                what_a = e.what();
+            }
+            try {
+                std::rethrow_exception(b.exception);
+            } catch (const std::exception &e) {
+                what_b = e.what();
+            }
+            EXPECT_EQ(what_a, what_b) << a.id;
+        }
+    }
+}
+
+// A child that hangs WITHOUT reaching the cooperative seam (a plain
+// blocking sleep) is hard-killed by the parent at deadline + grace
+// and reported TimedOut.
+TEST_F(SweepRunnerTest, IsolatedNonPollingHangIsHardKilled)
+{
+    SweepRunner::Options opts;
+    opts.jobs = 1;
+    opts.isolate = 1;
+    opts.pointDeadlineSeconds = 0.2;
+    SweepRunner runner(opts);
+    runner.add("comatose", [] {
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+        return fakeResult(1);
+    });
+
+    auto started = std::chrono::steady_clock::now();
+    SweepReport report = runner.run();
+    double took = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
+
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::TimedOut);
+    EXPECT_EQ(report.outcomes[0].errorCategory,
+              ErrorCategory::Timeout);
+    EXPECT_NE(report.outcomes[0].error.find("killed"),
+              std::string::npos);
+    EXPECT_LT(took, 10.0); // nowhere near the 30 s sleep
+}
+
+// ------------------------------------------------- manifest edges
+
+// The torn-final-line repair: a manifest whose last append was cut
+// mid-line resumes with every complete point skipped, re-simulates
+// exactly the torn one, and leaves the file healed.
+TEST_F(SweepRunnerTest, TornFinalManifestLineIsRepairedAndReSimulated)
+{
+    std::atomic<int> a_runs{0}, b_runs{0};
+    auto build = [&](SweepRunner &runner) {
+        runner.add("a", [&] {
+            ++a_runs;
+            return fakeResult(10);
+        });
+        runner.add("b", [&] {
+            ++b_runs;
+            return fakeResult(20);
+        });
+    };
+
+    {
+        SweepRunner first({manifest});
+        build(first);
+        first.run();
+    }
+    EXPECT_EQ(a_runs, 1);
+    EXPECT_EQ(b_runs, 1);
+
+    // Tear the final line mid-append, exactly as a SIGKILL would.
+    std::ifstream in(manifest, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::size_t last_line =
+        text.rfind('\n', text.size() - 2) + 1;
+    std::size_t cut = last_line + (text.size() - last_line) / 2;
+    std::ofstream out(manifest,
+                      std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(cut));
+    out.close();
+
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport report = second.run();
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Skipped);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(a_runs, 1); // intact line still skips
+    EXPECT_EQ(b_runs, 2); // exactly the torn point re-simulated
+
+    // The file healed: a third resume skips everything.
+    SweepRunner third({manifest});
+    build(third);
+    SweepReport again = third.run();
+    EXPECT_EQ(again.skippedCount(), 2u);
+}
+
+// An interior line whose CRC does not match its body (bit rot, hand
+// edits) is ignored, costing exactly that point a re-simulation.
+TEST_F(SweepRunnerTest, CrcMismatchedManifestLineIsReSimulated)
+{
+    std::atomic<int> a_runs{0};
+    auto build = [&](SweepRunner &runner) {
+        runner.add("a", [&] {
+            ++a_runs;
+            return fakeResult(10);
+        });
+    };
+    {
+        SweepRunner first({manifest});
+        build(first);
+        first.run();
+    }
+
+    // Flip a digit inside the protected body; the CRC now lies.
+    std::ifstream in(manifest, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::size_t at = text.find("elapsed_ps=10");
+    ASSERT_NE(at, std::string::npos);
+    text[at + 11] = '9';
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << text;
+    out.close();
+
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport report = second.run();
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Ok);
+    EXPECT_EQ(a_runs, 2);
+}
+
+// Two runs racing on one manifest can append the same completion
+// twice; a resume collapses the duplicate to a single skip.
+TEST_F(SweepRunnerTest, DuplicateManifestEntriesCollapseToOneSkip)
+{
+    std::atomic<int> runs{0};
+    auto build = [&](SweepRunner &runner) {
+        runner.add("a", [&] {
+            ++runs;
+            return fakeResult(10);
+        });
+    };
+    {
+        SweepRunner first({manifest});
+        build(first);
+        first.run();
+    }
+
+    // Duplicate the completion line, as a concurrent stale run would.
+    std::ifstream in(manifest, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::size_t line_at = text.find("crc=");
+    ASSERT_NE(line_at, std::string::npos);
+    std::ofstream out(manifest,
+                      std::ios::binary | std::ios::app);
+    out << text.substr(line_at);
+    out.close();
+
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport report = second.run();
+    ASSERT_EQ(report.outcomes.size(), 1u);
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Skipped);
+    EXPECT_EQ(runs, 1);
+}
+
+// A manifest from a newer build must be refused with an error naming
+// the version — guessing at an unknown format could silently skip
+// points that are not done.
+TEST_F(SweepRunnerTest, NewerManifestVersionIsRejected)
+{
+    {
+        std::ofstream out(manifest);
+        out << "# rampage-sweep-checkpoint v3\n"
+            << "shape-of-things-to-come ok id=a\n";
+    }
+    SweepRunner runner({manifest});
+    runner.add("a", [] { return fakeResult(1); });
+    try {
+        runner.run();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("v3"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(manifest),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// v1 manifests (pre-CRC) keep resuming via the legacy lenient parse.
+TEST_F(SweepRunnerTest, LegacyV1ManifestStillResumes)
+{
+    {
+        std::ofstream out(manifest);
+        out << "# rampage-sweep-checkpoint v1\n"
+            << "ok wall=0.5 elapsed_ps=100 id=a\n"
+            << "audit wall=0.1 invariant=pager.leak id=b\n";
+    }
+    std::atomic<int> runs{0};
+    SweepRunner runner({manifest});
+    runner.add("a", [&] {
+        ++runs;
+        return fakeResult(1);
+    });
+    runner.add("b", [&] {
+        ++runs;
+        return fakeResult(2);
+    });
+    SweepReport report = runner.run();
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Skipped);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(runs, 1); // audit line is forensic, not a completion
+}
+
+// The torn-manifest-line fault tears a real append through the real
+// writer; the next campaign re-simulates exactly the torn point.
+TEST_F(SweepRunnerTest, TornManifestLineFaultCostsOnePoint)
+{
+    std::atomic<int> a_runs{0}, b_runs{0}, c_runs{0};
+    auto build = [&](SweepRunner &runner) {
+        runner.add("a", [&] {
+            ++a_runs;
+            return fakeResult(10);
+        });
+        runner.add("b", [&] {
+            ++b_runs;
+            return fakeResult(20);
+        });
+        runner.add("c", [&] {
+            ++c_runs;
+            return fakeResult(30);
+        });
+    };
+
+    setSweepFaultOverride("torn-manifest-line@b");
+    {
+        SweepRunner first({manifest});
+        build(first);
+        SweepReport report = first.run();
+        EXPECT_EQ(report.okCount(), 3u); // the tear is invisible live
+    }
+    setSweepFaultOverride("");
+
+    SweepRunner second({manifest});
+    build(second);
+    SweepReport report = second.run();
+    EXPECT_EQ(report.outcomes[0].status, PointStatus::Skipped);
+    EXPECT_EQ(report.outcomes[1].status, PointStatus::Ok);
+    EXPECT_EQ(report.outcomes[2].status, PointStatus::Skipped);
+    EXPECT_EQ(a_runs, 1);
+    EXPECT_EQ(b_runs, 2);
+    EXPECT_EQ(c_runs, 1);
 }
 
 } // namespace
