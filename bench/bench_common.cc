@@ -10,6 +10,8 @@
 #include "core/audit.hh"
 #include "core/cost_model.hh"
 #include "core/fault_injection.hh"
+#include "obs/obs_config.hh"
+#include "obs/phase_profiler.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
@@ -26,6 +28,7 @@ struct BenchReport
 {
     std::string path;
     std::string name;
+    std::string statsFilter;
     std::vector<JsonValue> results;
     std::vector<JsonValue> rows;
 };
@@ -60,6 +63,17 @@ writeJsonReport()
     scale_obj.set("refs", JsonValue::integer(scale.refs));
     scale_obj.set("quantum_refs", JsonValue::integer(scale.quantumRefs));
     doc.set("scale", std::move(scale_obj));
+
+    // Host-side phase rollup: where this process (plus any --isolate
+    // children, whose totals the sweep parent folded back in) spent
+    // its wall clock.  Always emitted, zeros included, so report
+    // consumers can diff the breakdown across runs.
+    PhaseSeconds phases = phaseGlobalTotals();
+    JsonValue phases_obj = JsonValue::object();
+    for (std::size_t i = 0; i < sweepPhaseCount; ++i)
+        phases_obj.set(sweepPhaseName(static_cast<SweepPhase>(i)),
+                       JsonValue::number(phases[i]));
+    doc.set("phases", std::move(phases_obj));
 
     JsonValue rows = JsonValue::array();
     for (JsonValue &row : report.rows)
@@ -133,6 +147,13 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                     static_cast<int>(parseRetries(argv[++i])));
             } else if (arg == "--isolate") {
                 setIsolateOverride(1);
+            } else if (arg == "--trace-out" && i + 1 < argc) {
+                setTraceOutOverride(argv[++i]);
+            } else if (arg == "--stats-interval" && i + 1 < argc) {
+                setStatsIntervalOverride(
+                    parseStatsInterval(argv[++i]));
+            } else if (arg == "--stats-filter" && i + 1 < argc) {
+                benchReport().statsFilter = argv[++i];
             } else {
                 throw ConfigError(
                     "unknown argument '%s'\nusage: %s [--json <path>] "
@@ -140,10 +161,21 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                     "[--audit <off|boundaries|paranoid>] "
                     "[--inject-fault <kind[:seed]>] "
                     "[--jobs <n>] [--point-deadline <seconds>] "
-                    "[--retries <n>] [--isolate]",
+                    "[--retries <n>] [--isolate] "
+                    "[--trace-out <base>] [--stats-interval <refs>] "
+                    "[--stats-filter <glob>]",
                     arg.c_str(), benchReport().name.c_str(),
                     debugChannelList().c_str());
             }
+        }
+        if (!benchReport().path.empty()) {
+            // Interval files with tracing off land next to the JSON
+            // report: "out/fig.json" yields "out/fig.<point>....".
+            std::string base = benchReport().path;
+            if (base.size() > 5 &&
+                base.compare(base.size() - 5, 5, ".json") == 0)
+                base.resize(base.size() - 5);
+            setObsFileBaseOverride(base);
         }
         int status = body();
         if (status == 0)
@@ -177,7 +209,14 @@ benchRecordResult(const std::string &label, const SimResult &result,
                       static_cast<double>(result.counts.refs) /
                       wall_seconds));
     }
-    entry.set("stats", result.stats.toJson());
+    if (!result.traceFile.empty())
+        entry.set("trace_file", JsonValue::str(result.traceFile));
+    if (!result.intervalFile.empty())
+        entry.set("interval_file", JsonValue::str(result.intervalFile));
+    const std::string &filter = benchReport().statsFilter;
+    entry.set("stats", filter.empty()
+                           ? result.stats.toJson()
+                           : result.stats.filter(filter).toJson());
     benchReport().results.push_back(std::move(entry));
 }
 

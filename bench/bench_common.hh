@@ -40,6 +40,15 @@ namespace rampage
  *                          status 2 and a debug-ring post-mortem
  *   --jobs <n>             SweepRunner worker threads for the bench's
  *                          sweeps (overrides RAMPAGE_JOBS; default 1)
+ *   --trace-out <base>     write a Chrome-trace JSON timeline per
+ *                          simulation run, named <base>.<point>.trace.json
+ *                          (overrides RAMPAGE_TRACE_OUT)
+ *   --stats-interval <n>   sample the stats registry every n benchmark
+ *                          references into <base>.<point>.intervals.jsonl
+ *                          (overrides RAMPAGE_STATS_INTERVAL)
+ *   --stats-filter <glob>  restrict the per-result "stats" dumps in the
+ *                          JSON report to entries matching the glob
+ *                          ('*' and '?'), e.g. 'dram.*'
  *
  * The human-readable table on stdout is unchanged byte-for-byte; all
  * telemetry goes to stderr or the JSON file.

@@ -70,12 +70,23 @@ for path in sorted(glob.glob("results/*.json")):
         continue
     per = [p["refs_per_sec"] for p in points]
     rates.extend(per)
-    benches.append({
+    entry = {
         "bench": doc.get("bench", path),
         "scale": doc.get("scale", {}),
         "points": points,
         "mean_refs_per_sec": sum(per) / len(per),
-    })
+    }
+    if "phases" in doc:
+        entry["phases"] = doc["phases"]
+    benches.append(entry)
+
+# Host-phase rollup across the suite: where the wall clock actually
+# went (trace_gen / simulate / audit / checkpoint / ipc), summed over
+# every bench process.
+phase_totals = {}
+for b in benches:
+    for phase, seconds in b.get("phases", {}).items():
+        phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
 
 summary = {
     "benches": benches,
@@ -83,6 +94,7 @@ summary = {
     "mean_refs_per_sec": sum(rates) / len(rates) if rates else 0,
     "min_refs_per_sec": min(rates) if rates else 0,
     "max_refs_per_sec": max(rates) if rates else 0,
+    "phases": phase_totals,
 }
 with open("results/BENCH_core.json", "w") as fh:
     json.dump(summary, fh, indent=2)

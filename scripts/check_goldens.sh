@@ -29,7 +29,8 @@ RAMPAGE_JOBS=2
 export RAMPAGE_REFS RAMPAGE_QUANTUM RAMPAGE_JOBS
 unset RAMPAGE_FULL RAMPAGE_RATES RAMPAGE_AUDIT RAMPAGE_INJECT_FAULT \
       RAMPAGE_DEBUG RAMPAGE_STATS RAMPAGE_DEADLINE RAMPAGE_RETRIES \
-      RAMPAGE_ISOLATE RAMPAGE_SWEEP_FAULT 2>/dev/null
+      RAMPAGE_ISOLATE RAMPAGE_SWEEP_FAULT RAMPAGE_TRACE_OUT \
+      RAMPAGE_STATS_INTERVAL RAMPAGE_TRACE_RING 2>/dev/null
 
 tmp=$(mktemp) || exit 1
 # Clean the scratch file on normal exit AND on interruption — a ^C
@@ -75,5 +76,36 @@ for name in $benches; do
 done
 if [ "$missing" -gt 0 ]; then
   echo "check_goldens: $missing golden file(s) missing — failing" >&2
+fi
+
+# Second pass with the timeline-observability features ON: event
+# tracing and interval stats write their files elsewhere, so stdout
+# must still match the very same goldens byte-for-byte.  This is the
+# machine check for "observability is side-effect-free".
+if [ $update -eq 0 ] && [ $status -eq 0 ]; then
+  obs_tmp=$(mktemp -d) || exit 1
+  trap 'rm -f "$tmp"; rm -rf "$obs_tmp"' EXIT
+  RAMPAGE_TRACE_OUT="$obs_tmp/trace"
+  RAMPAGE_STATS_INTERVAL=4000
+  export RAMPAGE_TRACE_OUT RAMPAGE_STATS_INTERVAL
+  for name in $benches; do
+    bin="$bench_dir/$name"
+    golden="$golden_dir/$name.stdout"
+    [ -x "$bin" ] && [ -f "$golden" ] || continue
+    if ! "$bin" > "$tmp" 2>/dev/null; then
+      echo "check_goldens: $name (tracing on) exited nonzero" >&2
+      status=1
+      continue
+    fi
+    if cmp -s "$golden" "$tmp"; then
+      echo "check_goldens: $name ok (tracing on)"
+    else
+      echo "check_goldens: $name stdout DIFFERS with tracing on —" \
+           "observability is not side-effect-free:" >&2
+      diff -u "$golden" "$tmp" >&2
+      status=1
+    fi
+  done
+  unset RAMPAGE_TRACE_OUT RAMPAGE_STATS_INTERVAL
 fi
 exit $status

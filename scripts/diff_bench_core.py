@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Flag simulator-throughput regressions between two BENCH_core.json.
+
+Compares the overall and per-bench mean refs-per-wall-second of a
+fresh results/BENCH_core.json against a committed baseline
+(tests/golden/BENCH_core.baseline.json) and fails when anything
+regressed by more than the threshold (default 10%).
+
+Absolute throughput is machine-dependent, so CI runs this step as
+informational (continue-on-error); the point is a loud early warning
+when a change makes the simulator structurally slower, in the same
+spirit as the golden-stdout diff for correctness.
+
+Usage: diff_bench_core.py <baseline.json> <current.json> [threshold]
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    threshold = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+    with open(sys.argv[1]) as fh:
+        baseline = json.load(fh)
+    with open(sys.argv[2]) as fh:
+        current = json.load(fh)
+
+    def mean_by_bench(doc):
+        return {b["bench"]: b["mean_refs_per_sec"]
+                for b in doc.get("benches", [])}
+
+    base_means = mean_by_bench(baseline)
+    cur_means = mean_by_bench(current)
+
+    regressions = []
+    rows = [("overall", baseline.get("mean_refs_per_sec", 0),
+             current.get("mean_refs_per_sec", 0))]
+    for bench in sorted(base_means):
+        if bench in cur_means:
+            rows.append((bench, base_means[bench], cur_means[bench]))
+    for bench in sorted(set(cur_means) - set(base_means)):
+        print(f"  {bench:32s} (new bench, no baseline)")
+
+    for name, base, cur in rows:
+        if base <= 0:
+            continue
+        change = (cur - base) / base
+        marker = ""
+        if change < -threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        print(f"  {name:32s} {base:14.0f} -> {cur:14.0f} refs/s "
+              f"({change:+.1%}){marker}")
+
+    if regressions:
+        print(f"diff_bench_core: {len(regressions)} mean-throughput "
+              f"regression(s) beyond {threshold:.0%}: "
+              f"{', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print(f"diff_bench_core: ok (no regression beyond {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 
 #include "core/cost_model.hh"
 #include "core/hierarchy.hh"
+#include "obs/phase_profiler.hh"
 #include "os/scheduler.hh"
 #include "util/debug.hh"
 #include "util/error.hh"
@@ -99,6 +100,7 @@ Auditor::auditBlocking(const Hierarchy &hier, Tick elapsed_ps,
 {
     if (!enabled())
         return;
+    ScopedPhaseTimer timer(SweepPhase::Audit);
     AuditContext ctx(scope);
     walkHierarchy(hier, ctx);
 
@@ -130,6 +132,7 @@ Auditor::auditSwitchOnMiss(const Hierarchy &hier, const Scheduler &sched,
 {
     if (!enabled())
         return;
+    ScopedPhaseTimer timer(SweepPhase::Audit);
     AuditContext ctx(scope);
     walkHierarchy(hier, ctx);
     sched.auditState(ctx, now);

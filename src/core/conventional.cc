@@ -1,5 +1,6 @@
 #include "core/conventional.hh"
 
+#include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
@@ -206,6 +207,7 @@ ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
         if (col.hit)
             return cycles;
         ++evt.l2Misses;
+        RAMPAGE_TRACE_EVENT(L2Miss, 0, paddr, 0);
         if (col.victimValid) {
             bool dirty = col.victimDirty;
             Cycles flush_cycles = 0;
@@ -228,6 +230,7 @@ ConventionalHierarchy::fillFromBelow(Addr paddr, bool /*is_write*/)
         return cycles;
 
     ++evt.l2Misses;
+    RAMPAGE_TRACE_EVENT(L2Miss, 0, paddr, 0);
 
     // Handle the departing L2 victim first: maintain inclusion by
     // invalidating its L1 blocks, then write it to DRAM when dirty.

@@ -1,5 +1,6 @@
 #include "core/hierarchy.hh"
 
+#include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
@@ -65,6 +66,8 @@ Hierarchy::noteDramTx(std::uint64_t bytes, bool is_write)
     RAMPAGE_DPRINTF(Dram, "%s tx %llu bytes",
                     is_write ? "write" : "read",
                     static_cast<unsigned long long>(bytes));
+    RAMPAGE_TRACE_EVENT(DramTx, 0, bytes,
+                        static_cast<Pid>(is_write ? 1 : 0));
     (void)is_write;
 }
 
@@ -121,6 +124,7 @@ Hierarchy::access(const MemRef &ref)
             else
                 frame = resolveFault(ref.pid, vpn, outcome);
             tlbUnit.insert(ref.pid, vpn, frame);
+            RAMPAGE_TRACE_EVENT(TlbFill, 0, vpn, ref.pid);
         }
         paddr = framePhysAddr(ref.pid, frame,
                               lowBits(ref.vaddr, page_bits));

@@ -1,5 +1,6 @@
 #include "core/paged.hh"
 
+#include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/error.hh"
@@ -221,6 +222,7 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     bool write_victim = false;
     for (const PageVictim &victim : fault.victims) {
         tlbUnit.invalidate(victim.pid, victim.vpn);
+        RAMPAGE_TRACE_EVENT(TlbFlush, 0, victim.vpn, victim.pid);
         Addr victim_base = victim.startFrame * frame_bytes;
         Cycles flush_cycles = 0;
         bool dirty = victim.dirty;
@@ -260,6 +262,8 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     }
 
     defer_ps_out = pcfg.switchOnMiss ? defer : 0;
+    // The fault, spanning its DRAM transfer, on the pager track.
+    RAMPAGE_TRACE_EVENT(PageFault, defer, vpn, pid);
     return fault.frame;
 }
 

@@ -18,7 +18,7 @@ namespace
  * are always the same binary, so a mismatch means pipe corruption —
  * the decoder treats it as an InternalError, never a compat path.
  */
-constexpr std::uint8_t codecVersion = 1;
+constexpr std::uint8_t codecVersion = 2;
 
 // ------------------------------------------------------------- writer
 
@@ -262,6 +262,8 @@ putSimResult(std::string &out, const SimResult &r)
     putSnapshot(out, r.stats);
     putString(out, r.systemName);
     putU64(out, r.issueHz);
+    putString(out, r.traceFile);
+    putString(out, r.intervalFile);
 }
 
 SimResult
@@ -278,6 +280,8 @@ getSimResult(Reader &in)
     r.stats = getSnapshot(in);
     r.systemName = in.str();
     r.issueHz = in.u64();
+    r.traceFile = in.str();
+    r.intervalFile = in.str();
     return r;
 }
 
@@ -306,6 +310,9 @@ encodePointOutcome(const PointOutcome &outcome)
     putU64(out, outcome.refsAtCancel);
     putU32(out, static_cast<std::uint32_t>(outcome.signalNumber));
     putStringVector(out, outcome.debugTail);
+    putU32(out, static_cast<std::uint32_t>(sweepPhaseCount));
+    for (double seconds : outcome.phaseSeconds)
+        putDouble(out, seconds);
     putU8(out, outcome.haveResult ? 1 : 0);
     if (outcome.haveResult)
         putSimResult(out, outcome.result);
@@ -344,6 +351,14 @@ decodePointOutcome(const std::string &bytes)
     outcome.refsAtCancel = in.u64();
     outcome.signalNumber = static_cast<int>(in.u32());
     outcome.debugTail = in.strVector();
+    std::uint32_t phases = in.u32();
+    if (phases != sweepPhaseCount)
+        throw InternalError(
+            "isolated-point outcome carries %u phase totals "
+            "(this binary has %zu): pipe corruption",
+            phases, sweepPhaseCount);
+    for (double &seconds : outcome.phaseSeconds)
+        seconds = in.dbl();
     outcome.haveResult = in.u8() != 0;
     if (outcome.haveResult)
         outcome.result = getSimResult(in);

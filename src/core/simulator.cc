@@ -1,14 +1,111 @@
 #include "core/simulator.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "core/deadline.hh"
 #include "core/fault_injection.hh"
+#include "obs/interval_stats.hh"
+#include "obs/trace_session.hh"
 #include "util/error.hh"
 #include "util/logging.hh"
 
 namespace rampage
 {
+
+namespace
+{
+
+/**
+ * Per-run observability scope: builds the trace session and interval
+ * writer a SimConfig asks for, installs the session as the thread's
+ * active one so component emission seams see it, and guarantees the
+ * thread-local is cleared on every exit path (including a thrown
+ * TimeoutError/AuditError mid-run).
+ */
+class ObsScope
+{
+  public:
+    ObsScope(const SimConfig &cfg, const StatsRegistry &registry)
+    {
+        if (!cfg.traceOutBase.empty()) {
+            traceFile =
+                obsRunFilePath(cfg.traceOutBase, ".trace.json");
+            session =
+                std::make_unique<TraceSession>(cfg.traceRingCapacity);
+            setActiveTraceSession(session.get());
+        }
+        if (cfg.statsIntervalRefs > 0) {
+            std::string base = cfg.intervalOutBase.empty()
+                                   ? std::string("rampage")
+                                   : cfg.intervalOutBase;
+            intervalFile = obsRunFilePath(base, ".intervals.jsonl");
+            intervals = std::make_unique<IntervalStatsWriter>(
+                &registry, intervalFile, cfg.statsIntervalRefs);
+        }
+    }
+
+    ~ObsScope()
+    {
+        if (session)
+            setActiveTraceSession(nullptr);
+    }
+
+    /** Advance the trace clock to the simulated now. */
+    void
+    setNow(Tick now)
+    {
+        if (session)
+            session->setNow(now);
+    }
+
+    /** Sample an interval epoch when a boundary was crossed. */
+    void
+    maybeSample(std::uint64_t refs_executed, Tick now)
+    {
+        if (intervals)
+            intervals->maybeSample(refs_executed, now);
+    }
+
+    /**
+     * End-of-run bookkeeping: flush the final interval epoch, write
+     * the trace file, and record the artefact paths plus the
+     * sim.trace.* / sim.interval.* counters into the result.  Only
+     * touches the result when a facility was on, so disabled runs
+     * stay byte-identical.
+     */
+    void
+    finish(SimResult &result, std::uint64_t refs_executed, Tick now)
+    {
+        if (intervals) {
+            intervals->finish(refs_executed, now);
+            result.stats.addCounter("sim.interval.epochs",
+                                    "interval-stats epochs written",
+                                    intervals->epochs());
+            if (!intervals->failed())
+                result.intervalFile = intervalFile;
+        }
+        if (session) {
+            result.stats.addCounter("sim.trace.events",
+                                    "timeline events emitted",
+                                    session->emitted());
+            result.stats.addCounter(
+                "sim.trace.dropped",
+                "timeline events dropped (ring full)",
+                session->dropped());
+            if (session->writeChromeTrace(traceFile))
+                result.traceFile = traceFile;
+        }
+    }
+
+  private:
+    std::unique_ptr<TraceSession> session;
+    std::unique_ptr<IntervalStatsWriter> intervals;
+    std::string traceFile;
+    std::string intervalFile;
+};
+
+} // namespace
 
 double
 SimResult::seconds() const
@@ -72,6 +169,7 @@ Simulator::runBlocking()
 {
     Auditor auditor(cfg.auditLevel);
     FaultInjector injector(parseFaultPlan(cfg.faultPlan));
+    ObsScope obs(cfg, hier.statsRegistry());
     Tick now = 0;
     std::size_t current = 0;
     std::uint64_t in_slice = 0;
@@ -79,12 +177,19 @@ Simulator::runBlocking()
 
     for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
         checkWatchdog();
-        if (in_slice == 0 && cfg.insertSwitchTrace)
-            now += hier.runContextSwitchTrace();
+        obs.setNow(now);
+        if (in_slice == 0 && cfg.insertSwitchTrace) {
+            Tick switch_ps = hier.runContextSwitchTrace();
+            RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, in_slice,
+                                osPid);
+            now += switch_ps;
+            obs.setNow(now);
+        }
 
         MemRef ref = pull(current);
         AccessOutcome out = hier.access(ref);
         now += out.cpuPs + out.deferPs;
+        obs.maybeSample(executed + 1, now);
 
         if (auditor.paranoid() &&
             hier.counts().l2Misses != audited_misses) {
@@ -128,6 +233,7 @@ Simulator::runBlocking()
                                 "individual invariant checks run",
                                 auditor.checksRun());
     }
+    obs.finish(result, cfg.maxRefs, now);
     return result;
 }
 
@@ -136,6 +242,7 @@ Simulator::runSwitchOnMiss()
 {
     Auditor auditor(cfg.auditLevel);
     FaultInjector injector(parseFaultPlan(cfg.faultPlan));
+    ObsScope obs(cfg, hier.statsRegistry());
     Scheduler sched(sources.size(), cfg.quantumRefs);
     Tick now = 0;
     Tick channel_free_at = 0;
@@ -146,9 +253,11 @@ Simulator::runSwitchOnMiss()
 
     for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
         checkWatchdog();
+        obs.setNow(now);
         MemRef ref = pull(sched.current());
         AccessOutcome out = hier.access(ref);
         now += out.cpuPs;
+        obs.maybeSample(executed + 1, now);
 
         bool quantum_expired = sched.onRef();
 
@@ -172,9 +281,21 @@ Simulator::runSwitchOnMiss()
             Tick done = start + out.deferPs;
             channel_free_at = done;
 
-            if (cfg.insertSwitchTrace)
-                now += hier.runContextSwitchTrace();
+            if (cfg.insertSwitchTrace) {
+                obs.setNow(now);
+                Tick switch_ps = hier.runContextSwitchTrace();
+                RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, executed,
+                                    osPid);
+                now += switch_ps;
+            }
             SchedPick pick = sched.blockCurrent(now, done);
+            obs.setNow(now);
+            RAMPAGE_TRACE_EVENT(ProcessSwitch,
+                                pick.resumeAt > now
+                                    ? pick.resumeAt - now
+                                    : 0,
+                                pick.index,
+                                static_cast<Pid>(pick.index));
             now = std::max(now, pick.resumeAt);
 
             if (injector.pending()) {
@@ -187,9 +308,17 @@ Simulator::runSwitchOnMiss()
             auditor.auditSwitchOnMiss(hier, sched, now,
                                       "quantum boundary");
 
-            if (cfg.insertSwitchTrace)
-                now += hier.runContextSwitchTrace();
+            if (cfg.insertSwitchTrace) {
+                obs.setNow(now);
+                Tick switch_ps = hier.runContextSwitchTrace();
+                RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, executed,
+                                    osPid);
+                now += switch_ps;
+            }
             SchedPick pick = sched.rotate(now);
+            obs.setNow(now);
+            RAMPAGE_TRACE_EVENT(ProcessSwitch, 0, pick.index,
+                                static_cast<Pid>(pick.index));
             now = std::max(now, pick.resumeAt);
 
             if (injector.pending()) {
@@ -237,6 +366,7 @@ Simulator::runSwitchOnMiss()
                                 "individual invariant checks run",
                                 auditor.checksRun());
     }
+    obs.finish(result, cfg.maxRefs, now);
     return result;
 }
 

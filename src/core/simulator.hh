@@ -17,6 +17,7 @@
 
 #include "core/audit.hh"
 #include "core/hierarchy.hh"
+#include "obs/obs_config.hh"
 #include "os/scheduler.hh"
 #include "stats/registry.hh"
 #include "trace/source.hh"
@@ -64,6 +65,21 @@ struct SimConfig
      * the injector.
      */
     std::string faultPlan;
+    /**
+     * Timeline observability (src/obs/, all off by default and
+     * side-effect-free when off).  `traceOutBase` non-empty turns on
+     * simulated-time event tracing; the run writes Chrome trace-event
+     * JSON to obsRunFilePath(traceOutBase, ".trace.json") — per-point
+     * file names under a sweep.  defaultSimConfig()/armedSimConfig()
+     * fill these from the CLI/environment via resolveObsSettings().
+     */
+    std::string traceOutBase;
+    /** Benchmark refs per interval-stats epoch; 0 disables. */
+    std::uint64_t statsIntervalRefs = 0;
+    /** Interval JSONL base path (used when statsIntervalRefs > 0). */
+    std::string intervalOutBase;
+    /** Trace-ring capacity in events (overflow counts as dropped). */
+    std::size_t traceRingCapacity = defaultTraceRingCapacity;
 };
 
 /** Result of one simulation. */
@@ -86,6 +102,14 @@ struct SimResult
     StatsSnapshot stats;
     std::string systemName;
     std::uint64_t issueHz = 0;
+    /**
+     * Timeline artefacts this run produced (empty when the feature was
+     * off or the write failed): the Chrome trace-event JSON and the
+     * per-epoch interval JSONL.  Sweep campaigns carry these across
+     * the --isolate pipe so the parent can report every per-point file.
+     */
+    std::string traceFile;
+    std::string intervalFile;
 
     /** Elapsed seconds, as the paper's tables report. */
     double seconds() const;

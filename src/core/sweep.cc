@@ -28,6 +28,8 @@
 #include "core/fault_injection.hh"
 #include "core/hierarchy.hh"
 #include "core/point_ipc.hh"
+#include "obs/obs_config.hh"
+#include "obs/phase_profiler.hh"
 #include "trace/benchmarks.hh"
 #include "util/crc32.hh"
 #include "util/debug.hh"
@@ -305,6 +307,11 @@ defaultSimConfig(bool switch_on_miss)
     sim.watchdogRefBudget = scale.refs * 8 + 1'000'000;
     sim.auditLevel = resolveAuditLevel();
     sim.faultPlan = resolveFaultPlanSpec();
+    ObsSettings obs = resolveObsSettings();
+    sim.traceOutBase = obs.traceOutBase;
+    sim.statsIntervalRefs = obs.statsIntervalRefs;
+    sim.intervalOutBase = obs.intervalOutBase;
+    sim.traceRingCapacity = obs.traceRingCapacity;
     return sim;
 }
 
@@ -317,6 +324,11 @@ armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs)
     sim.watchdogRefBudget = refs * 8 + 1'000'000;
     sim.auditLevel = resolveAuditLevel();
     sim.faultPlan = resolveFaultPlanSpec();
+    ObsSettings obs = resolveObsSettings();
+    sim.traceOutBase = obs.traceOutBase;
+    sim.statsIntervalRefs = obs.statsIntervalRefs;
+    sim.intervalOutBase = obs.intervalOutBase;
+    sim.traceRingCapacity = obs.traceRingCapacity;
     return sim;
 }
 
@@ -327,7 +339,13 @@ simulateSystem(const HierarchyConfig &config, const SimConfig &sim)
     SimConfig effective = sim;
     if (config.family == HierarchyConfig::Family::Paged)
         effective.switchOnMiss = config.paged.switchOnMiss;
-    Simulator simulator(*hierarchy, makeWorkload(), effective);
+    std::vector<std::unique_ptr<TraceSource>> workload;
+    {
+        ScopedPhaseTimer timer(SweepPhase::TraceGen);
+        workload = makeWorkload();
+    }
+    Simulator simulator(*hierarchy, std::move(workload), effective);
+    ScopedPhaseTimer timer(SweepPhase::Simulate);
     return simulator.run();
 }
 
@@ -710,6 +728,12 @@ SweepRunner::runLocalAttempt(const Point &point,
     // only its own events.  The ring is thread-local, so concurrent
     // points cannot pollute each other's post-mortems.
     clearDebugRing();
+    // Phase attribution and trace/interval file naming are also
+    // thread-local: reset the accumulator, and label this thread's
+    // simulation runs with the point id so per-point files compose
+    // with --jobs and --isolate.
+    phaseThreadReset();
+    ObsPointLabelScope obs_label(point.id);
     SweepFaultPlan fault = parseSweepFaultPlan(resolveSweepFaultSpec());
     auto started = std::chrono::steady_clock::now();
     try {
@@ -767,6 +791,7 @@ SweepRunner::runLocalAttempt(const Point &point,
     } else {
         outcome.debugTail = debugRingTail(16);
     }
+    outcome.phaseSeconds = phaseThreadTotals();
     return outcome;
 }
 
@@ -858,6 +883,10 @@ SweepRunner::runIsolatedAttempt(const Point &point,
                       std::chrono::steady_clock::now() - started)
                       .count();
 
+    // Parent-side IPC cost: framing parse + outcome decode (the poll
+    // loop above is dominated by the child's own runtime, which the
+    // child attributes itself).
+    auto decode_started = std::chrono::steady_clock::now();
     bool torn = false;
     std::vector<FramedRecord> records = parseFramedRecords(stream, torn);
     PointOutcome outcome;
@@ -876,6 +905,10 @@ SweepRunner::runIsolatedAttempt(const Point &point,
             }
         }
     }
+    double ipc_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() -
+                             decode_started)
+                             .count();
     // Keep at most the tail the in-process path would keep.
     if (relayed_ring.size() > 16)
         relayed_ring.erase(relayed_ring.begin(),
@@ -883,6 +916,12 @@ SweepRunner::runIsolatedAttempt(const Point &point,
 
     if (WIFEXITED(status) && WEXITSTATUS(status) == 0 && have_outcome) {
         outcome.exception = rebuildPointException(outcome);
+        // The child's phase totals died with its process-global
+        // accumulator; merge its harvested per-point totals — plus
+        // the parent-side decode — into this process's.
+        outcome.phaseSeconds[static_cast<std::size_t>(
+            SweepPhase::Ipc)] += ipc_seconds;
+        phaseGlobalAdd(outcome.phaseSeconds);
         return outcome;
     }
 
@@ -890,6 +929,9 @@ SweepRunner::runIsolatedAttempt(const Point &point,
     outcome.id = point.id;
     outcome.wallSeconds = wall;
     outcome.debugTail = std::move(relayed_ring);
+    outcome.phaseSeconds[static_cast<std::size_t>(SweepPhase::Ipc)] +=
+        ipc_seconds;
+    phaseGlobalAdd(outcome.phaseSeconds);
     if (hard_killed) {
         outcome.status = PointStatus::TimedOut;
         outcome.errorCategory = ErrorCategory::Timeout;
@@ -951,8 +993,17 @@ SweepRunner::executePoint(const Point &point, const Resolved &how) const
     // forensic line naming the invariant.
     if (outcome.status == PointStatus::Ok ||
         outcome.status == PointStatus::AuditFailed) {
-        std::lock_guard<std::mutex> lock(manifestMutex);
-        appendManifest(outcome);
+        auto started = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(manifestMutex);
+            appendManifest(outcome);
+        }
+        double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+        phaseRecord(SweepPhase::Checkpoint, seconds);
+        outcome.phaseSeconds[static_cast<std::size_t>(
+            SweepPhase::Checkpoint)] += seconds;
     }
     return outcome;
 }
@@ -1016,7 +1067,11 @@ SweepRunner::run()
 {
     SweepReport report;
     report.outcomes.resize(points.size());
-    std::map<std::string, double> done = loadManifest();
+    std::map<std::string, double> done;
+    {
+        ScopedPhaseTimer timer(SweepPhase::Checkpoint);
+        done = loadManifest();
+    }
     const Resolved how = resolveOptions();
     unsigned jobs = how.jobs;
 
@@ -1100,6 +1155,9 @@ SweepRunner::run()
                        std::chrono::duration<double>(
                            now_tp - campaign_started)
                            .count());
+                std::string phases = phaseGlobalSummary();
+                if (!phases.empty())
+                    inform("sweep: host phases: %s", phases.c_str());
                 continue;
             }
             point_done.wait_for(lock,

@@ -36,6 +36,7 @@
 #include "core/config.hh"
 #include "core/factory.hh"
 #include "core/simulator.hh"
+#include "obs/phase_profiler.hh"
 #include "util/error.hh"
 
 namespace rampage
@@ -238,6 +239,13 @@ struct PointOutcome
      * surfaced).  Null unless Failed/AuditFailed.
      */
     std::exception_ptr exception;
+    /**
+     * Host wall-clock attributed to each sweep-pipeline phase for
+     * this point (src/obs/phase_profiler.hh): trace generation,
+     * simulation, audits, checkpoint I/O and — for isolated points —
+     * the parent-side IPC drain.  Survives the --isolate pipe.
+     */
+    PhaseSeconds phaseSeconds{};
     /** True when `result` holds a simulation run from this campaign. */
     bool haveResult = false;
     SimResult result;

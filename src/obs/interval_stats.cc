@@ -1,0 +1,148 @@
+#include "obs/interval_stats.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include "stats/histogram.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace rampage
+{
+
+IntervalStatsWriter::IntervalStatsWriter(const StatsRegistry *registry,
+                                         std::string path,
+                                         std::uint64_t interval_refs)
+    : reg(registry), outPath(std::move(path)),
+      intervalRefs(interval_refs ? interval_refs : 1),
+      nextBoundary(intervalRefs)
+{
+}
+
+IntervalStatsWriter::~IntervalStatsWriter()
+{
+    if (out)
+        std::fclose(out);
+}
+
+void
+IntervalStatsWriter::sample(std::uint64_t refs_executed,
+                            std::uint64_t now_ps)
+{
+    StatsSnapshot current = reg->snapshot();
+    writeLine(refs_executed, now_ps, current);
+    previous = std::move(current);
+    lastSampledRefs = refs_executed;
+    while (nextBoundary <= refs_executed)
+        nextBoundary += intervalRefs;
+}
+
+void
+IntervalStatsWriter::finish(std::uint64_t refs_executed,
+                            std::uint64_t now_ps)
+{
+    // Final partial epoch, so delta sums always equal the end-of-run
+    // snapshot.  Skip only if the last boundary landed exactly here.
+    if (refs_executed > lastSampledRefs || epochCount == 0)
+        sample(refs_executed, now_ps);
+    if (out) {
+        std::fclose(out);
+        out = nullptr;
+    }
+}
+
+void
+IntervalStatsWriter::writeLine(std::uint64_t refs_executed,
+                               std::uint64_t now_ps,
+                               const StatsSnapshot &current)
+{
+    if (writeFailed)
+        return;
+    if (!out) {
+        out = std::fopen(outPath.c_str(), "w");
+        if (!out) {
+            warnFailure("open");
+            return;
+        }
+    }
+
+    JsonValue line = JsonValue::object();
+    line.set("epoch", JsonValue::integer(epochCount + 1));
+    line.set("refs", JsonValue::integer(refs_executed - lastSampledRefs));
+    line.set("refs_total", JsonValue::integer(refs_executed));
+    line.set("sim_ns",
+             JsonValue::number(static_cast<double>(now_ps) / 1000.0));
+
+    JsonValue stats = JsonValue::object();
+    for (const StatsSnapshot::Entry &entry : current.entries()) {
+        const StatsSnapshot::Entry *prev = previous.find(entry.name);
+        switch (entry.kind) {
+          case StatsSnapshot::Kind::Counter: {
+            std::uint64_t before = prev ? prev->counter : 0;
+            stats.set(entry.name,
+                      JsonValue::integer(entry.counter - before));
+            break;
+          }
+          case StatsSnapshot::Kind::Value:
+            // Formulas (ratios, bandwidths) are reported absolute: a
+            // delta of a ratio has no meaning.
+            stats.set(entry.name, JsonValue::number(entry.value));
+            break;
+          case StatsSnapshot::Kind::Histogram: {
+            std::vector<std::uint64_t> delta = entry.buckets;
+            std::uint64_t samples = entry.samples;
+            std::uint64_t sum = entry.sum;
+            if (prev) {
+                for (std::size_t i = 0;
+                     i < prev->buckets.size() && i < delta.size(); ++i)
+                    delta[i] -= prev->buckets[i];
+                samples -= prev->samples;
+                sum -= prev->sum;
+            }
+            JsonValue hist = JsonValue::object();
+            hist.set("count", JsonValue::integer(samples));
+            hist.set("sum", JsonValue::integer(sum));
+            hist.set("mean",
+                     JsonValue::number(
+                         samples == 0 ? 0.0
+                                      : static_cast<double>(sum) /
+                                            static_cast<double>(samples)));
+            hist.set("p50", JsonValue::integer(
+                                log2BucketsPercentile(delta, 0.50)));
+            hist.set("p95", JsonValue::integer(
+                                log2BucketsPercentile(delta, 0.95)));
+            hist.set("p99", JsonValue::integer(
+                                log2BucketsPercentile(delta, 0.99)));
+            stats.set(entry.name, std::move(hist));
+            break;
+          }
+        }
+    }
+    line.set("stats", std::move(stats));
+
+    std::string text = line.dump(0); // JSONL: one compact line per epoch
+    text += '\n';
+    // One write + flush per epoch: a killed run leaves a valid JSONL
+    // prefix, never a torn line.
+    if (std::fwrite(text.data(), 1, text.size(), out) != text.size() ||
+        std::fflush(out) != 0) {
+        warnFailure("write");
+        return;
+    }
+    ++epochCount;
+}
+
+void
+IntervalStatsWriter::warnFailure(const char *what)
+{
+    warnOnce("interval-stats: cannot %s '%s': %s — time series lost "
+             "[io]",
+             what, outPath.c_str(), std::strerror(errno));
+    writeFailed = true;
+    if (out) {
+        std::fclose(out);
+        out = nullptr;
+    }
+}
+
+} // namespace rampage

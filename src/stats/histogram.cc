@@ -49,12 +49,22 @@ Log2Histogram::bucketFor(std::uint64_t value) const
 std::uint64_t
 Log2Histogram::percentileUpperBound(double fraction) const
 {
-    if (totalSamples == 0)
+    return log2BucketsPercentile(buckets, fraction);
+}
+
+std::uint64_t
+log2BucketsPercentile(const std::vector<std::uint64_t> &buckets,
+                      double fraction)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t count : buckets)
+        total += count;
+    if (total == 0)
         return 0;
     fraction = std::min(1.0, std::max(fraction, 0.0));
     // Round up: the 50th percentile of {1,1} is still inside bucket 0.
     std::uint64_t target = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(totalSamples));
+        fraction * static_cast<double>(total));
     if (target == 0)
         target = 1;
     std::uint64_t cumulative = 0;

@@ -63,6 +63,18 @@ class Log2Histogram
     std::uint64_t totalSum = 0;
 };
 
+/**
+ * Percentile upper bound over raw log2 bucket counts, for callers
+ * holding frozen buckets rather than a live histogram (StatsSnapshot
+ * entries, interval deltas).  Same estimate as
+ * Log2Histogram::percentileUpperBound: the top of the bucket where the
+ * cumulative count first reaches `fraction` of all samples.  Returns 0
+ * when the buckets are empty.
+ */
+std::uint64_t
+log2BucketsPercentile(const std::vector<std::uint64_t> &buckets,
+                      double fraction);
+
 /** Running min/max/mean/count summary of a scalar statistic. */
 class RunningStats
 {

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/error.hh"
+#include "util/glob.hh"
 
 namespace rampage
 {
@@ -55,6 +56,16 @@ StatsSnapshot::find(const std::string &name) const
     return nullptr;
 }
 
+StatsSnapshot
+StatsSnapshot::filter(const std::string &pattern) const
+{
+    StatsSnapshot out;
+    for (const Entry &entry : items)
+        if (globMatch(pattern, entry.name))
+            out.items.push_back(entry);
+    return out;
+}
+
 JsonValue
 StatsSnapshot::toJson() const
 {
@@ -69,6 +80,7 @@ StatsSnapshot::toJson() const
             break;
           case Kind::Histogram: {
             JsonValue hist = JsonValue::object();
+            hist.set("count", JsonValue::integer(entry.samples));
             hist.set("samples", JsonValue::integer(entry.samples));
             hist.set("sum", JsonValue::integer(entry.sum));
             hist.set("mean",
@@ -77,6 +89,15 @@ StatsSnapshot::toJson() const
                              ? 0.0
                              : static_cast<double>(entry.sum) /
                                    static_cast<double>(entry.samples)));
+            hist.set("p50",
+                     JsonValue::integer(
+                         log2BucketsPercentile(entry.buckets, 0.50)));
+            hist.set("p95",
+                     JsonValue::integer(
+                         log2BucketsPercentile(entry.buckets, 0.95)));
+            hist.set("p99",
+                     JsonValue::integer(
+                         log2BucketsPercentile(entry.buckets, 0.99)));
             JsonValue buckets = JsonValue::array();
             for (std::uint64_t count : entry.buckets)
                 buckets.push(JsonValue::integer(count));

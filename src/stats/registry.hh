@@ -89,8 +89,16 @@ class StatsSnapshot
     const Entry *find(const std::string &name) const;
 
     /**
+     * Entries whose names match a shell-style glob ('*' any run, '?'
+     * one character; see util/glob.hh), in original order.  Backs the
+     * benches' --stats-filter so a dump can be scoped to "tlb.*".
+     */
+    StatsSnapshot filter(const std::string &pattern) const;
+
+    /**
      * JSON object: scalar entries as numbers, histograms as
-     * {samples, sum, mean, buckets:[...]}.
+     * {count, samples, sum, mean, p50, p95, p99, log2_buckets:[...]}
+     * (percentiles are log2-bucket upper-bound estimates).
      */
     JsonValue toJson() const;
 

@@ -1,0 +1,33 @@
+#include "util/glob.hh"
+
+namespace rampage
+{
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative wildcard match with backtracking to the most recent
+    // '*': linear in practice, never exponential.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, star_t = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            star_t = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++star_t;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+} // namespace rampage

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Shell-style glob matching for stat names ("tlb.*", "l1?.misses",
+ * "sim.trace.*").  Used by the benches' --stats-filter flag and the
+ * interval-stats writer to scope telemetry dumps to the counters an
+ * experiment actually cares about.
+ */
+
+#ifndef RAMPAGE_UTIL_GLOB_HH
+#define RAMPAGE_UTIL_GLOB_HH
+
+#include <string>
+
+namespace rampage
+{
+
+/**
+ * Match `text` against `pattern`, where '*' matches any run of
+ * characters (including none) and '?' matches exactly one.  All other
+ * characters — including '.' — match literally, so "tlb.*" matches
+ * every stat under the tlb component and nothing else.
+ */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+} // namespace rampage
+
+#endif // RAMPAGE_UTIL_GLOB_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the interval-stats time series: a traced run's JSONL
+ * epochs must be well-formed, their counter deltas must sum exactly
+ * to the final stats snapshot (the core acceptance invariant for
+ * --stats-interval), and the final partial epoch must cover the tail
+ * of the run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "core/hierarchy.hh"
+#include "core/simulator.hh"
+#include "core/sweep.hh"
+#include "obs/obs_config.hh"
+#include "trace/synthetic.hh"
+#include "util/json.hh"
+
+namespace rampage
+{
+namespace
+{
+
+constexpr std::uint64_t oneGhz = 1'000'000'000ull;
+
+std::vector<std::unique_ptr<TraceSource>>
+tinyWorkload(int programs = 3)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    for (int i = 0; i < programs; ++i) {
+        ProgramProfile profile;
+        profile.name = "tiny" + std::to_string(i);
+        profile.seed = 100 + i;
+        profile.heapBytes = 256 * kib;
+        sources.push_back(std::make_unique<SyntheticProgram>(
+            profile, static_cast<Pid>(i)));
+    }
+    return sources;
+}
+
+SimResult
+intervalRun(std::uint64_t refs, std::uint64_t interval,
+            const std::string &tag, bool switch_on_miss = false)
+{
+    SimConfig sim;
+    sim.maxRefs = refs;
+    sim.quantumRefs = 10'000;
+    sim.statsIntervalRefs = interval;
+    sim.switchOnMiss = switch_on_miss;
+    sim.intervalOutBase =
+        std::string(::testing::TempDir()) + "/rampage_interval_" + tag;
+    auto config = rampageConfig(oneGhz, 4 * kib);
+    config.switchOnMiss = switch_on_miss;
+    auto hier = makeHierarchy(config);
+    Simulator simulator(*hier, tinyWorkload(), sim);
+    return simulator.run();
+}
+
+std::vector<JsonValue>
+readJsonLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::vector<JsonValue> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(JsonValue::parse(line));
+    return lines;
+}
+
+TEST(IntervalStats, EpochsAreWellFormedAndComplete)
+{
+    SimResult result = intervalRun(60'000, 10'000, "shape");
+    ASSERT_FALSE(result.intervalFile.empty());
+    std::vector<JsonValue> lines = readJsonLines(result.intervalFile);
+    // 60k refs at a 10k interval: 6 boundary epochs, no tail.
+    ASSERT_EQ(lines.size(), 6u);
+    const StatsSnapshot::Entry *epochs =
+        result.stats.find("sim.interval.epochs");
+    ASSERT_NE(epochs, nullptr);
+    EXPECT_EQ(epochs->counter, lines.size());
+
+    std::uint64_t refs_total = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const JsonValue &line = lines[i];
+        EXPECT_EQ(line.at("epoch").asInt(),
+                  static_cast<std::int64_t>(i + 1));
+        EXPECT_EQ(line.at("refs").asInt(), 10'000);
+        refs_total += 10'000;
+        EXPECT_EQ(line.at("refs_total").asInt(),
+                  static_cast<std::int64_t>(refs_total));
+        EXPECT_GT(line.at("sim_ns").asDouble(), 0.0);
+        EXPECT_TRUE(line.at("stats").isObject());
+    }
+    std::remove(result.intervalFile.c_str());
+}
+
+TEST(IntervalStats, FinalPartialEpochCoversTheTail)
+{
+    SimResult result = intervalRun(25'000, 10'000, "tail");
+    std::vector<JsonValue> lines = readJsonLines(result.intervalFile);
+    ASSERT_EQ(lines.size(), 3u); // 10k, 10k, then the 5k tail
+    EXPECT_EQ(lines.back().at("refs").asInt(), 5'000);
+    EXPECT_EQ(lines.back().at("refs_total").asInt(), 25'000);
+    std::remove(result.intervalFile.c_str());
+}
+
+TEST(IntervalStats, CounterDeltasSumToFinalSnapshot)
+{
+    SimResult result = intervalRun(60'000, 7'000, "sums");
+    std::vector<JsonValue> lines = readJsonLines(result.intervalFile);
+    ASSERT_FALSE(lines.empty());
+
+    // Sum every per-epoch counter delta across the series (a
+    // whole-valued formula also parses back as a JSON integer, so key
+    // the counter test off the final snapshot's kind)...
+    std::map<std::string, std::uint64_t> sums;
+    for (const JsonValue &line : lines)
+        for (const auto &[name, value] : line.at("stats").members()) {
+            const StatsSnapshot::Entry *entry =
+                result.stats.find(name);
+            ASSERT_NE(entry, nullptr) << name;
+            if (entry->kind == StatsSnapshot::Kind::Counter)
+                sums[name] +=
+                    static_cast<std::uint64_t>(value.asInt());
+        }
+
+    // ...and every summed counter must equal its final absolute value.
+    std::size_t checked = 0;
+    for (const auto &[name, total] : sums) {
+        EXPECT_EQ(result.stats.find(name)->counter, total) << name;
+        ++checked;
+    }
+    EXPECT_GT(checked, 5u); // the registry has many counters
+    std::remove(result.intervalFile.c_str());
+}
+
+TEST(IntervalStats, WorksUnderSwitchOnMiss)
+{
+    SimResult result = intervalRun(40'000, 9'000, "som", true);
+    ASSERT_FALSE(result.intervalFile.empty());
+    std::vector<JsonValue> lines = readJsonLines(result.intervalFile);
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(lines.back().at("refs_total").asInt(), 40'000);
+
+    std::map<std::string, std::uint64_t> sums;
+    for (const JsonValue &line : lines)
+        for (const auto &[name, value] : line.at("stats").members()) {
+            const StatsSnapshot::Entry *entry =
+                result.stats.find(name);
+            ASSERT_NE(entry, nullptr) << name;
+            if (entry->kind == StatsSnapshot::Kind::Counter)
+                sums[name] +=
+                    static_cast<std::uint64_t>(value.asInt());
+        }
+    for (const auto &[name, total] : sums)
+        EXPECT_EQ(result.stats.find(name)->counter, total) << name;
+    std::remove(result.intervalFile.c_str());
+}
+
+TEST(IntervalStats, PerPointFilesUnderSweepLabels)
+{
+    // Two labelled runs (as SweepRunner workers would label them)
+    // must land in two distinct files named after the points.
+    std::string base =
+        std::string(::testing::TempDir()) + "/rampage_interval_sweep";
+    std::vector<std::string> files;
+    for (const char *label : {"fam/1KB", "fam/4KB"}) {
+        ObsPointLabelScope scope(label);
+        SimConfig sim;
+        sim.maxRefs = 20'000;
+        sim.quantumRefs = 10'000;
+        sim.statsIntervalRefs = 10'000;
+        sim.intervalOutBase = base;
+        auto hier = makeHierarchy(rampageConfig(oneGhz, 4 * kib));
+        Simulator simulator(*hier, tinyWorkload(), sim);
+        SimResult result = simulator.run();
+        ASSERT_FALSE(result.intervalFile.empty());
+        files.push_back(result.intervalFile);
+    }
+    EXPECT_NE(files[0], files[1]);
+    EXPECT_NE(files[0].find("fam_1KB"), std::string::npos);
+    EXPECT_NE(files[1].find("fam_4KB"), std::string::npos);
+    for (const std::string &file : files) {
+        EXPECT_FALSE(readJsonLines(file).empty());
+        std::remove(file.c_str());
+    }
+}
+
+} // namespace
+} // namespace rampage
