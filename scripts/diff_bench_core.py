@@ -6,12 +6,23 @@ fresh results/BENCH_core.json against a committed baseline
 (tests/golden/BENCH_core.baseline.json) and fails when anything
 regressed by more than the threshold (default 10%).
 
-Absolute throughput is machine-dependent, so CI runs this step as
-informational (continue-on-error); the point is a loud early warning
-when a change makes the simulator structurally slower, in the same
-spirit as the golden-stdout diff for correctness.
+This is a failing CI gate, the perf analogue of the golden-stdout
+diff for correctness.  Absolute throughput is machine-dependent, so
+the gate compares *ratios* against a baseline captured on the same
+class of runner; pass --warn-only to print the comparison but always
+exit 0 (the escape hatch for machines the baseline was never meant
+to describe, e.g. local laptops).
 
-Usage: diff_bench_core.py <baseline.json> <current.json> [threshold]
+Updating the baseline: when a change intentionally alters throughput
+(new subsystem, heavier audit, algorithmic trade-off), regenerate on
+a quiet machine at the CI scale and commit the result alongside the
+change that explains it:
+
+    RAMPAGE_REFS=200000 RAMPAGE_QUANTUM=20000 ./run_benches.sh
+    cp results/BENCH_core.json tests/golden/BENCH_core.baseline.json
+
+Usage: diff_bench_core.py [--warn-only] <baseline.json> <current.json>
+                          [threshold]
 """
 
 import json
@@ -19,6 +30,11 @@ import sys
 
 
 def main():
+    argv = sys.argv[1:]
+    warn_only = "--warn-only" in argv
+    if warn_only:
+        argv.remove("--warn-only")
+    sys.argv = [sys.argv[0]] + argv
     if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
@@ -59,6 +75,10 @@ def main():
         print(f"diff_bench_core: {len(regressions)} mean-throughput "
               f"regression(s) beyond {threshold:.0%}: "
               f"{', '.join(regressions)}", file=sys.stderr)
+        if warn_only:
+            print("diff_bench_core: --warn-only, not failing",
+                  file=sys.stderr)
+            return 0
         return 1
     print(f"diff_bench_core: ok (no regression beyond {threshold:.0%})")
     return 0

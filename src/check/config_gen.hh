@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seeded random design-point generation for the differential fuzzer.
+ *
+ * generatePoint() draws a *valid* FuzzPoint: every hierarchy family
+ * (conventional set-associative and column-associative L2s, victim
+ * caches, RAMpage uniform and per-pid page-size policies, switch-on-
+ * miss), every cache/TLB geometry knob, all five page-replacement
+ * policies, and small simulation scales tuned so a full metamorphic
+ * property suite runs in well under a second per point.  Candidates
+ * are drawn, cross-field constraints are pre-solved where cheap (the
+ * per-pid window-clock capacity bound, the standby-list bound), and
+ * the result is pushed through validateHierarchyConfig(); rejected
+ * candidates are counted and resampled, which exercises the
+ * validation path with realistic near-miss configurations on every
+ * fuzzing run.
+ *
+ * mutateHostile() is the adversarial half: it takes a valid point and
+ * corrupts one configuration field with a hostile value (zero,
+ * non-power-of-two, absurdly large, cross-field incompatible).  The
+ * contract under test is that validation *rejects with ConfigError or
+ * accepts* — any other exception or a crash is a validation bug.
+ */
+
+#ifndef RAMPAGE_CHECK_CONFIG_GEN_HH
+#define RAMPAGE_CHECK_CONFIG_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "check/repro.hh"
+#include "util/random.hh"
+
+namespace rampage
+{
+
+/** Generation statistics (validation-rejection accounting). */
+struct GenStats
+{
+    std::uint64_t candidates = 0; ///< candidates drawn
+    std::uint64_t rejected = 0;   ///< rejected by validation
+};
+
+/**
+ * Draw one valid design point.  `seed`/`index` are recorded in the
+ * point for provenance; the caller owns the Rng so a fuzzing campaign
+ * is one deterministic stream.
+ * @throws InternalError if no valid candidate emerges in 256 draws
+ *         (would indicate a generator/validator disagreement).
+ */
+FuzzPoint generatePoint(Rng &rng, std::uint64_t seed,
+                        std::uint64_t index,
+                        GenStats *stats = nullptr);
+
+/**
+ * Corrupt one configuration field of `config` with a hostile value.
+ * @return a short description of the mutation (for diagnostics).
+ */
+std::string mutateHostile(Rng &rng, HierarchyConfig &config);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_CONFIG_GEN_HH

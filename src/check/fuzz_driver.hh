@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The differential-fuzzing campaign driver behind `rampage_fuzz`.
+ *
+ * A campaign is a deterministic loop over one seeded Rng stream:
+ * generate a valid design point (check/config_gen.hh), run the
+ * metamorphic property suite (check/properties.hh), and — every few
+ * points — corrupt a copy of the configuration with a hostile
+ * mutation and assert that validation rejects it with ConfigError
+ * (any other escape is a validation bug and a campaign finding).  A
+ * failing point is shrunk (check/shrink.hh) and written as a JSON
+ * repro under the output directory for `--fuzz-replay` and for
+ * committing to tests/corpus/.
+ *
+ * The detector-coverage meta-check (runDetectorCoverage) closes the
+ * loop on the audit/oracle safety net: for every injectable model
+ * fault it builds a canonical point where the fault applies, injects
+ * it, and requires that the audits (AuditError) or the differential
+ * oracle / property suite catches the corruption.  A fault no
+ * detector sees would mean a whole class of real bugs could slip
+ * through CI silently.
+ */
+
+#ifndef RAMPAGE_CHECK_FUZZ_DRIVER_HH
+#define RAMPAGE_CHECK_FUZZ_DRIVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/config_gen.hh"
+#include "check/properties.hh"
+#include "core/fault_injection.hh"
+
+namespace rampage
+{
+
+/** Campaign knobs (the `rampage_fuzz` CLI maps onto this). */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+    /** Points to fuzz; 0 = keep going until the time budget ends. */
+    std::uint64_t points = 0;
+    /** Wall-clock budget in seconds; 0 = no time limit. */
+    double budgetSeconds = 0;
+    /** Replay every *.json under this directory before fuzzing. */
+    std::string corpusDir;
+    /** Where failing repros (and campaign notes) are written. */
+    std::string outDir = "results/fuzz";
+    /** Fault spec injected into every generated point (tests). */
+    std::string faultSpec;
+    /** Property-suite evaluation budget per shrink. */
+    unsigned shrinkEvaluations = 200;
+    /** Run a hostile-mutation validation probe every N points. */
+    unsigned hostileEvery = 4;
+    /** Print per-point progress lines. */
+    bool verbose = false;
+};
+
+/** What a campaign did. */
+struct FuzzCampaignResult
+{
+    std::uint64_t pointsRun = 0;
+    std::uint64_t corpusReplayed = 0;
+    std::uint64_t hostileProbes = 0;
+    GenStats gen;
+    /** Repro files written for shrunk failures. */
+    std::vector<std::string> reproPaths;
+    /** Failure descriptions (property or validation findings). */
+    std::vector<std::string> findings;
+
+    bool ok() const { return findings.empty(); }
+};
+
+/** Run a fuzzing campaign.  Deterministic for a given options set. */
+FuzzCampaignResult runFuzzCampaign(const FuzzOptions &options);
+
+/**
+ * Replay one JSON repro through the property suite.
+ * @retval 0 the point now passes; 1 it still fails (the failure
+ *         summary is printed); throws SimError on an unreadable file.
+ */
+int replayRepro(const std::string &path, bool verbose = true);
+
+/**
+ * Replay every *.json under `dir` (sorted by name).
+ * @return the number of repros that still fail.
+ */
+int replayReproDir(const std::string &dir, bool verbose = true);
+
+/** One fault kind's detection outcome. */
+struct CoverageOutcome
+{
+    ModelFault kind = ModelFault::None;
+    bool auditCaught = false;  ///< boundary audits raised AuditError
+    bool oracleCaught = false; ///< suite w/o audits flagged the run
+    std::string detail;
+
+    bool caught() const { return auditCaught || oracleCaught; }
+};
+
+/**
+ * The detector-coverage meta-check: inject every model fault into a
+ * canonical point where it applies and record which safety net
+ * catches it.  Every kind must be caught by at least one.
+ */
+std::vector<CoverageOutcome> runDetectorCoverage(bool verbose = false);
+
+/** Create `path` (and parents) as directories; throws IoError. */
+void ensureDirectories(const std::string &path);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_FUZZ_DRIVER_HH

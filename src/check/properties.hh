@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The metamorphic property suite the fuzzer runs per design point.
+ *
+ * Each property states a relation the simulator must satisfy that
+ * needs no knowledge of the "right" absolute numbers:
+ *
+ *  - P0 oracle:        the frozen StatsSnapshot agrees with the
+ *                      independent reference model (check/ref_model.hh)
+ *                      at that point's coverage tier.
+ *  - P1 determinism:   re-running the identical point reproduces the
+ *                      snapshot bit for bit (doubles compared as bit
+ *                      patterns).
+ *  - P2 degeneracy:    a uniform-page RAMpage config and the same
+ *                      config written as a *degenerate per-pid policy*
+ *                      (every pid at the base frame size) are the same
+ *                      machine and must produce identical snapshots.
+ *  - P3 sweep harness: running the point through SweepRunner with
+ *                      jobs=1, jobs=2 and --isolate (forked child,
+ *                      bit-exact IPC) yields the in-process snapshot.
+ *  - P4 audit:         enabling paranoid audits neither throws nor
+ *                      changes any non-audit statistic.
+ *  - P5 observability: enabling event tracing and interval stats
+ *                      changes nothing but the sim.trace.* /
+ *                      sim.interval.* bookkeeping counters.
+ *
+ * A point whose faultSpec is non-empty runs with that model fault
+ * injected, so properties are *expected* to fail — that is how the
+ * shrinker's failure predicate and the detector-coverage meta-check
+ * reuse this suite.
+ */
+
+#ifndef RAMPAGE_CHECK_PROPERTIES_HH
+#define RAMPAGE_CHECK_PROPERTIES_HH
+
+#include <string>
+#include <vector>
+
+#include "check/ref_model.hh"
+#include "check/repro.hh"
+
+namespace rampage
+{
+
+/** One failed property instance. */
+struct PropertyFailure
+{
+    std::string property; ///< stable name ("oracle", "determinism"...)
+    std::string detail;   ///< human-readable disagreement
+};
+
+/** Outcome of running the suite on one point. */
+struct PropertyReport
+{
+    OracleReport::Mode oracleMode = OracleReport::Mode::Identities;
+    std::vector<PropertyFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    /** "property: detail" lines joined with newlines ("" when ok). */
+    std::string summary() const;
+};
+
+/** Which properties to run (all by default). */
+struct PropertyOptions
+{
+    bool oracle = true;
+    bool determinism = true;
+    bool degeneracy = true;
+    bool sweepHarness = true;
+    bool audit = true;
+    bool observability = true;
+};
+
+/**
+ * Run the configured properties against one design point.  Engine
+ * errors (SimError) are captured as failures of the property that
+ * triggered them, never propagated — a valid config that throws *is*
+ * a finding.
+ */
+PropertyReport checkPoint(const FuzzPoint &point,
+                          const PropertyOptions &options = {});
+
+/**
+ * Build and run one engine simulation of `point` under `sim` —
+ * simulateSystem() plus the point's workload salt (which the stock
+ * runner has no seam for).  Exceptions propagate.
+ */
+SimResult simulateFuzzPoint(const FuzzPoint &point,
+                            const SimConfig &sim);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_PROPERTIES_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The differential-fuzzing reference oracle.
+ *
+ * RefModel answers one question: does the composed engine's frozen
+ * StatsSnapshot agree with an *independently computed* functional
+ * model of the same run?  The oracle replays the identical reference
+ * stream (its own makeWorkload() instance, seeded identically)
+ * through small purpose-written replicas of the functional state
+ * machines — TLB, split L1, SRAM page store with all five
+ * replacement policies — and counts hits, misses, faults,
+ * translations and DRAM transactions without any of the timing
+ * machinery (no cycle accounting, no DRAM pricing, no observability,
+ * no audits).  A disagreement on any count is a model bug in one of
+ * the two implementations.
+ *
+ * Oracle contract (what is shared, what is independent):
+ *  - Shared substrate, by design: the Rng (identical seeding is the
+ *    point), HandlerTraces (the synthesized handler reference stream
+ *    is an *input* to both models), makeWorkload() (likewise), and
+ *    the InvertedPageTable (pure lookup structure whose probe stream
+ *    feeds the handler synthesis).
+ *  - Independent, re-implemented here: cache/TLB lookup and
+ *    replacement, page-store placement/replacement/eviction for both
+ *    page-size policies, the fault/translation sequencing, and the
+ *    simulation driver loop.
+ *
+ * Coverage tiers (OracleReport::Mode):
+ *  - FullReplay: paged hierarchies with blocking faults — every
+ *    functional counter is predicted exactly.
+ *  - TlbReplay: conventional hierarchies — the TLB stream is
+ *    predicted exactly (translation is dir-backed and fault-free);
+ *    cache counters are checked through accounting identities.
+ *  - Identities: paged switch-on-miss runs — the interleaving is
+ *    timing-coupled, so only the cross-counter conservation
+ *    identities are checked.
+ * Timing counters (cycles, picoseconds, bandwidth formulas) are out
+ * of the oracle's scope in every mode.
+ */
+
+#ifndef RAMPAGE_CHECK_REF_MODEL_HH
+#define RAMPAGE_CHECK_REF_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "check/repro.hh"
+#include "stats/registry.hh"
+
+namespace rampage
+{
+
+/** Outcome of one oracle cross-check. */
+struct OracleReport
+{
+    enum class Mode
+    {
+        FullReplay, ///< every functional counter predicted exactly
+        TlbReplay,  ///< TLB exact + accounting identities
+        Identities, ///< conservation identities only
+    };
+
+    Mode mode = Mode::Identities;
+    /** Human-readable disagreements; empty means the check passed. */
+    std::vector<std::string> mismatches;
+
+    bool ok() const { return mismatches.empty(); }
+};
+
+const char *oracleModeName(OracleReport::Mode mode);
+
+/**
+ * Cross-check an engine run's snapshot against the reference model.
+ * `stats` is SimResult::stats from simulating exactly `point` (same
+ * hierarchy config, sim scale and workload salt, no fault injection
+ * — an injected fault is *supposed* to make this fail).
+ */
+OracleReport crossCheckOracle(const FuzzPoint &point,
+                              const StatsSnapshot &stats);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_REF_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fuzz-point repro artifacts: one self-contained JSON document that
+ * pins everything a differential-fuzzing run needs to be replayed
+ * bit-for-bit — the full HierarchyConfig (family tag plus every
+ * generator-varied field), the SimConfig scale, the workload seed
+ * salt and an optional model-fault spec.
+ *
+ * The codec is the contract between the fuzzer and the regression
+ * corpus under tests/corpus/: a shrunk failure is saved with
+ * fuzzPointToJson(), committed, and replayed forever after by
+ * `rampage_fuzz --fuzz-replay <file>` (and by ctest over the corpus
+ * directory).  Loading is strict — unknown families, non-power-of-two
+ * nonsense and missing keys all throw ConfigError, never crash —
+ * because corpus files are also an attack surface the fuzzer itself
+ * feeds back in.
+ */
+
+#ifndef RAMPAGE_CHECK_REPRO_HH
+#define RAMPAGE_CHECK_REPRO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/factory.hh"
+#include "core/simulator.hh"
+
+namespace rampage
+{
+
+/** One fuzzable design point: everything a replay needs. */
+struct FuzzPoint
+{
+    HierarchyConfig hier{};
+    /** Only the scale/determinism fields are meaningful here; audit
+     *  level and observability are chosen per property at run time. */
+    SimConfig sim{};
+    /** Seed salt for makeWorkload() — pins the reference stream. */
+    std::uint64_t workloadSalt = 0;
+    /** Model-fault spec "kind[:seed]" ("" = none) applied on replay. */
+    std::string faultSpec;
+
+    // --- provenance (informational, round-tripped verbatim) ----------
+    std::uint64_t generatorSeed = 0;
+    std::uint64_t pointIndex = 0;
+    /** Why this point was saved (the failing property's message). */
+    std::string note;
+};
+
+/** Serialize a point as a pretty-printed JSON document. */
+std::string fuzzPointToJson(const FuzzPoint &point);
+
+/**
+ * Rebuild a point from fuzzPointToJson() output.
+ * @throws ConfigError on malformed or unknown-schema input.
+ */
+FuzzPoint fuzzPointFromJson(const std::string &text);
+
+/** Load a point from a JSON file (ConfigError on I/O or parse). */
+FuzzPoint loadFuzzPoint(const std::string &path);
+
+/** Write a point to a JSON file (IoError semantics via ConfigError). */
+void saveFuzzPoint(const FuzzPoint &point, const std::string &path);
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_REPRO_HH

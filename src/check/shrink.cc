@@ -1,0 +1,237 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "core/factory.hh"
+#include "util/error.hh"
+
+namespace rampage
+{
+
+namespace
+{
+
+/** Re-arm the watchdog after the reference budget changed. */
+void
+rearmWatchdog(FuzzPoint &point)
+{
+    point.sim.watchdogRefBudget =
+        point.sim.maxRefs * 20 + 10'000'000;
+}
+
+using Transform = std::function<bool(FuzzPoint &)>;
+
+/**
+ * The transform roster, most-aggressive first — halving the run
+ * length buys the most wall time per accepted step, so it is tried
+ * before the structural simplifications.  Each transform returns
+ * false when it does not apply (already minimal).
+ */
+std::vector<Transform>
+transformsFor(const FuzzPoint &point)
+{
+    std::vector<Transform> out;
+
+    out.push_back([](FuzzPoint &p) {
+        if (p.sim.maxRefs <= 250)
+            return false;
+        p.sim.maxRefs /= 2;
+        p.sim.quantumRefs =
+            std::min(p.sim.quantumRefs, p.sim.maxRefs);
+        rearmWatchdog(p);
+        return true;
+    });
+    out.push_back([](FuzzPoint &p) {
+        if (p.sim.quantumRefs <= 100)
+            return false;
+        p.sim.quantumRefs /= 2;
+        return true;
+    });
+    out.push_back([](FuzzPoint &p) {
+        if (p.workloadSalt == 0)
+            return false;
+        p.workloadSalt = 0;
+        return true;
+    });
+
+    out.push_back([](FuzzPoint &p) {
+        CommonConfig &c = p.hier.common();
+        if (c.l1SizeBytes <= c.l1BlockBytes * 4)
+            return false;
+        c.l1SizeBytes /= 2;
+        return true;
+    });
+    out.push_back([](FuzzPoint &p) {
+        CommonConfig &c = p.hier.common();
+        if (c.l1Assoc == 1)
+            return false;
+        c.l1Assoc = 1;
+        return true;
+    });
+    out.push_back([](FuzzPoint &p) {
+        CommonConfig &c = p.hier.common();
+        if (c.tlb.entries <= 1)
+            return false;
+        c.tlb.entries /= 2;
+        if (c.tlb.assoc > c.tlb.entries)
+            c.tlb.assoc = c.tlb.entries;
+        return true;
+    });
+    out.push_back([](FuzzPoint &p) {
+        CommonConfig &c = p.hier.common();
+        if (c.tlb.assoc == 0)
+            return false;
+        c.tlb.assoc = 0; // fully associative: the simplest geometry
+        return true;
+    });
+
+    if (point.hier.family == HierarchyConfig::Family::Conventional) {
+        out.push_back([](FuzzPoint &p) {
+            ConventionalConfig &cc = p.hier.conventional;
+            if (cc.l2SizeBytes <= cc.l2BlockBytes * 8)
+                return false;
+            cc.l2SizeBytes /= 2;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            ConventionalConfig &cc = p.hier.conventional;
+            if (cc.l2Assoc == 1)
+                return false;
+            cc.l2Assoc = 1;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            ConventionalConfig &cc = p.hier.conventional;
+            if (cc.victimEntries == 0)
+                return false;
+            cc.victimEntries = 0;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            ConventionalConfig &cc = p.hier.conventional;
+            if (cc.l2Style == ConventionalConfig::L2Style::SetAssoc)
+                return false;
+            cc.l2Style = ConventionalConfig::L2Style::SetAssoc;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            ConventionalConfig &cc = p.hier.conventional;
+            if (cc.l2Repl == ReplPolicy::LRU)
+                return false;
+            cc.l2Repl = ReplPolicy::LRU;
+            return true;
+        });
+    } else {
+        out.push_back([](FuzzPoint &p) {
+            if (!p.hier.paged.switchOnMiss)
+                return false;
+            p.hier.paged.switchOnMiss = false;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.baseSramBytes <= pg.pageBytes * 8)
+                return false;
+            pg.baseSramBytes /= 2;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.tagBytesPerBlock == 0)
+                return false;
+            pg.tagBytesPerBlock = 0;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.pageBytesByPid.empty())
+                return false;
+            pg.pageBytesByPid.erase(pg.pageBytesByPid.begin());
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.defaultPageBytes == 0 ||
+                pg.defaultPageBytes == pg.pageBytes)
+                return false;
+            pg.defaultPageBytes = pg.pageBytes;
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.defaultPageBytes == 0)
+                return false;
+            pg.defaultPageBytes = 0; // true uniform policy
+            pg.pageBytesByPid.clear();
+            return true;
+        });
+        out.push_back([](FuzzPoint &p) {
+            PageStoreParams &pg = p.hier.paged.pager;
+            if (pg.defaultPageBytes != 0 ||
+                pg.repl == PageReplKind::Clock)
+                return false;
+            pg.repl = PageReplKind::Clock;
+            pg.standbyPages = 0;
+            return true;
+        });
+    }
+    return out;
+}
+
+bool
+validPoint(const FuzzPoint &point)
+{
+    try {
+        validateHierarchyConfig(point.hier);
+        return true;
+    } catch (const ConfigError &) {
+        return false;
+    }
+}
+
+} // namespace
+
+ShrinkResult
+shrinkPoint(const FuzzPoint &failing, const ShrinkOptions &options)
+{
+    ShrinkResult result;
+    result.point = failing;
+
+    PropertyReport report = checkPoint(failing, options.properties);
+    ++result.evaluations;
+    if (report.ok())
+        return result; // not failing: nothing to shrink
+
+    result.failure = report.summary();
+    bool progressed = true;
+    while (progressed && result.evaluations < options.maxEvaluations) {
+        progressed = false;
+        for (const Transform &transform :
+             transformsFor(result.point)) {
+            if (result.evaluations >= options.maxEvaluations)
+                break;
+            FuzzPoint candidate = result.point;
+            if (!transform(candidate) || !validPoint(candidate))
+                continue;
+            PropertyReport again =
+                checkPoint(candidate, options.properties);
+            ++result.evaluations;
+            if (again.ok())
+                continue; // transform lost the failure: reject
+            result.point = candidate;
+            result.failure = again.summary();
+            ++result.accepted;
+            progressed = true;
+            break; // restart from the most aggressive transform
+        }
+    }
+    result.point.note = "shrunk from seed " +
+                        std::to_string(failing.generatorSeed) +
+                        " point " +
+                        std::to_string(failing.pointIndex);
+    return result;
+}
+
+} // namespace rampage

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Greedy automatic shrinking of failing fuzz points.
+ *
+ * Given a design point whose property suite fails, shrinkPoint()
+ * repeatedly applies size-reducing transforms — halve the reference
+ * budget and quantum, halve cache/SRAM/TLB geometry, drop per-pid
+ * page-size entries, collapse policies to their simplest form
+ * (direct-mapped, clock, set-assoc, no victim cache, blocking
+ * faults), zero the workload salt — keeping a transform only when the
+ * transformed point (a) still validates and (b) still fails the same
+ * property suite.  The loop restarts after every accepted transform
+ * and stops at a fixpoint or when the evaluation budget runs out, so
+ * the result is locally minimal: no single transform can shrink it
+ * further while preserving the failure.
+ *
+ * The minimized point serializes to a small JSON repro
+ * (check/repro.hh) replayable with `rampage_fuzz --fuzz-replay`, and
+ * committed repros under tests/corpus/ become regression tests.
+ */
+
+#ifndef RAMPAGE_CHECK_SHRINK_HH
+#define RAMPAGE_CHECK_SHRINK_HH
+
+#include <string>
+
+#include "check/properties.hh"
+#include "check/repro.hh"
+
+namespace rampage
+{
+
+/** Shrinking knobs. */
+struct ShrinkOptions
+{
+    /** Property-suite evaluations allowed (each is a full re-check). */
+    unsigned maxEvaluations = 200;
+    /** Which properties constitute the failure predicate. */
+    PropertyOptions properties{};
+};
+
+/** What shrinking produced. */
+struct ShrinkResult
+{
+    FuzzPoint point;          ///< the minimized failing point
+    unsigned evaluations = 0; ///< property-suite runs spent
+    unsigned accepted = 0;    ///< transforms that kept the failure
+    std::string failure;      ///< the minimized point's failure summary
+};
+
+/**
+ * Minimize `failing` while its property suite keeps failing.  If the
+ * input point unexpectedly passes, it is returned unshrunk with an
+ * empty `failure`.
+ */
+ShrinkResult shrinkPoint(const FuzzPoint &failing,
+                         const ShrinkOptions &options = {});
+
+} // namespace rampage
+
+#endif // RAMPAGE_CHECK_SHRINK_HH

@@ -20,6 +20,12 @@ makeHierarchy(const HierarchyConfig &config)
     throw ConfigError("unknown hierarchy family");
 }
 
+void
+validateHierarchyConfig(const HierarchyConfig &config)
+{
+    makeHierarchy(config);
+}
+
 PagedHierarchy &
 asPaged(Hierarchy &hier)
 {

@@ -65,6 +65,17 @@ struct HierarchyConfig
 /** Construct the hierarchy a HierarchyConfig describes. */
 std::unique_ptr<Hierarchy> makeHierarchy(const HierarchyConfig &config);
 
+/**
+ * Validate a configuration without keeping the system: constructs and
+ * discards the described hierarchy so every constructor-time check
+ * (cache geometry, TLB shape, pager capacity, policy constraints)
+ * runs.  Throws ConfigError for an invalid configuration; any other
+ * exception escaping here is a validation bug — the differential
+ * fuzzer (src/check/) feeds hostile configurations through this seam
+ * and asserts exactly that.
+ */
+void validateHierarchyConfig(const HierarchyConfig &config);
+
 /** Checked downcasts for family-specific inspection (ConfigError). */
 PagedHierarchy &asPaged(Hierarchy &hier);
 const PagedHierarchy &asPaged(const Hierarchy &hier);

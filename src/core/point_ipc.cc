@@ -137,10 +137,30 @@ struct Reader
         return s;
     }
 
+    /**
+     * Read a u32 element count and bound it against the bytes left:
+     * every element needs at least `minElemBytes` more input, so a
+     * larger declared count is corruption.  Rejecting it here —
+     * *before* the caller reserves storage for it — keeps a flipped
+     * length byte from turning into a multi-gigabyte allocation.
+     */
+    std::uint32_t
+    count(std::size_t minElemBytes)
+    {
+        std::uint32_t n = u32();
+        if (static_cast<std::uint64_t>(n) * minElemBytes >
+            buf.size() - pos)
+            throw InternalError(
+                "isolated-point outcome declares %u elements "
+                "(>= %zu bytes each) but only %zu bytes remain",
+                n, minElemBytes, buf.size() - pos);
+        return n;
+    }
+
     std::vector<std::string>
     strVector()
     {
-        std::uint32_t n = u32();
+        std::uint32_t n = count(4); // 4-byte length prefix each
         std::vector<std::string> v;
         v.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i)
@@ -230,7 +250,9 @@ StatsSnapshot
 getSnapshot(Reader &in)
 {
     StatsSnapshot snap;
-    std::uint32_t count = in.u32();
+    // Minimal entry: two string length prefixes, kind, counter,
+    // value, bucket count, samples, sum = 45 bytes.
+    std::uint32_t count = in.count(45);
     for (std::uint32_t i = 0; i < count; ++i) {
         StatsSnapshot::Entry e;
         e.name = in.str();
@@ -238,7 +260,7 @@ getSnapshot(Reader &in)
         e.kind = static_cast<StatsSnapshot::Kind>(in.u8());
         e.counter = in.u64();
         e.value = in.dbl();
-        std::uint32_t buckets = in.u32();
+        std::uint32_t buckets = in.count(8);
         e.buckets.reserve(buckets);
         for (std::uint32_t b = 0; b < buckets; ++b)
             e.buckets.push_back(in.u64());
@@ -337,7 +359,8 @@ decodePointOutcome(const std::string &bytes)
     outcome.error = in.str();
     outcome.auditInvariant = in.str();
     outcome.auditScope = in.str();
-    std::uint32_t violations = in.u32();
+    // Each violation is two length-prefixed strings: >= 8 bytes.
+    std::uint32_t violations = in.count(8);
     outcome.auditViolations.reserve(violations);
     for (std::uint32_t i = 0; i < violations; ++i) {
         AuditViolation v;

@@ -82,6 +82,13 @@ PageStore::PageStore(const PageStoreParams &params)
                 "SRAM (%llu pages)",
                 static_cast<unsigned long long>(nOsFrames),
                 static_cast<unsigned long long>(nFrames));
+        if (prm.repl == PageReplKind::Standby &&
+            prm.standbyPages >= nFrames - nOsFrames)
+            throw ConfigError(
+                "standbyPages (%llu) must be smaller than the "
+                "evictable SRAM (%llu frames)",
+                static_cast<unsigned long long>(prm.standbyPages),
+                static_cast<unsigned long long>(nFrames - nOsFrames));
         repl = makePageReplacement(prm.repl, nFrames, nOsFrames, prm.seed,
                                    prm.standbyPages);
     } else {

@@ -331,6 +331,14 @@ class JsonParser
         return true;
     }
 
+    /**
+     * Deepest container nesting accepted.  The parser recurses once
+     * per '{'/'[', so an adversarial document of nothing but open
+     * brackets would otherwise convert input length into C++ stack
+     * depth; 128 is far beyond any legitimate config or repro file.
+     */
+    static constexpr unsigned maxDepth = 128;
+
     JsonValue
     parseValue()
     {
@@ -358,9 +366,22 @@ class JsonParser
         }
     }
 
+    /** Depth guard for one container; throws past maxDepth. */
+    struct Nesting
+    {
+        explicit Nesting(JsonParser &p) : parser(p)
+        {
+            if (++parser.depth > maxDepth)
+                parser.fail("nesting deeper than 128 levels");
+        }
+        ~Nesting() { --parser.depth; }
+        JsonParser &parser;
+    };
+
     JsonValue
     parseObject()
     {
+        Nesting nesting(*this);
         expect('{');
         JsonValue obj = JsonValue::object();
         if (peek() == '}') {
@@ -385,6 +406,7 @@ class JsonParser
     JsonValue
     parseArray()
     {
+        Nesting nesting(*this);
         expect('[');
         JsonValue arr = JsonValue::array();
         if (peek() == ']') {
@@ -504,6 +526,7 @@ class JsonParser
 
     const std::string &src;
     std::size_t pos = 0;
+    unsigned depth = 0; ///< current container nesting (see maxDepth)
 };
 
 } // namespace

@@ -134,6 +134,141 @@ TEST(ConfigValidation, MalformedQuantitiesThrow)
     expectConfigError([&] { parseFrequency("-3GHz"); }, "positive");
 }
 
+// ------------------------------------------------------------------
+// The invalid classes the fuzzer's hostile-mutation probe drills
+// (check/config_gen.cc mutateHostile): one explicit regression test
+// per class, each pinning that validation rejects with a diagnostic
+// that names the offending field or constraint.  The standby-list
+// bound was in fact *discovered* by this probe — it used to escape as
+// an assertion failure deep in page_replacement.cc.
+
+/** The paged baseline each hostile-class test corrupts one field of. */
+HierarchyConfig
+hostilePagedBase()
+{
+    return HierarchyConfig(rampageConfig(1'000'000'000ull, 1024));
+}
+
+HierarchyConfig
+hostileConvBase()
+{
+    return HierarchyConfig(baselineConfig(1'000'000'000ull, 128));
+}
+
+TEST(HostileConfigClasses, L1BlockGeometry)
+{
+    HierarchyConfig bad = hostilePagedBase();
+    bad.common().l1BlockBytes = 48; // non-power-of-two
+    expectConfigError([&] { makeHierarchy(bad); }, "power of two");
+
+    bad = hostilePagedBase();
+    bad.common().l1BlockBytes = 0;
+    expectConfigError([&] { makeHierarchy(bad); }, "power of two");
+
+    bad = hostileConvBase();
+    bad.common().l1SizeBytes = bad.common().l1BlockBytes * 5 + 1;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "multiple of the block");
+
+    bad = hostileConvBase();
+    bad.common().l1Assoc = 1u << 30;
+    expectConfigError([&] { makeHierarchy(bad); }, "associativity");
+}
+
+TEST(HostileConfigClasses, TlbGeometry)
+{
+    HierarchyConfig bad = hostilePagedBase();
+    bad.common().tlb.entries = 0;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "at least one entry");
+
+    bad = hostilePagedBase();
+    bad.common().tlb.entries = 64;
+    bad.common().tlb.assoc = 3; // does not divide the entries
+    expectConfigError([&] { makeHierarchy(bad); }, "incompatible");
+
+    bad = hostileConvBase();
+    bad.common().tlb.entries = 48;
+    bad.common().tlb.assoc = 4; // 12 sets: not a power of two
+    expectConfigError([&] { makeHierarchy(bad); }, "set count");
+}
+
+TEST(HostileConfigClasses, ConventionalL2Geometry)
+{
+    HierarchyConfig bad = hostileConvBase();
+    bad.conventional.l2BlockBytes = bad.common().l1BlockBytes / 2;
+    expectConfigError([&] { makeHierarchy(bad); }, "smaller");
+
+    bad = hostileConvBase();
+    bad.conventional.l2SizeBytes =
+        bad.conventional.l2BlockBytes * 7 + 3;
+    expectConfigError([&] { makeHierarchy(bad); }, "multiple");
+
+    bad = hostileConvBase();
+    bad.conventional.l2Style = ConventionalConfig::L2Style::ColumnAssoc;
+    bad.conventional.victimEntries = 4;
+    expectConfigError([&] { makeHierarchy(bad); }, "victim");
+}
+
+TEST(HostileConfigClasses, PagerFrameGeometry)
+{
+    HierarchyConfig bad = hostilePagedBase();
+    bad.paged.pager.pageBytes = 384;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "SRAM page size must be a power of two");
+
+    bad = hostilePagedBase();
+    bad.paged.pager.pageBytes = bad.common().dramPageBytes * 2;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "larger than the DRAM page");
+
+    bad = hostilePagedBase();
+    bad.paged.pager.baseSramBytes =
+        bad.paged.pager.pageBytes * 3 + 1;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "multiple of the page size");
+}
+
+TEST(HostileConfigClasses, PerPidPageSizePolicy)
+{
+    HierarchyConfig bad = hostilePagedBase();
+    bad.paged.pager.defaultPageBytes =
+        bad.paged.pager.pageBytes * 3; // non-power-of-two multiple
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "invalid for base frame");
+
+    bad = hostilePagedBase();
+    bad.paged.pager.defaultPageBytes =
+        bad.paged.pager.pageBytes / 2; // below the base frame
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "invalid for base frame");
+}
+
+TEST(HostileConfigClasses, OsReserveAndLayout)
+{
+    HierarchyConfig bad = hostilePagedBase();
+    bad.paged.pager.osFixedBytes = std::uint64_t{1} << 62;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "operating-system reserve");
+
+    bad = hostilePagedBase();
+    bad.paged.pager.osVirtBase =
+        bad.common().handlerLayout.codeBase + 0x100;
+    expectConfigError([&] { makeHierarchy(bad); },
+                      "handler code base");
+}
+
+TEST(HostileConfigClasses, StandbyListBound)
+{
+    // The generator-discovered gap: a standby list at least as large
+    // as the evictable SRAM used to trip an assertion (InternalError)
+    // inside PageReplacement instead of failing validation.
+    HierarchyConfig bad = hostilePagedBase();
+    bad.paged.pager.repl = PageReplKind::Standby;
+    bad.paged.pager.standbyPages = std::uint64_t{1} << 62;
+    expectConfigError([&] { makeHierarchy(bad); }, "standbyPages");
+}
+
 TEST(ConfigValidation, ErrorsCarryTheirCategory)
 {
     try {
