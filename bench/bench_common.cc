@@ -192,7 +192,7 @@ benchJsonActive()
 
 void
 benchRecordResult(const std::string &label, const SimResult &result,
-                  double wall_seconds)
+                  double wall_seconds, double simulate_seconds)
 {
     if (!benchJsonActive())
         return;
@@ -202,13 +202,21 @@ benchRecordResult(const std::string &label, const SimResult &result,
     entry.set("issue_hz", JsonValue::integer(result.issueHz));
     entry.set("elapsed_ps", JsonValue::integer(result.elapsedPs));
     entry.set("seconds", JsonValue::number(result.seconds()));
-    if (wall_seconds > 0) {
+    if (wall_seconds > 0)
         entry.set("wall_seconds", JsonValue::number(wall_seconds));
+    if (simulate_seconds > 0)
+        entry.set("simulate_seconds",
+                  JsonValue::number(simulate_seconds));
+    // Throughput over the simulate phase when measured; the point's
+    // wall time (trace generation, audits, checkpointing included)
+    // is only a fallback denominator.
+    double denom = simulate_seconds > 0 ? simulate_seconds
+                                        : wall_seconds;
+    if (denom > 0)
         entry.set("refs_per_sec",
                   JsonValue::number(
                       static_cast<double>(result.counts.refs) /
-                      wall_seconds));
-    }
+                      denom));
     if (!result.traceFile.empty())
         entry.set("trace_file", JsonValue::str(result.traceFile));
     if (!result.intervalFile.empty())
@@ -309,7 +317,8 @@ runBlockingSweep(const std::string &family, std::uint64_t issue_hz)
                                 outcome.error.c_str());
         }
         benchRecordResult(outcome.id, outcome.result,
-                          outcome.wallSeconds);
+                          outcome.wallSeconds,
+                          outcome.simulateSeconds());
         results.push_back(outcome.result);
     }
     return results;

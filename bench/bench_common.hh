@@ -58,11 +58,16 @@ int benchMain(int argc, char **argv, const std::function<int()> &body);
 /**
  * Record one simulation into the bench's JSON report ("results"
  * array: label, system, issue_hz, elapsed_ps, seconds, optional
- * wall_seconds / refs_per_sec, and the full stats snapshot).  No-op
+ * wall_seconds / simulate_seconds / refs_per_sec, and the full stats
+ * snapshot).  refs_per_sec is computed from `simulate_seconds` — host
+ * time inside Simulator::run proper — when it was measured, so the
+ * throughput gate is not diluted by trace generation, audits or
+ * checkpoint I/O; it falls back to `wall_seconds` otherwise.  No-op
  * unless --json was given.
  */
 void benchRecordResult(const std::string &label, const SimResult &result,
-                       double wall_seconds = 0);
+                       double wall_seconds = 0,
+                       double simulate_seconds = 0);
 
 /**
  * Record an arbitrary derived row (a table/figure cell) into the

@@ -30,6 +30,9 @@ for b in build/bench/*; do
   name=$(basename "$b")
   echo "=== $name ==="
   case "$name" in
+    # The fuzz harness is not a paper bench: it has its own CLI and
+    # CI steps (quick pass, corpus replay, nightly soak).
+    rampage_fuzz) continue ;;
     micro_components) set -- ;;
     # $extra is a space-joined list of scalar flags; word splitting
     # is the intended behaviour here.
@@ -48,8 +51,10 @@ done
 
 # Roll the per-bench JSON reports up into one simulator-throughput
 # summary (results/BENCH_core.json): every simulated point's
-# refs-per-wall-second, per bench and overall.  This is the number
-# that bounds RAMPAGE_FULL-scale runs, tracked as a CI artifact.
+# refs-per-simulate-phase-second (wall time excluding trace
+# generation, audits and checkpoint I/O), per bench and overall.
+# This is the number that bounds RAMPAGE_FULL-scale runs, tracked as
+# a CI artifact.
 if command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF' || status=1
 import glob, json

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Flag simulator-throughput regressions between two BENCH_core.json.
 
-Compares the overall and per-bench mean refs-per-wall-second of a
-fresh results/BENCH_core.json against a committed baseline
+Compares the overall and per-bench mean simulate-phase refs-per-second
+of a fresh results/BENCH_core.json against a committed baseline
 (tests/golden/BENCH_core.baseline.json) and fails when anything
-regressed by more than the threshold (default 10%).
+regressed by more than the threshold (default 10%).  The denominator
+is the simulate phase alone — host time inside Simulator::run — so
+trace generation, audits and checkpoint I/O cannot mask (or fake) an
+inner-loop regression.
 
 This is a failing CI gate, the perf analogue of the golden-stdout
 diff for correctness.  Absolute throughput is machine-dependent, so
@@ -12,6 +15,12 @@ the gate compares *ratios* against a baseline captured on the same
 class of runner; pass --warn-only to print the comparison but always
 exit 0 (the escape hatch for machines the baseline was never meant
 to describe, e.g. local laptops).
+
+Malformed input is a named failure, never a traceback: a baseline
+bench missing from the current run, a zero/negative current mean, or
+a bench entry without its "bench"/"mean_refs_per_sec" keys all report
+what is wrong and fail the gate (exit 1, or 0 under --warn-only);
+unreadable or non-JSON input exits 2, like a usage error.
 
 Updating the baseline: when a change intentionally alters throughput
 (new subsystem, heavier audit, algorithmic trade-off), regenerate on
@@ -29,6 +38,52 @@ import json
 import sys
 
 
+def load_doc(path):
+    """Load one summary JSON; exits 2 on unreadable/invalid input."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        print(f"diff_bench_core: cannot read {path}: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as err:
+        print(f"diff_bench_core: {path} is not valid JSON: {err}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"diff_bench_core: {path} is not a JSON object",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def mean_by_bench(doc, path, problems):
+    """Index bench means by name; malformed entries become problems."""
+    means = {}
+    benches = doc.get("benches", [])
+    if not isinstance(benches, list):
+        problems.append(f"{path}: 'benches' is not a list")
+        return means
+    for i, entry in enumerate(benches):
+        if not isinstance(entry, dict):
+            problems.append(f"{path}: benches[{i}] is not an object")
+            continue
+        name = entry.get("bench")
+        mean = entry.get("mean_refs_per_sec")
+        if not isinstance(name, str) or not name:
+            problems.append(
+                f"{path}: benches[{i}] has no 'bench' name")
+            continue
+        if not isinstance(mean, (int, float)):
+            problems.append(
+                f"{path}: bench '{name}' has no numeric "
+                f"'mean_refs_per_sec'")
+            continue
+        means[name] = float(mean)
+    return means
+
+
 def main():
     argv = sys.argv[1:]
     warn_only = "--warn-only" in argv
@@ -38,18 +93,18 @@ def main():
     if len(sys.argv) not in (3, 4):
         print(__doc__, file=sys.stderr)
         return 2
-    threshold = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
-    with open(sys.argv[1]) as fh:
-        baseline = json.load(fh)
-    with open(sys.argv[2]) as fh:
-        current = json.load(fh)
+    try:
+        threshold = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+    except ValueError:
+        print(f"diff_bench_core: threshold '{sys.argv[3]}' is not a "
+              f"number", file=sys.stderr)
+        return 2
+    baseline = load_doc(sys.argv[1])
+    current = load_doc(sys.argv[2])
 
-    def mean_by_bench(doc):
-        return {b["bench"]: b["mean_refs_per_sec"]
-                for b in doc.get("benches", [])}
-
-    base_means = mean_by_bench(baseline)
-    cur_means = mean_by_bench(current)
+    problems = []
+    base_means = mean_by_bench(baseline, sys.argv[1], problems)
+    cur_means = mean_by_bench(current, sys.argv[2], problems)
 
     regressions = []
     rows = [("overall", baseline.get("mean_refs_per_sec", 0),
@@ -57,11 +112,33 @@ def main():
     for bench in sorted(base_means):
         if bench in cur_means:
             rows.append((bench, base_means[bench], cur_means[bench]))
+        else:
+            # A baseline bench that vanished is a coverage loss the
+            # gate must not shrug off: a deleted (or crashed) bench
+            # would otherwise hide any regression it used to measure.
+            problems.append(
+                f"baseline bench '{bench}' missing from the current "
+                f"run")
     for bench in sorted(set(cur_means) - set(base_means)):
         print(f"  {bench:32s} (new bench, no baseline)")
 
     for name, base, cur in rows:
+        if not isinstance(base, (int, float)):
+            problems.append(
+                f"baseline '{name}' mean is not numeric")
+            continue
+        if not isinstance(cur, (int, float)):
+            problems.append(f"current '{name}' mean is not numeric")
+            continue
         if base <= 0:
+            # An unmeasured baseline can't anchor a ratio; skip it
+            # loudly so a hollow baseline is visible in the log.
+            print(f"  {name:32s} (baseline mean {base:.0f}, no ratio)")
+            continue
+        if cur <= 0:
+            problems.append(
+                f"current '{name}' mean is {cur:.0f} refs/s "
+                f"(zero or negative)")
             continue
         change = (cur - base) / base
         marker = ""
@@ -71,10 +148,18 @@ def main():
         print(f"  {name:32s} {base:14.0f} -> {cur:14.0f} refs/s "
               f"({change:+.1%}){marker}")
 
+    failed = False
+    if problems:
+        for problem in problems:
+            print(f"diff_bench_core: PROBLEM: {problem}",
+                  file=sys.stderr)
+        failed = True
     if regressions:
         print(f"diff_bench_core: {len(regressions)} mean-throughput "
               f"regression(s) beyond {threshold:.0%}: "
               f"{', '.join(regressions)}", file=sys.stderr)
+        failed = True
+    if failed:
         if warn_only:
             print("diff_bench_core: --warn-only, not failing",
                   file=sys.stderr)

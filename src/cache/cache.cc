@@ -80,19 +80,8 @@ SetAssocCache::SetAssocCache(const CacheParams &params)
             prm.name.c_str(), static_cast<unsigned long long>(nSets));
 
     blockBits = floorLog2(prm.blockBytes);
+    setBits = floorLog2(nSets);
     lines.assign(nSets * nWays, Line{});
-}
-
-std::uint64_t
-SetAssocCache::setIndex(Addr addr) const
-{
-    return (addr >> blockBits) & (nSets - 1);
-}
-
-Addr
-SetAssocCache::tagOf(Addr addr) const
-{
-    return addr >> blockBits >> floorLog2(nSets);
 }
 
 Addr
@@ -149,29 +138,13 @@ SetAssocCache::pickVictim(std::uint64_t set)
     throw InternalError("unreachable replacement policy");
 }
 
-CacheAccessResult
-SetAssocCache::access(Addr addr, bool is_write)
+void
+SetAssocCache::accessMiss(CacheAccessResult &result,
+                          [[maybe_unused]] Addr addr,
+                          std::uint64_t set, Addr tag, bool is_write)
 {
-    CacheAccessResult result;
-    std::uint64_t set = setIndex(addr);
-    Addr tag = tagOf(addr);
-    Line *base = &lines[set * nWays];
-
-    ++useCounter;
-    for (unsigned w = 0; w < nWays; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            result.hit = true;
-            if (is_write)
-                line.dirty = true;
-            if (prm.repl == ReplPolicy::LRU)
-                line.stamp = useCounter;
-            ++stat.hits;
-            return result;
-        }
-    }
-
     // Miss: allocate (write-allocate), possibly evicting a victim.
+    Line *base = &lines[set * nWays];
     ++stat.misses;
     RAMPAGE_DPRINTF(Cache, "%s miss %s addr=0x%llx set=%llu",
                     prm.name.c_str(), is_write ? "write" : "read",
@@ -195,7 +168,6 @@ SetAssocCache::access(Addr addr, bool is_write)
     line.dirty = is_write;
     line.tag = tag;
     line.stamp = useCounter; // fill time == first use
-    return result;
 }
 
 bool

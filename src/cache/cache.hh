@@ -90,8 +90,36 @@ class SetAssocCache
      * @param addr byte address (any offset within the block).
      * @param is_write marks the block dirty on hit or on allocate.
      * @return hit flag and victim details.
+     *
+     * The hit path is inline — the simulator probes an L1 on every
+     * reference and the paper's L1s are direct-mapped, so a hit is
+     * one tag compare; only the allocate/evict slow path lives out
+     * of line.
      */
-    CacheAccessResult access(Addr addr, bool is_write);
+    CacheAccessResult
+    access(Addr addr, bool is_write)
+    {
+        CacheAccessResult result;
+        std::uint64_t set = setIndex(addr);
+        Addr tag = tagOf(addr);
+        Line *base = &lines[set * nWays];
+
+        ++useCounter;
+        for (unsigned w = 0; w < nWays; ++w) {
+            Line &line = base[w];
+            if (line.valid && line.tag == tag) {
+                result.hit = true;
+                if (is_write)
+                    line.dirty = true;
+                if (prm.repl == ReplPolicy::LRU)
+                    line.stamp = useCounter;
+                ++stat.hits;
+                return result;
+            }
+        }
+        accessMiss(result, addr, set, tag, is_write);
+        return result;
+    }
 
     /** @return true if the block holding addr is present (no state change). */
     bool probe(Addr addr) const;
@@ -174,17 +202,32 @@ class SetAssocCache
         std::uint64_t stamp = 0; ///< LRU: last use; FIFO: fill order
     };
 
-    std::uint64_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr >> blockBits) & (nSets - 1);
+    }
+
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr >> blockBits >> setBits;
+    }
+
     Addr rebuildAddr(std::uint64_t set, Addr tag) const;
     Line *findLine(Addr addr);
     const Line *findLine(Addr addr) const;
     unsigned pickVictim(std::uint64_t set);
 
+    /** Allocate on a miss (write-allocate), possibly evicting. */
+    void accessMiss(CacheAccessResult &result, Addr addr,
+                    std::uint64_t set, Addr tag, bool is_write);
+
     CacheParams prm;
     std::uint64_t nSets;
     unsigned nWays;
     unsigned blockBits;
+    unsigned setBits; ///< floorLog2(nSets)
     std::vector<Line> lines; ///< nSets * nWays, set-major
     std::uint64_t useCounter = 0;
     Rng rng;

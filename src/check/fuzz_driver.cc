@@ -300,6 +300,7 @@ runDetectorCoverage(bool verbose)
         ModelFault::StaleDirty,  ModelFault::LeakFrame,
         ModelFault::DirAlias,    ModelFault::VarOwnerDrop,
         ModelFault::SchedBlock,  ModelFault::SkewCycles,
+        ModelFault::TransCacheStale,
     };
 
     std::vector<CoverageOutcome> outcomes;

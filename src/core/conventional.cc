@@ -1,5 +1,6 @@
 #include "core/conventional.hh"
 
+#include "core/access_engine.hh"
 #include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
@@ -87,6 +88,28 @@ ConventionalHierarchy::name() const
     return std::to_string(ccfg.l2Assoc) + "-way L2";
 }
 
+// Statically-bound hot path: the class is `final`, so these
+// instantiations resolve every policy hook at compile time.
+AccessOutcome
+ConventionalHierarchy::access(const MemRef &ref)
+{
+    return AccessEngine::access(*this, ref);
+}
+
+BatchOutcome
+ConventionalHierarchy::accessBatch(const MemRef *refs, std::size_t n,
+                                   bool stop_on_deferred_fault)
+{
+    return AccessEngine::accessBatch(*this, refs, n,
+                                     stop_on_deferred_fault);
+}
+
+Tick
+ConventionalHierarchy::runContextSwitchTrace()
+{
+    return AccessEngine::runContextSwitchTrace(*this);
+}
+
 const ColumnAssocStats &
 ConventionalHierarchy::columnStats() const
 {
@@ -99,23 +122,6 @@ Cycles
 ConventionalHierarchy::l1WritebackCost() const
 {
     return cfg.l1WritebackCycles;
-}
-
-Addr
-ConventionalHierarchy::osPhysAddr(Addr vaddr) const
-{
-    // Page-table probe addresses are already physical (the table's
-    // DRAM image lives above 1 << 40); handler code/data is OS-virtual
-    // and maps into a fixed image at osImageBase.
-    if (vaddr >= (Addr{1} << 40))
-        return vaddr;
-    return osImageBase + (vaddr - cfg.handlerLayout.codeBase);
-}
-
-unsigned
-ConventionalHierarchy::translationBits(Pid /*pid*/) const
-{
-    return dramPageBits;
 }
 
 Hierarchy::TranslationWalk
@@ -136,13 +142,6 @@ ConventionalHierarchy::resolveFault(Pid pid, std::uint64_t vpn,
     // DRAM is infinite (no disk paging is modelled): the "fault" is
     // just the directory allocating or returning the physical frame.
     return dir.frameOf(pid, vpn);
-}
-
-Addr
-ConventionalHierarchy::framePhysAddr(Pid /*pid*/, std::uint64_t frame,
-                                     Addr offset)
-{
-    return (frame << dramPageBits) | offset;
 }
 
 void

@@ -19,14 +19,24 @@
 namespace rampage
 {
 
-/** The conventional (cache-based) hierarchy. */
-class ConventionalHierarchy : public Hierarchy
+/**
+ * The conventional (cache-based) hierarchy.  `final` so the
+ * AccessEngine instantiations below bind every policy hook
+ * statically.
+ */
+class ConventionalHierarchy final : public Hierarchy
 {
   public:
     explicit ConventionalHierarchy(const ConventionalConfig &config);
 
     std::string name() const override;
     std::string l2Name() const override { return "L2"; }
+
+    /** Statically-dispatched hot path (see access_engine.hh). */
+    AccessOutcome access(const MemRef &ref) override;
+    BatchOutcome accessBatch(const MemRef *refs, std::size_t n,
+                             bool stop_on_deferred_fault) override;
+    Tick runContextSwitchTrace() override;
 
     const SetAssocCache &l2() const { return l2Cache; }
 
@@ -42,18 +52,42 @@ class ConventionalHierarchy : public Hierarchy
 
   protected:
     friend class FaultInjector;
+    friend struct AccessEngine;
     Cycles fillFromBelow(Addr paddr, bool is_write) override;
     Cycles writebackBelow(Addr victim_addr) override;
     Cycles l1WritebackCost() const override;
-    Addr osPhysAddr(Addr vaddr) const override;
 
-    unsigned translationBits(Pid pid) const override;
+    // The address-formation hooks run on every reference; they are
+    // inline so the statically-bound AccessEngine instantiation
+    // flattens them into the hot loop.
+    Addr
+    osPhysAddr(Addr vaddr) const override
+    {
+        // Page-table probe addresses are already physical (the
+        // table's DRAM image lives above 1 << 40); handler code/data
+        // is OS-virtual and maps into a fixed image at osImageBase.
+        if (vaddr >= (Addr{1} << 40))
+            return vaddr;
+        return osImageBase + (vaddr - cfg.handlerLayout.codeBase);
+    }
+
+    unsigned
+    translationBits(Pid /*pid*/) const override
+    {
+        return dramPageBits;
+    }
+
+    Addr
+    framePhysAddr(Pid /*pid*/, std::uint64_t frame,
+                  Addr offset) override
+    {
+        return (frame << dramPageBits) | offset;
+    }
+
     TranslationWalk walkTranslation(Pid pid, std::uint64_t vpn,
                                     std::vector<Addr> &probes) override;
     std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
                                AccessOutcome &outcome) override;
-    Addr framePhysAddr(Pid pid, std::uint64_t frame,
-                       Addr offset) override;
 
   private:
     /** Physical base of the OS handler code/data image in DRAM. */

@@ -35,6 +35,7 @@ constexpr FaultName faultNames[] = {
     {"var-owner-drop", ModelFault::VarOwnerDrop},
     {"sched-block", ModelFault::SchedBlock},
     {"skew-cycles", ModelFault::SkewCycles},
+    {"trans-cache-stale", ModelFault::TransCacheStale},
 };
 
 bool haveOverride = false;
@@ -125,7 +126,8 @@ parseFaultPlan(const std::string &spec)
     throw ConfigError(
         "unknown model fault '%s' (try l1-tag-flip, l2-tag-flip, "
         "tlb-frame-xor, ipt-unlink, stale-dirty, leak-frame, "
-        "dir-alias, var-owner-drop, sched-block or skew-cycles)",
+        "dir-alias, var-owner-drop, sched-block, skew-cycles or "
+        "trans-cache-stale)",
         kind.c_str());
 }
 
@@ -264,6 +266,11 @@ FaultInjector::apply(Hierarchy &hier)
             warnInapplicable(plan, "no valid TLB entries yet");
             return false;
         }
+        // The corrupted entry may be the one the last-translation
+        // cache mirrors; drop the cache so the violation is
+        // attributed to tlb.backing, the invariant this fault
+        // exercises (trans-cache-stale covers the cache itself).
+        hier.transCacheInvalidate();
         return true;
 
       case ModelFault::IptUnlink:
@@ -330,6 +337,26 @@ FaultInjector::apply(Hierarchy &hier)
         // time.conservation audit must catch at the next boundary.
         hier.evt.l2Cycles += 977;
         return true;
+
+      case ModelFault::TransCacheStale:
+        // Model the desynchronization bug the tlb.trans_cache
+        // invariant guards against: a live cache entry whose frame
+        // no longer matches its backing TLB slot.  Mutating the TLB
+        // itself would advance its generation counter and retire the
+        // cache (that is the self-maintaining validity rule working
+        // as designed), so the fault skews the cached frame directly
+        // — exactly what a forgotten re-capture after a remap would
+        // leave behind.
+        for (auto &stream : hier.transCache) {
+            for (Hierarchy::TranslationCache &tc : stream) {
+                if (!tc.valid || tc.gen != hier.tlbUnit.generation())
+                    continue;
+                tc.frame ^= 1;
+                return true;
+            }
+        }
+        warnInapplicable(plan, "no live cached translation yet");
+        return false;
     }
     return false;
 }

@@ -38,6 +38,7 @@ enum class ModelFault
     VarOwnerDrop,///< drop a variable-pager frame back-pointer
     SchedBlock,  ///< block the running process past `now`
     SkewCycles,  ///< skew an event-count cycle accumulator
+    TransCacheStale, ///< leave the last-translation cache stale
 };
 
 /** Stable CLI/env name of a fault ("l1-tag-flip", ...). */

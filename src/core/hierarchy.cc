@@ -1,5 +1,6 @@
 #include "core/hierarchy.hh"
 
+#include "core/access_engine.hh"
 #include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
@@ -83,100 +84,38 @@ Hierarchy::totalPs(std::uint64_t issue_hz) const
     return breakdown(issue_hz).total();
 }
 
+// The access-sequence bodies live in src/core/access_engine.hh as
+// templates over the hierarchy type.  These instantiations with
+// H = Hierarchy are the generic, dynamically-dispatched path: every
+// policy hook goes through the vtable.  The concrete subclasses
+// override access()/accessBatch()/runContextSwitchTrace() with
+// statically-bound instantiations (H = themselves, marked `final`);
+// tests/test_dispatch_equivalence.cc proves the two bit-identical.
+
 AccessOutcome
 Hierarchy::access(const MemRef &ref)
 {
-    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    Tick dram_before = evt.dramPs;
+    return AccessEngine::access(*this, ref);
+}
 
-    ++evt.refs;
-    ++evt.traceRefs;
+BatchOutcome
+Hierarchy::accessBatch(const MemRef *refs, std::size_t n,
+                       bool stop_on_deferred_fault)
+{
+    return AccessEngine::accessBatch(*this, refs, n,
+                                     stop_on_deferred_fault);
+}
 
-    AccessOutcome outcome;
-    Addr paddr;
-    if (ref.pid == osPid) {
-        paddr = osPhysAddr(ref.vaddr);
-    } else {
-        unsigned page_bits = translationBits(ref.pid);
-        std::uint64_t vpn = ref.vaddr >> page_bits;
-        TlbLookup look = tlbUnit.lookup(ref.pid, vpn);
-        std::uint64_t frame;
-        if (look.hit) {
-            frame = look.frame;
-        } else {
-            // TLB miss: walk the translation structure and interleave
-            // the handler trace (§4.3).  Under RAMpage the walk hits
-            // the pinned reserve and never references DRAM (§2.3) —
-            // unless the page itself has faulted out of the SRAM main
-            // memory; conventionally the probes are cacheable
-            // references into the page table's DRAM image and the
-            // frame is produced after the trace.
-            ++evt.tlbMisses;
-            probeScratch.clear();
-            TranslationWalk walk =
-                walkTranslation(ref.pid, vpn, probeScratch);
-            handlerScratch.clear();
-            handlers.tlbMiss(handlerScratch, probeScratch);
-            runHandlerRefs(handlerScratch, OverheadKind::TlbMiss);
-
-            if (walk.resolved)
-                frame = walk.frame;
-            else
-                frame = resolveFault(ref.pid, vpn, outcome);
-            tlbUnit.insert(ref.pid, vpn, frame);
-            RAMPAGE_TRACE_EVENT(TlbFill, 0, vpn, ref.pid);
-        }
-        paddr = framePhysAddr(ref.pid, frame,
-                              lowBits(ref.vaddr, page_bits));
-    }
-
-    cachedAccess(ref, paddr);
-
-    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    Tick total = (cyc_after - cyc_before) * cycPs +
-                 (evt.dramPs - dram_before);
-    RAMPAGE_ASSERT(total >= outcome.deferPs,
-                   "deferred time exceeds the access total");
-    outcome.cpuPs = total - outcome.deferPs;
-    return outcome;
+AccessOutcome
+Hierarchy::accessGeneric(const MemRef &ref)
+{
+    return AccessEngine::access(*this, ref);
 }
 
 Cycles
 Hierarchy::cachedAccess(const MemRef &ref, Addr paddr)
 {
-    Cycles before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-
-    bool is_fetch = ref.isInstr();
-    bool is_write = ref.isWrite();
-    if (is_fetch) {
-        // Instruction issue: the only cost of a fully-hitting stream
-        // (§4.3: "where there are no misses, only instruction fetches
-        // add to simulated run time").
-        ++evt.instrFetches;
-        evt.l1iCycles += cfg.l1HitCycles;
-    }
-    // TLB and L1 data hits are fully pipelined: zero time.  Stores
-    // enjoy perfect write buffering (§4.3), so a hitting store is
-    // also free; it merely dirties the L1 block.
-
-    SetAssocCache &l1 = is_fetch ? l1iCache : l1dCache;
-    CacheAccessResult res = l1.access(paddr, is_write && !is_fetch);
-    if (!res.hit) {
-        if (is_fetch)
-            ++evt.l1iMisses;
-        else
-            ++evt.l1dMisses;
-
-        // A dirty L1 victim is written back to the level below before
-        // the fill (write-back, write-allocate L1).
-        if (res.victimValid && res.victimDirty) {
-            ++evt.l1Writebacks;
-            evt.l2Cycles += l1WritebackCost();
-            evt.l2Cycles += writebackBelow(res.victimAddr);
-        }
-        evt.l2Cycles += fillFromBelow(paddr, is_write && !is_fetch);
-    }
-    return evt.l1iCycles + evt.l1dCycles + evt.l2Cycles - before;
+    return AccessEngine::cachedAccess(*this, ref, paddr);
 }
 
 bool
@@ -212,28 +151,7 @@ Tick
 Hierarchy::runHandlerRefs(const std::vector<MemRef> &refs,
                           OverheadKind kind)
 {
-    Cycles cyc_before = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    Tick dram_before = evt.dramPs;
-
-    for (const MemRef &ref : refs) {
-        RAMPAGE_ASSERT(ref.pid == osPid, "handler trace must use osPid");
-        ++evt.refs;
-        ++evt.overheadRefs;
-        switch (kind) {
-          case OverheadKind::TlbMiss:
-            ++evt.tlbMissOverheadRefs;
-            break;
-          case OverheadKind::PageFault:
-            ++evt.faultOverheadRefs;
-            break;
-          case OverheadKind::ContextSwitch:
-            break;
-        }
-        cachedAccess(ref, osPhysAddr(ref.vaddr));
-    }
-
-    Cycles cyc_after = evt.l1iCycles + evt.l1dCycles + evt.l2Cycles;
-    return (cyc_after - cyc_before) * cycPs + (evt.dramPs - dram_before);
+    return AccessEngine::runHandlerRefs(*this, refs, kind);
 }
 
 Tick
@@ -255,6 +173,31 @@ Hierarchy::auditState(AuditContext &ctx) const
     l1iCache.auditState(ctx, "l1i");
     l1dCache.auditState(ctx, "l1d");
     tlbUnit.auditState(ctx);
+
+    // --- last-translation cache backing ------------------------------
+    // The per-stream cache in front of the TLB short-circuits
+    // lookups, so a stale entry silently mistranslates: while live
+    // (valid and captured under the current TLB generation) it must
+    // mirror a live TLB entry exactly.  A mutation path that dodges
+    // the generation counter trips this — ModelFault::TransCacheStale
+    // proves the detector works.
+    for (const auto &stream : transCache) {
+        for (const TranslationCache &tc : stream) {
+            if (!tc.valid || tc.gen != tlbUnit.generation())
+                continue;
+            std::uint64_t backing_frame = 0;
+            bool backed = tlbUnit.peek(tc.pid, tc.vpn, backing_frame);
+            ctx.check(backed && backing_frame == tc.frame,
+                      "tlb.trans_cache",
+                      "cached translation pid %u vpn %llu -> frame "
+                      "%llu is %s the TLB (backing frame %llu)",
+                      static_cast<unsigned>(tc.pid),
+                      static_cast<unsigned long long>(tc.vpn),
+                      static_cast<unsigned long long>(tc.frame),
+                      backed ? "stale in" : "missing from",
+                      static_cast<unsigned long long>(backing_frame));
+        }
+    }
 
     // --- event-count conservation ------------------------------------
     // The evt counters are accumulated alongside the components'
@@ -312,10 +255,7 @@ Hierarchy::auditState(AuditContext &ctx) const
 Tick
 Hierarchy::runContextSwitchTrace()
 {
-    handlerScratch.clear();
-    handlers.contextSwitch(handlerScratch);
-    ++evt.contextSwitches;
-    return runHandlerRefs(handlerScratch, OverheadKind::ContextSwitch);
+    return AccessEngine::runContextSwitchTrace(*this);
 }
 
 } // namespace rampage

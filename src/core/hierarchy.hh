@@ -16,6 +16,7 @@
 #ifndef RAMPAGE_CORE_HIERARCHY_HH
 #define RAMPAGE_CORE_HIERARCHY_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@ namespace rampage
 
 class AuditContext;
 class FaultInjector;
+struct AccessEngine;
 
 /** Per-reference outcome. */
 struct AccessOutcome
@@ -44,12 +46,28 @@ struct AccessOutcome
     Tick cpuPs = 0;
     /**
      * DRAM page-transfer time initiated by this reference that a
-     * context-switch-on-miss scheduler may overlap with other work
+     * context-switch-on-miss scheduler could overlap with other work
      * (zero for conventional hierarchies, which block on every DRAM
      * transaction).
      */
     Tick deferPs = 0;
     /** The reference page-faulted out of the SRAM main memory. */
+    bool pageFault = false;
+};
+
+/** Summed outcome of a contiguous batch of references. */
+struct BatchOutcome
+{
+    /** References consumed (== n unless the batch stopped early). */
+    std::size_t consumed = 0;
+    /** Sum of the per-reference cpuPs, in order. */
+    Tick cpuPs = 0;
+    /** Sum of the per-reference deferPs (at most one nonzero). */
+    Tick deferPs = 0;
+    /**
+     * The last consumed reference page-faulted with deferrable
+     * transfer time (only set when the caller asked to stop there).
+     */
     bool pageFault = false;
 };
 
@@ -65,19 +83,56 @@ class Hierarchy
 
     /**
      * Process one benchmark-trace reference.  The sequencing is the
-     * same for every hierarchy — TLB lookup, on a miss the
-     * translation walk with its interleaved handler trace, fault
-     * resolution, then the L1 + lower-level walk — so it lives here
-     * once; subclasses supply the policy hooks (translationBits,
-     * walkTranslation, resolveFault, framePhysAddr).
+     * same for every hierarchy — TLB lookup (behind a one-entry
+     * last-translation cache), on a miss the translation walk with
+     * its interleaved handler trace, fault resolution, then the L1 +
+     * lower-level walk — so it lives once in AccessEngine
+     * (src/core/access_engine.hh); subclasses supply the policy hooks
+     * (translationBits, walkTranslation, resolveFault, framePhysAddr)
+     * and override this with a statically-bound instantiation so the
+     * hooks devirtualize on the hot path.
      */
-    AccessOutcome access(const MemRef &ref);
+    virtual AccessOutcome access(const MemRef &ref);
 
     /**
-     * Interleave the ~400-reference context-switch trace (§4.6).
+     * Process a contiguous batch of references, summing the per-ref
+     * outcomes.  With `stop_on_deferred_fault` the batch stops after
+     * (and includes) the first reference whose fault produced
+     * deferrable transfer time, so a switch-on-miss scheduler can
+     * react before the next reference runs.  Exactly equivalent to
+     * calling access() `consumed` times (proven by
+     * tests/test_dispatch_equivalence.cc).
+     */
+    virtual BatchOutcome accessBatch(const MemRef *refs, std::size_t n,
+                                     bool stop_on_deferred_fault);
+
+    /**
+     * access() through the dynamically-dispatched generic engine,
+     * whatever the concrete type — the reference path the
+     * devirtualized overrides are tested against.
+     */
+    AccessOutcome accessGeneric(const MemRef &ref);
+
+    /**
+     * Interleave the ~400-reference context-switch trace (§4.6) and
+     * drop the last-translation cache (the running process changes).
      * @return CPU time consumed.
      */
-    Tick runContextSwitchTrace();
+    virtual Tick runContextSwitchTrace();
+
+    /**
+     * Disable (or re-enable) the per-stream last-translation cache
+     * in front of the TLB.  The cache is exactly state- and
+     * stat-neutral, so runs with it off are bit-identical — this
+     * switch exists for the equivalence test that proves it.
+     */
+    void
+    setTranslationCacheEnabled(bool on)
+    {
+        transCacheOn = on;
+        if (!on)
+            transCacheInvalidate();
+    }
 
     /** Display name ("baseline", "2-way L2", "RAMpage", ...). */
     virtual std::string name() const = 0;
@@ -120,6 +175,8 @@ class Hierarchy
   protected:
     /** Deterministic model-state corruption hooks (tests/CI only). */
     friend class FaultInjector;
+    /** The statically-dispatched access bodies (access_engine.hh). */
+    friend struct AccessEngine;
     /** Category a handler-trace reference is accounted under. */
     enum class OverheadKind
     {
@@ -261,6 +318,53 @@ class Hierarchy
     /** Scratch buffer reused by handler-trace synthesis. */
     std::vector<MemRef> handlerScratch;
     std::vector<Addr> probeScratch;
+
+    /**
+     * Translation cache in front of the TLB: a small direct-mapped
+     * array per reference stream, indexed by the low VPN bits.
+     * Splitting instruction fetches from data references matters
+     * because the two streams alternate pages nearly every
+     * reference (a shared entry thrashes); the data stream
+     * additionally hops across its working set, which the
+     * direct-mapped array absorbs.  Each entry remembers a
+     * (pid, vpn) → frame translation plus the TLB slot that
+     * produced it and the TLB generation it was captured under; it
+     * is live exactly while that generation still matches, so any
+     * TLB mutation — insert, invalidation on page replacement,
+     * flush, corruption hooks — retires the whole cache
+     * automatically.  A live entry replays its hit through
+     * Tlb::recordHitAt(), a bit-exact replica of the full lookup it
+     * short-circuits.
+     *
+     * Invariant ("tlb.trans_cache", audited by auditState and
+     * provable via ModelFault::TransCacheStale): while live, the TLB
+     * holds a matching entry for (pid, vpn) with the same frame.
+     * The context-switch trace additionally drops the cache
+     * explicitly (the translating process changes).
+     */
+    struct TranslationCache
+    {
+        Pid pid = 0;
+        std::uint64_t vpn = 0;
+        std::uint64_t frame = 0;
+        std::uint32_t slot = 0;  ///< TLB slot backing this entry
+        std::uint64_t gen = 0;   ///< Tlb::generation() at capture
+        bool valid = false;
+    };
+    /** Entries per stream; direct-mapped on vpn & (entries - 1). */
+    static constexpr std::size_t transCacheEntries = 64;
+    /** [0] data, [1] instruction. */
+    TranslationCache transCache[2][transCacheEntries];
+    bool transCacheOn = true;
+
+    /** Drop the translation cache (see TranslationCache). */
+    void
+    transCacheInvalidate()
+    {
+        for (auto &stream : transCache)
+            for (TranslationCache &tc : stream)
+                tc.valid = false;
+    }
 
     static constexpr Addr noAddr = ~Addr{0};
 };

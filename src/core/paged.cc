@@ -1,5 +1,6 @@
 #include "core/paged.hh"
 
+#include "core/access_engine.hh"
 #include "obs/trace_session.hh"
 #include "util/audit.hh"
 #include "util/bitops.hh"
@@ -53,23 +54,33 @@ PagedHierarchy::name() const
     return pcfg.switchOnMiss ? "RAMpage+switch" : "RAMpage";
 }
 
+// Statically-bound hot path: the class is `final`, so these
+// instantiations resolve every policy hook at compile time.
+AccessOutcome
+PagedHierarchy::access(const MemRef &ref)
+{
+    return AccessEngine::access(*this, ref);
+}
+
+BatchOutcome
+PagedHierarchy::accessBatch(const MemRef *refs, std::size_t n,
+                            bool stop_on_deferred_fault)
+{
+    return AccessEngine::accessBatch(*this, refs, n,
+                                     stop_on_deferred_fault);
+}
+
+Tick
+PagedHierarchy::runContextSwitchTrace()
+{
+    return AccessEngine::runContextSwitchTrace(*this);
+}
+
 Cycles
 PagedHierarchy::l1WritebackCost() const
 {
     // 9 cycles: no L2 tag to update (§4.3).
     return cfg.l1WritebackCyclesRampage;
-}
-
-Addr
-PagedHierarchy::osPhysAddr(Addr vaddr) const
-{
-    return store.osPhysAddr(vaddr);
-}
-
-unsigned
-PagedHierarchy::translationBits(Pid pid) const
-{
-    return floorLog2(store.pageBytes(pid));
 }
 
 Hierarchy::TranslationWalk
@@ -86,14 +97,6 @@ PagedHierarchy::resolveFault(Pid pid, std::uint64_t vpn,
 {
     outcome.pageFault = true;
     return servicePageFault(pid, vpn, outcome.deferPs);
-}
-
-Addr
-PagedHierarchy::framePhysAddr(Pid /*pid*/, std::uint64_t frame,
-                              Addr offset)
-{
-    store.touch(frame);
-    return store.physAddr(frame, offset);
 }
 
 void
@@ -201,7 +204,8 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     // table probes hit the pinned reserve.
     handlerScratch.clear();
     handlers.pageFault(handlerScratch, fault.probes);
-    runHandlerRefs(handlerScratch, OverheadKind::PageFault);
+    AccessEngine::runHandlerRefs(*this, handlerScratch,
+                                 OverheadKind::PageFault);
 
     // The replacement policy's frame-table scan (the clock hand's
     // travel) costs one cycle per inspected entry on top of the fixed
@@ -220,6 +224,12 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     // pages, each priced as its own DRAM write.
     bool paired = store.uniform();
     bool write_victim = false;
+    // Page replacement tears down translations: the one-entry
+    // last-translation cache must go with them ("tlb.trans_cache"
+    // invariant — a stale survivor here is exactly what
+    // ModelFault::TransCacheStale injects).
+    if (!fault.victims.empty())
+        transCacheInvalidate();
     for (const PageVictim &victim : fault.victims) {
         tlbUnit.invalidate(victim.pid, victim.vpn);
         RAMPAGE_TRACE_EVENT(TlbFlush, 0, victim.vpn, victim.pid);

@@ -25,18 +25,29 @@
 
 #include "core/hierarchy.hh"
 #include "os/page_store.hh"
+#include "util/bitops.hh"
 
 namespace rampage
 {
 
-/** The RAMpage hierarchy (uniform or per-pid SRAM page sizes). */
-class PagedHierarchy : public Hierarchy
+/**
+ * The RAMpage hierarchy (uniform or per-pid SRAM page sizes).
+ * `final` so the AccessEngine instantiations below bind every policy
+ * hook statically.
+ */
+class PagedHierarchy final : public Hierarchy
 {
   public:
     explicit PagedHierarchy(const PagedConfig &config);
 
     std::string name() const override;
     std::string l2Name() const override { return "SRAM MM"; }
+
+    /** Statically-dispatched hot path (see access_engine.hh). */
+    AccessOutcome access(const MemRef &ref) override;
+    BatchOutcome accessBatch(const MemRef *refs, std::size_t n,
+                             bool stop_on_deferred_fault) override;
+    Tick runContextSwitchTrace() override;
 
     const PageStore &pager() const { return store; }
     const PagedConfig &config() const { return pcfg; }
@@ -53,18 +64,38 @@ class PagedHierarchy : public Hierarchy
 
   protected:
     friend class FaultInjector;
+    friend struct AccessEngine;
     Cycles fillFromBelow(Addr paddr, bool is_write) override;
     Cycles writebackBelow(Addr victim_addr) override;
     Cycles l1WritebackCost() const override;
-    Addr osPhysAddr(Addr vaddr) const override;
 
-    unsigned translationBits(Pid pid) const override;
+    // The address-formation hooks run on every reference; they are
+    // inline so the statically-bound AccessEngine instantiation
+    // flattens them into the hot loop.
+    Addr
+    osPhysAddr(Addr vaddr) const override
+    {
+        return store.osPhysAddr(vaddr);
+    }
+
+    unsigned
+    translationBits(Pid pid) const override
+    {
+        return floorLog2(store.pageBytes(pid));
+    }
+
+    Addr
+    framePhysAddr(Pid /*pid*/, std::uint64_t frame,
+                  Addr offset) override
+    {
+        store.touch(frame);
+        return store.physAddr(frame, offset);
+    }
+
     TranslationWalk walkTranslation(Pid pid, std::uint64_t vpn,
                                     std::vector<Addr> &probes) override;
     std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
                                AccessOutcome &outcome) override;
-    Addr framePhysAddr(Pid pid, std::uint64_t frame,
-                       Addr offset) override;
 
   private:
     /**

@@ -286,6 +286,7 @@ putSimResult(std::string &out, const SimResult &r)
     putU64(out, r.issueHz);
     putString(out, r.traceFile);
     putString(out, r.intervalFile);
+    putDouble(out, r.traceGenSeconds);
 }
 
 SimResult
@@ -304,6 +305,7 @@ getSimResult(Reader &in)
     r.issueHz = in.u64();
     r.traceFile = in.str();
     r.intervalFile = in.str();
+    r.traceGenSeconds = in.dbl();
     return r;
 }
 

@@ -1,6 +1,7 @@
 #include "core/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "core/deadline.hh"
@@ -15,6 +16,15 @@ namespace rampage
 
 namespace
 {
+
+/**
+ * References per batch in the fast inner loops: large enough to
+ * amortize the per-batch virtual calls (one fill, one accessBatch)
+ * and loop bookkeeping, small enough that the buffer stays cache-
+ * resident and the watchdog/deadline polls keep reference-scale
+ * granularity.
+ */
+constexpr std::uint64_t batchRefs = 4096;
 
 /**
  * Per-run observability scope: builds the trace session and interval
@@ -140,6 +150,41 @@ Simulator::pull(std::size_t index)
     return ref;
 }
 
+void
+Simulator::fillRefs(std::size_t index, MemRef *buf, std::size_t n)
+{
+    auto fill_start = std::chrono::steady_clock::now();
+    std::size_t got = 0;
+    while (got < n) {
+        got += sources[index]->fill(buf + got, n - got);
+        if (got < n) {
+            // End-of-stream mid-buffer: rewind and replay, exactly as
+            // pull() does per reference.
+            sources[index]->reset();
+            if (!sources[index]->next(buf[got]))
+                throw InternalError(
+                    "trace source '%s' empty after reset",
+                    sources[index]->name().c_str());
+            ++got;
+        }
+    }
+    fillSeconds += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - fill_start)
+                       .count();
+}
+
+bool
+Simulator::fastLoopEligible(const Auditor &auditor) const
+{
+    // Timeline tracing and interval stats need per-reference
+    // setNow()/maybeSample() calls; paranoid audits fire on every
+    // L2/SRAM miss.  All other machinery — boundary audits, fault
+    // injection, the watchdog and deadline polls — operates at batch
+    // or boundary granularity and is preserved exactly.
+    return cfg.traceOutBase.empty() && cfg.statsIntervalRefs == 0 &&
+           !auditor.paranoid() && !cfg.genericDispatch;
+}
+
 SimResult
 Simulator::run()
 {
@@ -175,37 +220,80 @@ Simulator::runBlocking()
     std::uint64_t in_slice = 0;
     std::uint64_t audited_misses = hier.counts().l2Misses;
 
-    for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
-        checkWatchdog();
-        obs.setNow(now);
-        if (in_slice == 0 && cfg.insertSwitchTrace) {
-            Tick switch_ps = hier.runContextSwitchTrace();
-            RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, in_slice,
-                                osPid);
-            now += switch_ps;
+    if (fastLoopEligible(auditor)) {
+        // Batched inner loop: contiguous reference buffers through
+        // the statically-dispatched accessBatch(), with slice
+        // bookkeeping hoisted to batch boundaries.  Batches never
+        // cross a quantum boundary, so the switch trace, boundary
+        // audit and fault injection land exactly where the
+        // per-reference loop puts them.
+        std::vector<MemRef> buf(batchRefs);
+        std::uint64_t executed = 0;
+        while (executed < cfg.maxRefs) {
+            checkWatchdog();
+            if (in_slice == 0 && cfg.insertSwitchTrace)
+                now += hier.runContextSwitchTrace();
+
+            std::uint64_t n = std::min(
+                {cfg.maxRefs - executed, cfg.quantumRefs - in_slice,
+                 batchRefs});
+            fillRefs(current, buf.data(),
+                     static_cast<std::size_t>(n));
+            BatchOutcome out = hier.accessBatch(
+                buf.data(), static_cast<std::size_t>(n), false);
+            now += out.cpuPs + out.deferPs;
+            executed += n;
+            in_slice += n;
+
+            if (in_slice >= cfg.quantumRefs) {
+                in_slice = 0;
+                current = (current + 1) % sources.size();
+                // Audit the boundary first, then corrupt: the
+                // planned fault lands on provably clean state, so
+                // the violation the next audit raises is the
+                // injector's.
+                auditor.auditBlocking(hier, now, "quantum boundary");
+                if (injector.pending())
+                    injector.apply(hier);
+            }
+        }
+    } else {
+        for (std::uint64_t executed = 0; executed < cfg.maxRefs;
+             ++executed) {
+            checkWatchdog();
             obs.setNow(now);
-        }
+            if (in_slice == 0 && cfg.insertSwitchTrace) {
+                Tick switch_ps = hier.runContextSwitchTrace();
+                RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, in_slice,
+                                    osPid);
+                now += switch_ps;
+                obs.setNow(now);
+            }
 
-        MemRef ref = pull(current);
-        AccessOutcome out = hier.access(ref);
-        now += out.cpuPs + out.deferPs;
-        obs.maybeSample(executed + 1, now);
+            MemRef ref = pull(current);
+            AccessOutcome out = cfg.genericDispatch
+                                    ? hier.accessGeneric(ref)
+                                    : hier.access(ref);
+            now += out.cpuPs + out.deferPs;
+            obs.maybeSample(executed + 1, now);
 
-        if (auditor.paranoid() &&
-            hier.counts().l2Misses != audited_misses) {
-            audited_misses = hier.counts().l2Misses;
-            auditor.auditBlocking(hier, now, "L2/SRAM miss");
-        }
+            if (auditor.paranoid() &&
+                hier.counts().l2Misses != audited_misses) {
+                audited_misses = hier.counts().l2Misses;
+                auditor.auditBlocking(hier, now, "L2/SRAM miss");
+            }
 
-        if (++in_slice >= cfg.quantumRefs) {
-            in_slice = 0;
-            current = (current + 1) % sources.size();
-            // Audit the boundary first, then corrupt: the planned
-            // fault lands on provably clean state, so the violation
-            // the next audit raises is the injector's.
-            auditor.auditBlocking(hier, now, "quantum boundary");
-            if (injector.pending())
-                injector.apply(hier);
+            if (++in_slice >= cfg.quantumRefs) {
+                in_slice = 0;
+                current = (current + 1) % sources.size();
+                // Audit the boundary first, then corrupt: the
+                // planned fault lands on provably clean state, so
+                // the violation the next audit raises is the
+                // injector's.
+                auditor.auditBlocking(hier, now, "quantum boundary");
+                if (injector.pending())
+                    injector.apply(hier);
+            }
         }
     }
 
@@ -220,6 +308,7 @@ Simulator::runBlocking()
     result.counts = hier.counts();
     result.systemName = hier.name();
     result.issueHz = hier.commonConfig().issueHz;
+    result.traceGenSeconds = fillSeconds;
     result.stats = hier.statsRegistry().snapshot();
     result.stats.addCounter("sim.elapsed_ps",
                             "elapsed simulated picoseconds", now);
@@ -251,81 +340,175 @@ Simulator::runSwitchOnMiss()
     if (cfg.insertSwitchTrace)
         now += hier.runContextSwitchTrace();
 
-    for (std::uint64_t executed = 0; executed < cfg.maxRefs; ++executed) {
-        checkWatchdog();
-        obs.setNow(now);
-        MemRef ref = pull(sched.current());
-        AccessOutcome out = hier.access(ref);
-        now += out.cpuPs;
-        obs.maybeSample(executed + 1, now);
+    if (fastLoopEligible(auditor)) {
+        // Batched inner loop.  Batches never cross a quantum
+        // boundary (capped at refsUntilQuantum()) and stop at the
+        // first deferred fault, so the miss/quantum boundary
+        // machinery below runs exactly where the per-reference loop
+        // runs it.  The fault branch wins over an expiry on the same
+        // reference, as in the per-reference loop; either way the
+        // scheduler pick resets the slice.
+        //
+        // A batch that a fault cuts short leaves unconsumed
+        // references behind, and the per-reference loop would never
+        // have pulled those from the source.  Each source therefore
+        // gets a persistent buffer drained strictly in order: what a
+        // fault leaves over is simply what that process runs next
+        // time it is scheduled, and the per-source reference
+        // sequences stay exactly the per-reference loop's.
+        struct Buffered
+        {
+            std::vector<MemRef> refs;
+            std::size_t pos = 0;
+        };
+        std::vector<Buffered> bufs(sources.size());
+        std::uint64_t executed = 0;
+        while (executed < cfg.maxRefs) {
+            checkWatchdog();
+            Buffered &buf = bufs[sched.current()];
+            if (buf.pos == buf.refs.size()) {
+                buf.refs.resize(batchRefs);
+                fillRefs(sched.current(), buf.refs.data(), batchRefs);
+                buf.pos = 0;
+            }
+            std::uint64_t n = std::min(
+                {cfg.maxRefs - executed, sched.refsUntilQuantum(),
+                 static_cast<std::uint64_t>(buf.refs.size() -
+                                            buf.pos)});
+            BatchOutcome out = hier.accessBatch(
+                buf.refs.data() + buf.pos,
+                static_cast<std::size_t>(n), true);
+            buf.pos += out.consumed;
+            now += out.cpuPs;
+            executed += out.consumed;
 
-        bool quantum_expired = sched.onRef();
+            bool quantum_expired = sched.onRefs(out.consumed);
 
-        if (auditor.paranoid() &&
-            hier.counts().l2Misses != audited_misses) {
-            audited_misses = hier.counts().l2Misses;
-            auditor.auditSwitchOnMiss(hier, sched, now, "SRAM miss");
+            if (out.pageFault) {
+                // Audit before the switch: the faulting process is
+                // still the running one, so a corrupted run queue is
+                // caught while it is visibly wrong.
+                auditor.auditSwitchOnMiss(hier, sched, now,
+                                          "miss boundary");
+
+                // The handler has queued the transfer; the single
+                // Rambus channel serializes outstanding page moves
+                // (§2.4 models no pipelining of references).  Only
+                // the batch-ending fault carries deferrable time, so
+                // the batch sum is that fault's transfer.
+                Tick start = std::max(now, channel_free_at);
+                Tick done = start + out.deferPs;
+                channel_free_at = done;
+
+                if (cfg.insertSwitchTrace)
+                    now += hier.runContextSwitchTrace();
+                SchedPick pick = sched.blockCurrent(now, done);
+                now = std::max(now, pick.resumeAt);
+
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, now);
+                    else
+                        injector.apply(hier);
+                }
+            } else if (quantum_expired) {
+                auditor.auditSwitchOnMiss(hier, sched, now,
+                                          "quantum boundary");
+
+                if (cfg.insertSwitchTrace)
+                    now += hier.runContextSwitchTrace();
+                SchedPick pick = sched.rotate(now);
+                now = std::max(now, pick.resumeAt);
+
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, now);
+                    else
+                        injector.apply(hier);
+                }
+            }
         }
-
-        if (out.pageFault && out.deferPs > 0) {
-            // Audit before the switch: the faulting process is still
-            // the running one, so a corrupted run queue is caught
-            // while it is visibly wrong.
-            auditor.auditSwitchOnMiss(hier, sched, now,
-                                      "miss boundary");
-
-            // The handler has queued the transfer; the single Rambus
-            // channel serializes outstanding page moves (§2.4 models
-            // no pipelining of references).
-            Tick start = std::max(now, channel_free_at);
-            Tick done = start + out.deferPs;
-            channel_free_at = done;
-
-            if (cfg.insertSwitchTrace) {
-                obs.setNow(now);
-                Tick switch_ps = hier.runContextSwitchTrace();
-                RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, executed,
-                                    osPid);
-                now += switch_ps;
-            }
-            SchedPick pick = sched.blockCurrent(now, done);
+    } else {
+        for (std::uint64_t executed = 0; executed < cfg.maxRefs;
+             ++executed) {
+            checkWatchdog();
             obs.setNow(now);
-            RAMPAGE_TRACE_EVENT(ProcessSwitch,
-                                pick.resumeAt > now
-                                    ? pick.resumeAt - now
-                                    : 0,
-                                pick.index,
-                                static_cast<Pid>(pick.index));
-            now = std::max(now, pick.resumeAt);
+            MemRef ref = pull(sched.current());
+            AccessOutcome out = cfg.genericDispatch
+                                    ? hier.accessGeneric(ref)
+                                    : hier.access(ref);
+            now += out.cpuPs;
+            obs.maybeSample(executed + 1, now);
 
-            if (injector.pending()) {
-                if (injector.targetsScheduler())
-                    injector.applyScheduler(sched, now);
-                else
-                    injector.apply(hier);
+            bool quantum_expired = sched.onRef();
+
+            if (auditor.paranoid() &&
+                hier.counts().l2Misses != audited_misses) {
+                audited_misses = hier.counts().l2Misses;
+                auditor.auditSwitchOnMiss(hier, sched, now,
+                                          "SRAM miss");
             }
-        } else if (quantum_expired) {
-            auditor.auditSwitchOnMiss(hier, sched, now,
-                                      "quantum boundary");
 
-            if (cfg.insertSwitchTrace) {
+            if (out.pageFault && out.deferPs > 0) {
+                // Audit before the switch: the faulting process is
+                // still the running one, so a corrupted run queue is
+                // caught while it is visibly wrong.
+                auditor.auditSwitchOnMiss(hier, sched, now,
+                                          "miss boundary");
+
+                // The handler has queued the transfer; the single
+                // Rambus channel serializes outstanding page moves
+                // (§2.4 models no pipelining of references).
+                Tick start = std::max(now, channel_free_at);
+                Tick done = start + out.deferPs;
+                channel_free_at = done;
+
+                if (cfg.insertSwitchTrace) {
+                    obs.setNow(now);
+                    Tick switch_ps = hier.runContextSwitchTrace();
+                    RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps,
+                                        executed, osPid);
+                    now += switch_ps;
+                }
+                SchedPick pick = sched.blockCurrent(now, done);
                 obs.setNow(now);
-                Tick switch_ps = hier.runContextSwitchTrace();
-                RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps, executed,
-                                    osPid);
-                now += switch_ps;
-            }
-            SchedPick pick = sched.rotate(now);
-            obs.setNow(now);
-            RAMPAGE_TRACE_EVENT(ProcessSwitch, 0, pick.index,
-                                static_cast<Pid>(pick.index));
-            now = std::max(now, pick.resumeAt);
+                RAMPAGE_TRACE_EVENT(ProcessSwitch,
+                                    pick.resumeAt > now
+                                        ? pick.resumeAt - now
+                                        : 0,
+                                    pick.index,
+                                    static_cast<Pid>(pick.index));
+                now = std::max(now, pick.resumeAt);
 
-            if (injector.pending()) {
-                if (injector.targetsScheduler())
-                    injector.applyScheduler(sched, now);
-                else
-                    injector.apply(hier);
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, now);
+                    else
+                        injector.apply(hier);
+                }
+            } else if (quantum_expired) {
+                auditor.auditSwitchOnMiss(hier, sched, now,
+                                          "quantum boundary");
+
+                if (cfg.insertSwitchTrace) {
+                    obs.setNow(now);
+                    Tick switch_ps = hier.runContextSwitchTrace();
+                    RAMPAGE_TRACE_EVENT(ContextSwitch, switch_ps,
+                                        executed, osPid);
+                    now += switch_ps;
+                }
+                SchedPick pick = sched.rotate(now);
+                obs.setNow(now);
+                RAMPAGE_TRACE_EVENT(ProcessSwitch, 0, pick.index,
+                                    static_cast<Pid>(pick.index));
+                now = std::max(now, pick.resumeAt);
+
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, now);
+                    else
+                        injector.apply(hier);
+                }
             }
         }
     }
@@ -345,6 +528,7 @@ Simulator::runSwitchOnMiss()
     result.sched = sched.stats();
     result.systemName = hier.name();
     result.issueHz = hier.commonConfig().issueHz;
+    result.traceGenSeconds = fillSeconds;
     result.stats = hier.statsRegistry().snapshot();
     // The scheduler is local to this run: snapshot it through a
     // throwaway registry so no dangling pointer outlives the call.

@@ -80,6 +80,14 @@ struct SimConfig
     std::string intervalOutBase;
     /** Trace-ring capacity in events (overflow counts as dropped). */
     std::size_t traceRingCapacity = defaultTraceRingCapacity;
+    /**
+     * Test seam: route every reference through the dynamically-
+     * dispatched generic engine (Hierarchy::accessGeneric) and the
+     * per-reference loop, bypassing the batched fast path.  The
+     * dispatch-equivalence tests prove runs with this on and off
+     * bit-identical; production configs leave it off.
+     */
+    bool genericDispatch = false;
 };
 
 /** Result of one simulation. */
@@ -111,6 +119,18 @@ struct SimResult
     std::string traceFile;
     std::string intervalFile;
 
+    /**
+     * Host wall-clock seconds the run spent inside TraceSource::fill()
+     * — lazy synthetic trace generation interleaved with simulation.
+     * The sweep harness re-attributes this to the trace_gen phase so
+     * the simulate phase (the denominator of refs_per_sec) prices
+     * simulation alone, as documented.  Only the batched fast loops
+     * are instrumented; the per-reference slow paths (tracing,
+     * interval stats, paranoid audits, generic dispatch) fold
+     * generation into the simulate phase as before.
+     */
+    double traceGenSeconds = 0;
+
     /** Elapsed seconds, as the paper's tables report. */
     double seconds() const;
 };
@@ -134,6 +154,27 @@ class Simulator
   private:
     /** Pull the next reference from stream `index`, replaying at end. */
     MemRef pull(std::size_t index);
+
+    /**
+     * Fill `buf` with exactly `n` references from stream `index`,
+     * rewinding and replaying at end-of-stream — the bulk form of
+     * pull(), producing the identical sequence.  The wall-clock it
+     * consumes is accumulated into SimResult::traceGenSeconds (one
+     * clock pair per multi-thousand-reference batch).
+     */
+    void fillRefs(std::size_t index, MemRef *buf, std::size_t n);
+
+    double fillSeconds = 0; ///< see SimResult::traceGenSeconds
+
+    /**
+     * True when the run can use the batched, statically-dispatched
+     * inner loop: no per-reference observability (timeline tracing,
+     * interval stats), no per-miss paranoid audits, and the generic-
+     * dispatch test seam off.  Boundary-level audits and fault
+     * injection are batch-compatible (both fire at quantum/miss
+     * boundaries, which the batched loops respect exactly).
+     */
+    bool fastLoopEligible(const Auditor &auditor) const;
 
     /**
      * Per-reference cooperative-stop seam: polls the thread's point

@@ -207,7 +207,13 @@ struct PointOutcome
     std::vector<AuditViolation> auditViolations;
     /** Wall time of this execution (or the checkpointed value). */
     double wallSeconds = 0;
-    /** Hierarchy references per wall-clock second; 0 unless Ok. */
+    /**
+     * Hierarchy references per second of the *simulate phase* (falling
+     * back to wall time when phase profiling saw nothing); 0 unless
+     * Ok.  Wall time also covers trace generation, audits and
+     * checkpoint I/O, so it is the wrong denominator for a throughput
+     * gate — see simulateSeconds().
+     */
     double refsPerSecond = 0;
     /**
      * Execution attempts this campaign made for the point (1 for a
@@ -249,6 +255,14 @@ struct PointOutcome
     /** True when `result` holds a simulation run from this campaign. */
     bool haveResult = false;
     SimResult result;
+
+    /** Host seconds the point spent in Simulator::run proper. */
+    double
+    simulateSeconds() const
+    {
+        return phaseSeconds[static_cast<std::size_t>(
+            SweepPhase::Simulate)];
+    }
 };
 
 /** Everything a campaign produced, in add() order. */

@@ -109,16 +109,6 @@ PageStore::PageStore(const PageStoreParams &params)
 }
 
 std::uint64_t
-PageStore::pageBytes(Pid pid) const
-{
-    if (uniform())
-        return prm.pageBytes;
-    auto it = prm.pageBytesByPid.find(pid);
-    return it == prm.pageBytesByPid.end() ? prm.defaultPageBytes
-                                          : it->second;
-}
-
-std::uint64_t
 PageStore::pageFrames(Pid pid) const
 {
     return pageBytes(pid) / prm.pageBytes;
@@ -155,19 +145,6 @@ PageStore::lookup(Pid pid, std::uint64_t vpn,
         probes->push_back(probeAddr(pid, vpn ^ 0x5555));
     }
     return ipt->lookup(pid, vpn, nullptr);
-}
-
-void
-PageStore::touch(std::uint64_t frame)
-{
-    if (uniform()) {
-        repl->touch(frame);
-        return;
-    }
-    RAMPAGE_ASSERT(frame < nFrames, "frame out of range");
-    std::uint64_t start = frameStart[frame];
-    if (start != noFrame)
-        refd[start] = true;
 }
 
 void
@@ -412,15 +389,6 @@ PageStore::handleFault(Pid pid, std::uint64_t vpn)
                     static_cast<unsigned long long>(k),
                     result.victims.size(), result.scanCost);
     return result;
-}
-
-Addr
-PageStore::osPhysAddr(Addr os_vaddr) const
-{
-    RAMPAGE_ASSERT(os_vaddr >= prm.osVirtBase && os_vaddr < osVirtEnd(),
-                   "address outside the pinned OS region");
-    // The reserve occupies frames [0, nOsFrames) verbatim.
-    return os_vaddr - prm.osVirtBase;
 }
 
 void

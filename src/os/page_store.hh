@@ -48,6 +48,7 @@
 
 #include "os/inverted_page_table.hh"
 #include "os/page_replacement.hh"
+#include "util/error.hh"
 #include "util/types.hh"
 
 namespace rampage
@@ -139,8 +140,20 @@ class PageStore
     /** Uniform page size (same as frameBytes()). */
     std::uint64_t pageBytes() const { return prm.pageBytes; }
 
-    /** Page size for a pid (frameBytes() under the uniform policy). */
-    std::uint64_t pageBytes(Pid pid) const;
+    /**
+     * Page size for a pid (frameBytes() under the uniform policy).
+     * Inline: the hierarchy derives its translation shift from this
+     * on every reference.
+     */
+    std::uint64_t
+    pageBytes(Pid pid) const
+    {
+        if (uniform())
+            return prm.pageBytes;
+        auto it = prm.pageBytesByPid.find(pid);
+        return it == prm.pageBytesByPid.end() ? prm.defaultPageBytes
+                                              : it->second;
+    }
 
     /** Page size in frames for a pid (1 under the uniform policy). */
     std::uint64_t pageFrames(Pid pid) const;
@@ -168,8 +181,20 @@ class PageStore
     IptLookup lookup(Pid pid, std::uint64_t vpn,
                      std::vector<Addr> *probes = nullptr) const;
 
-    /** Record a reference to a frame (replacement state). */
-    void touch(std::uint64_t frame);
+    /** Record a reference to a frame (replacement state); inline —
+     *  the hierarchy touches the referenced frame on every access. */
+    void
+    touch(std::uint64_t frame)
+    {
+        if (uniform()) {
+            repl->touch(frame);
+            return;
+        }
+        RAMPAGE_ASSERT(frame < nFrames, "frame out of range");
+        std::uint64_t start = frameStart[frame];
+        if (start != noFrame)
+            refd[start] = true;
+    }
 
     /** Mark the page holding a frame dirty (a store hit it). */
     void markDirty(std::uint64_t frame);
@@ -208,7 +233,15 @@ class PageStore
      * direct-mapped into the reserve, like MIPS kseg0), which is how
      * the pinned-handler guarantee of §2.3 is realized.
      */
-    Addr osPhysAddr(Addr os_vaddr) const;
+    Addr
+    osPhysAddr(Addr os_vaddr) const
+    {
+        RAMPAGE_ASSERT(os_vaddr >= prm.osVirtBase &&
+                           os_vaddr < osVirtEnd(),
+                       "address outside the pinned OS region");
+        // The reserve occupies frames [0, nOsFrames) verbatim.
+        return os_vaddr - prm.osVirtBase;
+    }
 
     /** Extent of the pinned OS virtual region. */
     Addr osVirtBase() const { return prm.osVirtBase; }

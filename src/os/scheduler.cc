@@ -42,6 +42,19 @@ Scheduler::onRef()
 }
 
 bool
+Scheduler::onRefs(std::uint64_t n)
+{
+    RAMPAGE_ASSERT(n <= refsUntilQuantum(),
+                   "bulk slice accounting overran the quantum");
+    refsInSlice += n;
+    if (refsInSlice >= quantumRefs) {
+        refsInSlice = 0;
+        return true;
+    }
+    return false;
+}
+
+bool
 Scheduler::ready(std::size_t index, Tick now) const
 {
     return blockedUntil[index] <= now;

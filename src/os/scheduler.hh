@@ -65,6 +65,20 @@ class Scheduler
     bool onRef();
 
     /**
+     * Account `n` executed references at once; `n` must not exceed
+     * refsUntilQuantum().  Exactly equivalent to calling onRef() `n`
+     * times (only the last call can return true, by the precondition).
+     */
+    bool onRefs(std::uint64_t n);
+
+    /** References the running slice can still execute before expiry. */
+    std::uint64_t
+    refsUntilQuantum() const
+    {
+        return quantumRefs - refsInSlice;
+    }
+
+    /**
      * Time-slice switch: advance round-robin to the next ready
      * process.  If none is ready the CPU stalls until the earliest
      * unblock.

@@ -73,12 +73,20 @@ Tlb::find(Pid pid, std::uint64_t vpn) const
 TlbLookup
 Tlb::lookup(Pid pid, std::uint64_t vpn)
 {
+    std::uint32_t slot;
+    return lookup(pid, vpn, slot);
+}
+
+TlbLookup
+Tlb::lookup(Pid pid, std::uint64_t vpn, std::uint32_t &slot_out)
+{
     ++useCounter;
     Entry *entry = find(pid, vpn);
     if (entry) {
         ++stat.hits;
         if (prm.lruReplacement)
             entry->stamp = useCounter;
+        slot_out = static_cast<std::uint32_t>(entry - entries.data());
         return TlbLookup{true, entry->frame};
     }
     ++stat.misses;
@@ -88,16 +96,35 @@ Tlb::lookup(Pid pid, std::uint64_t vpn)
     return TlbLookup{};
 }
 
+std::uint32_t
+Tlb::slotOf(Pid pid, std::uint64_t vpn) const
+{
+    const Entry *entry = find(pid, vpn);
+    return entry ? static_cast<std::uint32_t>(entry - entries.data())
+                 : noSlot;
+}
+
 bool
 Tlb::probe(Pid pid, std::uint64_t vpn) const
 {
     return find(pid, vpn) != nullptr;
 }
 
+bool
+Tlb::peek(Pid pid, std::uint64_t vpn, std::uint64_t &frame_out) const
+{
+    const Entry *entry = find(pid, vpn);
+    if (!entry)
+        return false;
+    frame_out = entry->frame;
+    return true;
+}
+
 void
 Tlb::insert(Pid pid, std::uint64_t vpn, std::uint64_t frame)
 {
     ++useCounter;
+    ++gen;
     // Refresh in place when the mapping is already present.
     if (Entry *entry = find(pid, vpn)) {
         entry->frame = frame;
@@ -137,6 +164,7 @@ Tlb::invalidate(Pid pid, std::uint64_t vpn)
     if (!entry)
         return false;
     entry->valid = false;
+    ++gen;
     ++stat.flushes;
     RAMPAGE_DPRINTF(Tlb, "invalidate pid=%u vpn=0x%llx",
                     static_cast<unsigned>(pid),
@@ -147,6 +175,7 @@ Tlb::invalidate(Pid pid, std::uint64_t vpn)
 void
 Tlb::flushAll()
 {
+    ++gen;
     for (Entry &entry : entries)
         entry.valid = false;
 }
@@ -208,6 +237,7 @@ Tlb::corruptFrameXor(std::uint64_t frame_xor)
         if (!entry.valid)
             continue;
         entry.frame ^= frame_xor;
+        ++gen;
         return true;
     }
     return false;

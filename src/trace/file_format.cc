@@ -259,6 +259,22 @@ FileTraceSource::next(MemRef &ref)
     return native ? nextNative(ref) : nextDin(ref);
 }
 
+std::size_t
+FileTraceSource::fill(MemRef *buf, std::size_t n)
+{
+    // One format branch for the whole buffer instead of one virtual
+    // dispatch per record; stops short at end-of-stream like next().
+    std::size_t got = 0;
+    if (native) {
+        while (got < n && nextNative(buf[got]))
+            ++got;
+    } else {
+        while (got < n && nextDin(buf[got]))
+            ++got;
+    }
+    return got;
+}
+
 void
 FileTraceSource::reset()
 {

@@ -92,7 +92,7 @@ class TraceWriter
  * file's first bytes.  din traces carry no pid, so one is assigned
  * at construction.
  */
-class FileTraceSource : public TraceSource
+class FileTraceSource final : public TraceSource
 {
   public:
     /**
@@ -110,6 +110,7 @@ class FileTraceSource : public TraceSource
     FileTraceSource &operator=(const FileTraceSource &) = delete;
 
     bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string name() const override { return filePath; }
     Pid pid() const override { return filePid; }

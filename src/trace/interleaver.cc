@@ -48,6 +48,54 @@ Interleaver::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+Interleaver::fill(MemRef *buf, std::size_t n)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        // Slice bookkeeping, exactly as next() does per reference.
+        bool rotated = false;
+        if (!started) {
+            started = true;
+            rotated = true;
+            ++switches;
+        } else if (inSlice >= quantum) {
+            inSlice = 0;
+            current = (current + 1) % srcs.size();
+            rotated = true;
+            ++switches;
+        }
+
+        // Draw the rest of this slice in bulk from the scheduled
+        // source; its fill() devirtualizes the per-reference draw
+        // when the source class is final.
+        std::size_t want = n - got;
+        std::uint64_t slice_left = quantum - inSlice;
+        if (slice_left < want)
+            want = static_cast<std::size_t>(slice_left);
+        std::size_t drew = srcs[current]->fill(buf + got, want);
+        got += drew;
+        inSlice += drew;
+        if (drew < want) {
+            // Finite source exhausted mid-slice: rewind and replay,
+            // as next() does.
+            srcs[current]->reset();
+            if (!srcs[current]->next(buf[got]))
+                throw InternalError(
+                    "trace source '%s' empty even after reset",
+                    srcs[current]->name().c_str());
+            ++got;
+            ++inSlice;
+            ++drew;
+        }
+        // switchedProcess() describes the most recent reference: it
+        // started a slice only when the iteration that rotated drew
+        // nothing after it.
+        switchFlag = rotated && drew == 1;
+    }
+    return got;
+}
+
 void
 Interleaver::reset()
 {

@@ -24,7 +24,7 @@ namespace rampage
 {
 
 /** Round-robin interleaving of several trace sources. */
-class Interleaver : public TraceSource
+class Interleaver final : public TraceSource
 {
   public:
     /**
@@ -35,6 +35,7 @@ class Interleaver : public TraceSource
                 std::uint64_t quantum);
 
     bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string name() const override { return "interleaved"; }
     Pid pid() const override;

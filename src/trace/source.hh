@@ -9,6 +9,7 @@
 #ifndef RAMPAGE_TRACE_SOURCE_HH
 #define RAMPAGE_TRACE_SOURCE_HH
 
+#include <cstddef>
 #include <string>
 
 #include "trace/record.hh"
@@ -33,6 +34,23 @@ class TraceSource
      * @retval false the stream is exhausted.
      */
     virtual bool next(MemRef &ref) = 0;
+
+    /**
+     * Produce up to `n` references into `buf`, in exactly the order
+     * repeated next() calls would (proven per trace family by
+     * tests/test_dispatch_equivalence.cc).  The bulk form exists for
+     * the simulator's hot loop: a `final` source fills a contiguous
+     * buffer through one virtual call instead of one per reference.
+     * @return references produced; < n only at end-of-stream.
+     */
+    virtual std::size_t
+    fill(MemRef *buf, std::size_t n)
+    {
+        std::size_t got = 0;
+        while (got < n && next(buf[got]))
+            ++got;
+        return got;
+    }
 
     /** Rewind to the beginning of the stream. */
     virtual void reset() = 0;

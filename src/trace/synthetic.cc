@@ -192,4 +192,14 @@ SyntheticProgram::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+SyntheticProgram::fill(MemRef *buf, std::size_t n)
+{
+    // The class is final, so these next() calls bind statically; the
+    // stream is endless, so the buffer always fills.
+    for (std::size_t got = 0; got < n; ++got)
+        next(buf[got]);
+    return n;
+}
+
 } // namespace rampage

@@ -95,8 +95,11 @@ struct ProgramProfile
     std::uint64_t seed = 1; ///< per-program determinism seed
 };
 
-/** Endless reference stream generated from a ProgramProfile. */
-class SyntheticProgram : public TraceSource
+/**
+ * Endless reference stream generated from a ProgramProfile.  `final`
+ * so the fill() override's inner next() calls bind statically.
+ */
+class SyntheticProgram final : public TraceSource
 {
   public:
     /**
@@ -106,6 +109,7 @@ class SyntheticProgram : public TraceSource
     SyntheticProgram(const ProgramProfile &profile, Pid pid);
 
     bool next(MemRef &ref) override;
+    std::size_t fill(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string name() const override { return prof.name; }
     Pid pid() const override { return streamPid; }

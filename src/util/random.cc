@@ -1,7 +1,5 @@
 #include "util/random.hh"
 
-#include "util/logging.hh"
-
 namespace rampage
 {
 
@@ -18,12 +16,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -31,62 +23,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t sm = seed;
     for (auto &word : s)
         word = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
-    const std::uint64_t t = s[1] << 17;
-
-    s[2] ^= s[0];
-    s[3] ^= s[1];
-    s[1] ^= s[2];
-    s[0] ^= s[3];
-    s[2] ^= t;
-    s[3] = rotl(s[3], 45);
-
-    return result;
-}
-
-std::uint64_t
-Rng::below(std::uint64_t bound)
-{
-    RAMPAGE_ASSERT(bound != 0, "Rng::below requires a nonzero bound");
-    // Multiply-shift mapping of a 64-bit draw into [0, bound).
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next()) * bound) >> 64);
-}
-
-double
-Rng::unit()
-{
-    // 53 high bits give a uniform double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return unit() < p;
-}
-
-std::uint64_t
-Rng::skewedBelow(std::uint64_t bound, double hot_fraction,
-                 double hot_probability)
-{
-    RAMPAGE_ASSERT(bound != 0, "skewedBelow requires a nonzero bound");
-    std::uint64_t hot = static_cast<std::uint64_t>(
-        static_cast<double>(bound) * hot_fraction);
-    if (hot == 0)
-        hot = 1;
-    if (hot >= bound || !chance(hot_probability))
-        return below(bound);
-    return below(hot);
 }
 
 } // namespace rampage

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "util/error.hh"
+
 namespace rampage
 {
 
@@ -29,31 +31,86 @@ class Rng
     /** Seed deterministically; the same seed yields the same stream. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    // The draw methods are defined inline: synthetic trace
+    // generation makes tens of millions of draws per simulated
+    // second, and the per-call overhead of out-of-line definitions
+    // was visible in profiles.
+
     /** @return a uniformly distributed 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+
+        return result;
+    }
 
     /**
      * @return a uniform integer in [0, bound); bound must be nonzero.
      * Uses Lemire's multiply-shift rejection-free mapping (the tiny
      * modulo bias is irrelevant at simulator scales).
      */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        RAMPAGE_ASSERT(bound != 0, "Rng::below requires a nonzero bound");
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
 
     /** @return a uniform double in [0, 1). */
-    double unit();
+    double
+    unit()
+    {
+        // 53 high bits give a uniform double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return true with probability p (clamped to [0, 1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return unit() < p;
+    }
 
     /**
      * @return a sample from a bounded geometric-ish distribution in
      * [0, bound), biased toward 0 with the given mean fraction; used
      * for temporally-skewed working set sampling.
      */
-    std::uint64_t skewedBelow(std::uint64_t bound, double hot_fraction,
-                              double hot_probability);
+    std::uint64_t
+    skewedBelow(std::uint64_t bound, double hot_fraction,
+                double hot_probability)
+    {
+        RAMPAGE_ASSERT(bound != 0, "skewedBelow requires a nonzero bound");
+        std::uint64_t hot = static_cast<std::uint64_t>(
+            static_cast<double>(bound) * hot_fraction);
+        if (hot == 0)
+            hot = 1;
+        if (hot >= bound || !chance(hot_probability))
+            return below(bound);
+        return below(hot);
+    }
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s[4];
 };
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Robustness tests for scripts/diff_bench_core.py.
+
+Every malformed input the CI gate can plausibly meet — a truncated
+summary missing a baseline bench, a zero current mean, entries without
+their required keys, non-JSON bytes — must produce a *named* failure
+on stderr and a deliberate exit code, never a Python traceback.  Run
+via ctest (registered in tests/CMakeLists.txt) or directly:
+
+    python3 tests/test_diff_bench_core.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.environ.get(
+    "DIFF_BENCH_CORE",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, "scripts", "diff_bench_core.py"))
+
+
+def summary(benches, overall=None):
+    """Build a BENCH_core.json-shaped document."""
+    means = [m for _, m in benches if isinstance(m, (int, float))]
+    doc = {
+        "benches": [
+            {"bench": name, "mean_refs_per_sec": mean}
+            for name, mean in benches
+        ],
+        "mean_refs_per_sec": overall if overall is not None else (
+            sum(means) / len(means) if means else 0),
+    }
+    return doc
+
+
+class DiffBenchCoreTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as fh:
+            if isinstance(doc, str):
+                fh.write(doc)
+            else:
+                json.dump(doc, fh)
+        return path
+
+    def run_diff(self, *argv):
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, *argv],
+            capture_output=True, text=True)
+        combined = proc.stdout + proc.stderr
+        self.assertNotIn("Traceback", combined,
+                         f"unhandled exception:\n{combined}")
+        return proc
+
+    def test_healthy_comparison_passes(self):
+        base = self.write("base.json", summary([("a", 100), ("b", 200)]))
+        cur = self.write("cur.json", summary([("a", 110), ("b", 190)]))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("ok (no regression", proc.stdout)
+
+    def test_regression_fails_and_names_the_bench(self):
+        base = self.write("base.json", summary([("a", 100), ("b", 200)]))
+        cur = self.write("cur.json", summary([("a", 40), ("b", 200)]))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("regression", proc.stderr)
+        self.assertIn("a", proc.stderr)
+
+    def test_missing_baseline_bench_is_a_named_failure(self):
+        # The pre-fix script silently dropped benches missing from the
+        # current run (a KeyError risk elsewhere, a silent coverage
+        # loss here).  Truncated current summary: bench "b" vanished.
+        base = self.write("base.json", summary([("a", 100), ("b", 200)]))
+        cur = self.write("cur.json", summary([("a", 100)]))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from the current run", proc.stderr)
+        self.assertIn("'b'", proc.stderr)
+
+    def test_zero_current_mean_is_a_named_failure(self):
+        base = self.write("base.json", summary([("a", 100)]))
+        cur = self.write("cur.json", summary([("a", 0)], overall=100))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("zero or negative", proc.stderr)
+
+    def test_zero_baseline_mean_is_skipped_loudly(self):
+        base = self.write("base.json", summary([("a", 0)], overall=100))
+        cur = self.write("cur.json", summary([("a", 50)], overall=100))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("no ratio", proc.stdout)
+
+    def test_entry_without_mean_key_is_a_named_failure(self):
+        base = self.write("base.json", summary([("a", 100)]))
+        cur = self.write("cur.json", {
+            "benches": [{"bench": "a"}],
+            "mean_refs_per_sec": 100,
+        })
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("mean_refs_per_sec", proc.stderr)
+
+    def test_entry_without_bench_name_is_a_named_failure(self):
+        base = self.write("base.json", summary([]))
+        cur = self.write("cur.json", {
+            "benches": [{"mean_refs_per_sec": 5.0}],
+            "mean_refs_per_sec": 5.0,
+        })
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no 'bench' name", proc.stderr)
+
+    def test_invalid_json_exits_2(self):
+        base = self.write("base.json", summary([("a", 100)]))
+        cur = self.write("cur.json", "{ not json")
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("not valid JSON", proc.stderr)
+
+    def test_missing_file_exits_2(self):
+        base = self.write("base.json", summary([("a", 100)]))
+        proc = self.run_diff(base,
+                             os.path.join(self.tmp.name, "absent.json"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("cannot read", proc.stderr)
+
+    def test_warn_only_reports_but_passes(self):
+        base = self.write("base.json", summary([("a", 100), ("b", 200)]))
+        cur = self.write("cur.json", summary([("a", 40)]))
+        proc = self.run_diff("--warn-only", base, cur)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("missing from the current run", proc.stderr)
+        self.assertIn("not failing", proc.stderr)
+
+    def test_new_bench_without_baseline_is_informational(self):
+        base = self.write("base.json", summary([("a", 100)]))
+        # Pin the overall mean so the new bench's different rate does
+        # not itself read as an overall regression.
+        cur = self.write("cur.json",
+                         summary([("a", 100), ("c", 50)], overall=100))
+        proc = self.run_diff(base, cur)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("new bench, no baseline", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
