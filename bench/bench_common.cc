@@ -139,6 +139,8 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                 setFaultPlanOverride(argv[++i]);
             } else if (arg == "--jobs" && i + 1 < argc) {
                 setJobsOverride(parseJobs(argv[++i]));
+            } else if (arg == "--cores" && i + 1 < argc) {
+                setCoresOverride(parseCores(argv[++i]));
             } else if (arg == "--point-deadline" && i + 1 < argc) {
                 setPointDeadlineOverride(
                     parsePointDeadline(argv[++i]));
@@ -160,7 +162,8 @@ benchMain(int argc, char **argv, const std::function<int()> &body)
                     "[--debug <%s|all>] "
                     "[--audit <off|boundaries|paranoid>] "
                     "[--inject-fault <kind[:seed]>] "
-                    "[--jobs <n>] [--point-deadline <seconds>] "
+                    "[--jobs <n>] [--cores <n>] "
+                    "[--point-deadline <seconds>] "
                     "[--retries <n>] [--isolate] "
                     "[--trace-out <base>] [--stats-interval <refs>] "
                     "[--stats-filter <glob>]",

@@ -40,6 +40,9 @@ namespace rampage
  *                          status 2 and a debug-ring post-mortem
  *   --jobs <n>             SweepRunner worker threads for the bench's
  *                          sweeps (overrides RAMPAGE_JOBS; default 1)
+ *   --cores <n>            CPU cores per simulated hierarchy
+ *                          (overrides RAMPAGE_CORES; default: the
+ *                          hierarchy config's own setting, i.e. 1)
  *   --trace-out <base>     write a Chrome-trace JSON timeline per
  *                          simulation run, named <base>.<point>.trace.json
  *                          (overrides RAMPAGE_TRACE_OUT)

@@ -30,7 +30,8 @@ export RAMPAGE_REFS RAMPAGE_QUANTUM RAMPAGE_JOBS
 unset RAMPAGE_FULL RAMPAGE_RATES RAMPAGE_AUDIT RAMPAGE_INJECT_FAULT \
       RAMPAGE_DEBUG RAMPAGE_STATS RAMPAGE_DEADLINE RAMPAGE_RETRIES \
       RAMPAGE_ISOLATE RAMPAGE_SWEEP_FAULT RAMPAGE_TRACE_OUT \
-      RAMPAGE_STATS_INTERVAL RAMPAGE_TRACE_RING 2>/dev/null
+      RAMPAGE_STATS_INTERVAL RAMPAGE_TRACE_RING \
+      RAMPAGE_CORES 2>/dev/null
 
 tmp=$(mktemp) || exit 1
 # Clean the scratch file on normal exit AND on interruption — a ^C
@@ -38,7 +39,7 @@ tmp=$(mktemp) || exit 1
 trap 'rm -f "$tmp"' EXIT
 trap 'rm -f "$tmp"; trap - EXIT; exit 130' INT TERM HUP
 
-benches="table3_runtimes table4_ctx_switch fig4_overheads"
+benches="table3_runtimes table4_ctx_switch fig4_overheads fig_cores_sweep"
 status=0
 missing=0
 for name in $benches; do

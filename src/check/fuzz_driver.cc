@@ -301,6 +301,7 @@ runDetectorCoverage(bool verbose)
         ModelFault::DirAlias,    ModelFault::VarOwnerDrop,
         ModelFault::SchedBlock,  ModelFault::SkewCycles,
         ModelFault::TransCacheStale,
+        ModelFault::StalePrivateCopy,
     };
 
     std::vector<CoverageOutcome> outcomes;

@@ -60,15 +60,17 @@ struct AccessEngine
         if (ref.pid == osPid) {
             paddr = h.osPhysAddr(ref.vaddr);
         } else {
+            CoreFrontend &fe = h.fe();
             unsigned page_bits = h.translationBits(ref.pid);
             std::uint64_t vpn = ref.vaddr >> page_bits;
             std::uint64_t frame;
-            Hierarchy::TranslationCache &tc =
-                h.transCache[ref.isInstr() ? 1 : 0]
-                            [vpn & (Hierarchy::transCacheEntries - 1)];
-            if (h.transCacheOn && tc.valid && tc.pid == ref.pid &&
+            CoreFrontend::TranslationCache &tc =
+                fe.transCache[ref.isInstr() ? 1 : 0]
+                             [vpn &
+                              (CoreFrontend::transCacheEntries - 1)];
+            if (fe.transCacheOn && tc.valid && tc.pid == ref.pid &&
                 tc.vpn == vpn &&
-                tc.gen == h.tlbUnit.generation()) {
+                tc.gen == fe.tlbUnit.generation()) {
                 // Last-translation fast path: this stream's previous
                 // reference translated this very page and the TLB has
                 // not mutated since (its generation counter advances
@@ -78,10 +80,10 @@ struct AccessEngine
                 // useCounter, hit count and LRU restamp — without the
                 // way scan.
                 frame = tc.frame;
-                h.tlbUnit.recordHitAt(tc.slot);
+                fe.tlbUnit.recordHitAt(tc.slot);
             } else {
                 std::uint32_t slot = Tlb::noSlot;
-                TlbLookup look = h.tlbUnit.lookup(ref.pid, vpn, slot);
+                TlbLookup look = fe.tlbUnit.lookup(ref.pid, vpn, slot);
                 if (look.hit) {
                     frame = look.frame;
                 } else {
@@ -94,21 +96,27 @@ struct AccessEngine
                     // references into the page table's DRAM image and
                     // the frame is produced after the trace.
                     ++h.evt.tlbMisses;
-                    h.probeScratch.clear();
+                    fe.probeScratch.clear();
                     Hierarchy::TranslationWalk walk =
-                        h.walkTranslation(ref.pid, vpn, h.probeScratch);
-                    h.handlerScratch.clear();
-                    h.handlers.tlbMiss(h.handlerScratch, h.probeScratch);
-                    runHandlerRefs(h, h.handlerScratch,
+                        h.walkTranslation(ref.pid, vpn, fe.probeScratch);
+                    fe.handlerScratch.clear();
+                    h.handlers.tlbMiss(fe.handlerScratch,
+                                       fe.probeScratch);
+                    runHandlerRefs(h, fe.handlerScratch,
                                    Hierarchy::OverheadKind::TlbMiss);
 
                     if (walk.resolved)
                         frame = walk.frame;
                     else
                         frame = h.resolveFault(ref.pid, vpn, outcome);
-                    h.tlbUnit.insert(ref.pid, vpn, frame);
+                    fe.tlbUnit.insert(ref.pid, vpn, frame);
+                    // Coherence-lite: the translation just installed
+                    // makes this core a holder of private copies of
+                    // the frame — record its residency bit so page
+                    // replacement can find (and invalidate) them.
+                    h.noteFrameResidency(frame);
                     RAMPAGE_TRACE_EVENT(TlbFill, 0, vpn, ref.pid);
-                    slot = h.tlbUnit.slotOf(ref.pid, vpn);
+                    slot = fe.tlbUnit.slotOf(ref.pid, vpn);
                 }
                 // Remember the translation just produced — slot and
                 // generation are captured after the insert (and any
@@ -119,7 +127,7 @@ struct AccessEngine
                 tc.vpn = vpn;
                 tc.frame = frame;
                 tc.slot = slot;
-                tc.gen = h.tlbUnit.generation();
+                tc.gen = fe.tlbUnit.generation();
                 tc.valid = slot != Tlb::noSlot;
             }
             paddr = h.framePhysAddr(ref.pid, frame,
@@ -187,7 +195,8 @@ struct AccessEngine
         // enjoy perfect write buffering (§4.3), so a hitting store is
         // also free; it merely dirties the L1 block.
 
-        SetAssocCache &l1 = is_fetch ? h.l1iCache : h.l1dCache;
+        CoreFrontend &fe = h.fe();
+        SetAssocCache &l1 = is_fetch ? fe.l1iCache : fe.l1dCache;
         CacheAccessResult res = l1.access(paddr, is_write && !is_fetch);
         if (!res.hit) {
             if (is_fetch)
@@ -248,13 +257,14 @@ struct AccessEngine
     static Tick
     runContextSwitchTrace(H &h)
     {
-        h.handlerScratch.clear();
-        h.handlers.contextSwitch(h.handlerScratch);
+        CoreFrontend &fe = h.fe();
+        fe.handlerScratch.clear();
+        h.handlers.contextSwitch(fe.handlerScratch);
         ++h.evt.contextSwitches;
         // A context switch changes the translating process: drop the
         // last-translation cache (part of its audited invariant).
-        h.transCacheInvalidate();
-        return runHandlerRefs(h, h.handlerScratch,
+        fe.transCacheInvalidate();
+        return runHandlerRefs(h, fe.handlerScratch,
                               Hierarchy::OverheadKind::ContextSwitch);
     }
 };

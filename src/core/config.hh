@@ -36,6 +36,17 @@ struct CommonConfig
      */
     std::uint64_t issueHz = 1'000'000'000;
 
+    /**
+     * CPU cores: each gets a private CoreFrontend (split L1, TLB,
+     * translation cache) over the one shared memory backend
+     * (L2/SRAM-MM, DRAM, page replacement).  1 reproduces the paper's
+     * single-CPU systems bit-identically; N > 1 opens the multicore
+     * axis (the Simulator drives the frontends in deterministic
+     * round-robin quanta).  Capped at 64 (maxCores): frame-residency
+     * masks are 64-bit.
+     */
+    unsigned cores = 1;
+
     // --- L1 (16 KB I + 16 KB D, direct-mapped, 32 B blocks) --------
     std::uint64_t l1SizeBytes = 16 * kib;
     std::uint64_t l1BlockBytes = 32;

@@ -131,7 +131,7 @@ ConventionalHierarchy::walkTranslation(Pid pid, std::uint64_t vpn,
     // The probes are cacheable physical references into the page
     // table's memory image; the frame itself is produced after the
     // interleaved lookup trace (resolveFault).
-    dir.probeAddrs(pid, vpn, probes);
+    backend.dir.probeAddrs(pid, vpn, probes);
     return TranslationWalk{};
 }
 
@@ -141,7 +141,7 @@ ConventionalHierarchy::resolveFault(Pid pid, std::uint64_t vpn,
 {
     // DRAM is infinite (no disk paging is modelled): the "fault" is
     // just the directory allocating or returning the physical frame.
-    return dir.frameOf(pid, vpn);
+    return backend.dir.frameOf(pid, vpn);
 }
 
 void
@@ -150,43 +150,52 @@ ConventionalHierarchy::auditState(AuditContext &ctx) const
     Hierarchy::auditState(ctx);
     if (!columnL2)
         l2Cache.auditState(ctx, "l2");
-    dir.auditState(ctx);
+    backend.dir.auditState(ctx);
 
-    // Inclusion: the L2 is maintained inclusive of both L1s (its
-    // evictions invalidate their L1 blocks before departing), so a
-    // valid L1 block absent below is stale data.
-    auto check_inclusion = [&](const SetAssocCache &l1,
-                               const char *label) {
-        l1.forEachValidBlock([&](Addr addr, bool) {
-            bool below = columnL2 ? columnL2->probe(addr)
-                                  : l2Cache.probe(addr);
-            ctx.check(below, "inclusion.l1",
-                      "%s block 0x%llx is not present in the L2",
-                      label, static_cast<unsigned long long>(addr));
+    for (unsigned c = 0; c < coreCount(); ++c) {
+        const CoreFrontend &core = fe(c);
+        const std::string who =
+            coreCount() == 1 ? std::string()
+                             : "core" + std::to_string(c) + " ";
+
+        // Inclusion: the L2 is maintained inclusive of every core's
+        // L1s (its evictions invalidate their L1 blocks before
+        // departing), so a valid L1 block absent below is stale data.
+        auto check_inclusion = [&](const SetAssocCache &l1,
+                                   const char *label) {
+            l1.forEachValidBlock([&](Addr addr, bool) {
+                bool below = columnL2 ? columnL2->probe(addr)
+                                      : l2Cache.probe(addr);
+                ctx.check(below, "inclusion.l1",
+                          "%s%s block 0x%llx is not present in the L2",
+                          who.c_str(), label,
+                          static_cast<unsigned long long>(addr));
+                return true;
+            });
+        };
+        check_inclusion(core.l1iCache, "l1i");
+        check_inclusion(core.l1dCache, "l1d");
+
+        // Every TLB entry caches a directory translation; frames are
+        // never reclaimed (DRAM is infinite), so the entry must still
+        // match exactly.
+        core.tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                           std::uint64_t frame) {
+            std::uint64_t home = 0;
+            bool backed =
+                backend.dir.lookup(pid, vpn, &home) && home == frame;
+            ctx.check(backed, "tlb.backing",
+                      "%sTLB translates pid=%u vpn=0x%llx to DRAM "
+                      "frame %llu, but the page directory says %s",
+                      who.c_str(), static_cast<unsigned>(pid),
+                      static_cast<unsigned long long>(vpn),
+                      static_cast<unsigned long long>(frame),
+                      backend.dir.lookup(pid, vpn, &home)
+                          ? std::to_string(home).c_str()
+                          : "unallocated");
             return true;
         });
-    };
-    check_inclusion(l1iCache, "l1i");
-    check_inclusion(l1dCache, "l1d");
-
-    // Every TLB entry caches a directory translation; frames are
-    // never reclaimed (DRAM is infinite), so the entry must still
-    // match exactly.
-    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
-                                  std::uint64_t frame) {
-        std::uint64_t home = 0;
-        bool backed = dir.lookup(pid, vpn, &home) && home == frame;
-        ctx.check(backed, "tlb.backing",
-                  "TLB translates pid=%u vpn=0x%llx to DRAM frame "
-                  "%llu, but the page directory says %s",
-                  static_cast<unsigned>(pid),
-                  static_cast<unsigned long long>(vpn),
-                  static_cast<unsigned long long>(frame),
-                  dir.lookup(pid, vpn, &home)
-                      ? std::to_string(home).c_str()
-                      : "unallocated");
-        return true;
-    });
+    }
 }
 
 Cycles

@@ -36,6 +36,7 @@ constexpr FaultName faultNames[] = {
     {"sched-block", ModelFault::SchedBlock},
     {"skew-cycles", ModelFault::SkewCycles},
     {"trans-cache-stale", ModelFault::TransCacheStale},
+    {"stale-private-copy", ModelFault::StalePrivateCopy},
 };
 
 bool haveOverride = false;
@@ -126,8 +127,8 @@ parseFaultPlan(const std::string &spec)
     throw ConfigError(
         "unknown model fault '%s' (try l1-tag-flip, l2-tag-flip, "
         "tlb-frame-xor, ipt-unlink, stale-dirty, leak-frame, "
-        "dir-alias, var-owner-drop, sched-block, skew-cycles or "
-        "trans-cache-stale)",
+        "dir-alias, var-owner-drop, sched-block, skew-cycles, "
+        "trans-cache-stale or stale-private-copy)",
         kind.c_str());
 }
 
@@ -221,12 +222,13 @@ FaultInjector::apply(Hierarchy &hier)
         return false;
 
       case ModelFault::L1TagFlip: {
-        // Prefer the L1D; an instruction-only window may leave it
-        // empty, in which case the L1I serves just as well.
-        SetAssocCache *target = &hier.l1dCache;
+        // Prefer the active core's L1D; an instruction-only window
+        // may leave it empty, in which case the L1I serves just as
+        // well.
+        SetAssocCache *target = &hier.fe().l1dCache;
         std::vector<Addr> blocks = validBlocks(*target);
         if (blocks.empty()) {
-            target = &hier.l1iCache;
+            target = &hier.fe().l1iCache;
             blocks = validBlocks(*target);
         }
         if (blocks.empty()) {
@@ -246,9 +248,9 @@ FaultInjector::apply(Hierarchy &hier)
         // Corrupt the L2 line backing a live L1 block: inclusion is
         // maintained, so the block is guaranteed present below, and
         // the flip is guaranteed to orphan the L1 copy.
-        std::vector<Addr> blocks = validBlocks(hier.l1dCache);
+        std::vector<Addr> blocks = validBlocks(hier.fe().l1dCache);
         if (blocks.empty())
-            blocks = validBlocks(hier.l1iCache);
+            blocks = validBlocks(hier.fe().l1iCache);
         if (!blocks.empty()) {
             Addr chosen = blocks[plan.seed % blocks.size()];
             if (conv->l2Cache.corruptTagXor(chosen, tagFlipXor))
@@ -262,7 +264,7 @@ FaultInjector::apply(Hierarchy &hier)
       }
 
       case ModelFault::TlbFrameXor:
-        if (!hier.tlbUnit.corruptFrameXor(0x100000)) {
+        if (!hier.fe().tlbUnit.corruptFrameXor(0x100000)) {
             warnInapplicable(plan, "no valid TLB entries yet");
             return false;
         }
@@ -270,7 +272,7 @@ FaultInjector::apply(Hierarchy &hier)
         // cache mirrors; drop the cache so the violation is
         // attributed to tlb.backing, the invariant this fault
         // exercises (trans-cache-stale covers the cache itself).
-        hier.transCacheInvalidate();
+        hier.fe().transCacheInvalidate();
         return true;
 
       case ModelFault::IptUnlink:
@@ -307,8 +309,8 @@ FaultInjector::apply(Hierarchy &hier)
         return true;
 
       case ModelFault::DirAlias:
-        // Every hierarchy owns a DRAM directory (Hierarchy base).
-        if (!hier.dir.corruptAlias()) {
+        // Every hierarchy shares one DRAM directory (MemoryBackend).
+        if (!hier.memoryBackend().dir.corruptAlias()) {
             warnInapplicable(plan,
                              "needs two allocated DRAM pages");
             return false;
@@ -347,9 +349,10 @@ FaultInjector::apply(Hierarchy &hier)
         // as designed), so the fault skews the cached frame directly
         // — exactly what a forgotten re-capture after a remap would
         // leave behind.
-        for (auto &stream : hier.transCache) {
+        for (auto &stream : hier.fe().transCache) {
             for (Hierarchy::TranslationCache &tc : stream) {
-                if (!tc.valid || tc.gen != hier.tlbUnit.generation())
+                if (!tc.valid ||
+                    tc.gen != hier.fe().tlbUnit.generation())
                     continue;
                 tc.frame ^= 1;
                 return true;
@@ -357,6 +360,43 @@ FaultInjector::apply(Hierarchy &hier)
         }
         warnInapplicable(plan, "no live cached translation yet");
         return false;
+
+      case ModelFault::StalePrivateCopy: {
+        // Model the coherence bug the residency masks guard against:
+        // a core holds a live TLB translation (and possibly L1 lines)
+        // for an SRAM frame, but the frame's residency mask has lost
+        // the core's bit — page replacement would reassign the frame
+        // without invalidating that core's private copies.  Clearing
+        // the mask bit under a live translation is exactly the state
+        // such a bug leaves behind; the coherence.residency audit
+        // must reject it.
+        if (paged == nullptr) {
+            warnInapplicable(plan, "needs the RAMpage hierarchy");
+            return false;
+        }
+        struct Target
+        {
+            std::uint64_t frame;
+            CoreId core;
+        };
+        std::vector<Target> targets;
+        MemoryBackend &backend = hier.memoryBackend();
+        for (unsigned c = 0; c < hier.coreCount(); ++c) {
+            CoreId core = static_cast<CoreId>(c);
+            hier.fe(core).tlbUnit.forEachValidEntry(
+                [&](Pid, std::uint64_t, std::uint64_t frame) {
+                    if (backend.resident(frame, core))
+                        targets.push_back(Target{frame, core});
+                    return true;
+                });
+        }
+        if (targets.empty()) {
+            warnInapplicable(plan, "no resident translations yet");
+            return false;
+        }
+        const Target &victim = targets[plan.seed % targets.size()];
+        return backend.clearResidencyBit(victim.frame, victim.core);
+      }
     }
     return false;
 }

@@ -39,6 +39,8 @@ enum class ModelFault
     SchedBlock,  ///< block the running process past `now`
     SkewCycles,  ///< skew an event-count cycle accumulator
     TransCacheStale, ///< leave the last-translation cache stale
+    StalePrivateCopy, ///< drop a core's frame-residency bit under a
+                      ///< live TLB translation (coherence-lite)
 };
 
 /** Stable CLI/env name of a fault ("l1-tag-flip", ...). */

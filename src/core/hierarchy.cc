@@ -5,29 +5,12 @@
 #include "util/audit.hh"
 #include "util/bitops.hh"
 #include "util/debug.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/units.hh"
 
 namespace rampage
 {
-
-namespace
-{
-
-CacheParams
-l1Params(const CommonConfig &cfg, const char *name, std::uint64_t seed)
-{
-    CacheParams params;
-    params.name = name;
-    params.sizeBytes = cfg.l1SizeBytes;
-    params.blockBytes = cfg.l1BlockBytes;
-    params.assoc = cfg.l1Assoc;
-    params.repl = ReplPolicy::LRU;
-    params.seed = seed;
-    return params;
-}
-
-} // namespace
 
 Tick
 CommonConfig::cyclePs() const
@@ -38,23 +21,30 @@ CommonConfig::cyclePs() const
 Hierarchy::Hierarchy(const CommonConfig &config)
     : cfg(config),
       cycPs(config.cyclePs()),
-      l1iCache(l1Params(config, "L1i", 101)),
-      l1dCache(l1Params(config, "L1d", 102)),
-      tlbUnit(config.tlb),
-      rambusModel(config.rambus),
-      sdramModel(config.sdram),
-      dramSel(config.dramKind == CommonConfig::DramKind::Sdram
-                  ? static_cast<const DramModel *>(&sdramModel)
-                  : static_cast<const DramModel *>(&rambusModel)),
-      handlers(config.handlerLayout, config.handlerCosts),
-      dir(config.dramPageBytes)
+      backend(config),
+      handlers(config.handlerLayout, config.handlerCosts)
 {
-    l1iCache.registerStats(statsReg, "l1i");
-    l1dCache.registerStats(statsReg, "l1d");
-    tlbUnit.registerStats(statsReg, "tlb");
+    if (cfg.cores < 1 || cfg.cores > maxCores) {
+        throw ConfigError("cores must be in [1, " +
+                          std::to_string(maxCores) + "], got " +
+                          std::to_string(cfg.cores));
+    }
+    // One frontend per core.  With one core the stats keep their
+    // historical unprefixed names ("l1i.hits", ...); with more, each
+    // core's components register under "coreN." so per-core behaviour
+    // stays separately observable.
+    frontends.reserve(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        frontends.push_back(
+            std::make_unique<CoreFrontend>(cfg, static_cast<CoreId>(c)));
+        const std::string prefix =
+            cfg.cores == 1 ? "" : "core" + std::to_string(c) + ".";
+        frontends.back()->registerStats(statsReg, prefix);
+    }
+    activeFe = frontends.front().get();
     evt.registerStats(statsReg);
     statsReg.addHistogram("dram.tx_bytes", "DRAM transaction sizes",
-                          &dramTxHist);
+                          &backend.dramTxHist);
     statsReg.addFormula("dram.peak_bandwidth",
                         "peak streaming bandwidth (bytes/s)",
                         [this] { return dram().peakBandwidth(); });
@@ -63,7 +53,7 @@ Hierarchy::Hierarchy(const CommonConfig &config)
 void
 Hierarchy::noteDramTx(std::uint64_t bytes, bool is_write)
 {
-    dramTxHist.add(bytes);
+    backend.dramTxHist.add(bytes);
     RAMPAGE_DPRINTF(Dram, "%s tx %llu bytes",
                     is_write ? "write" : "read",
                     static_cast<unsigned long long>(bytes));
@@ -122,6 +112,26 @@ bool
 Hierarchy::invalidateL1Range(Addr base, std::uint64_t bytes,
                              Cycles &cycles_out)
 {
+    // Every core: the single-core path and conventional hierarchies
+    // have exactly one frontend, so this is the historical behaviour;
+    // the residency-gated multicore page-replacement path calls
+    // invalidateL1RangeFor() per resident core instead.
+    bool flushed_dirty = false;
+    Cycles cycles = 0;
+    for (auto &core : frontends) {
+        Cycles core_cycles = 0;
+        flushed_dirty |=
+            invalidateL1RangeFor(*core, base, bytes, core_cycles);
+        cycles += core_cycles;
+    }
+    cycles_out = cycles;
+    return flushed_dirty;
+}
+
+bool
+Hierarchy::invalidateL1RangeFor(CoreFrontend &core, Addr base,
+                                std::uint64_t bytes, Cycles &cycles_out)
+{
     bool flushed_dirty = false;
     Cycles cycles = 0;
     for (Addr block = base; block < base + bytes;
@@ -132,8 +142,8 @@ Hierarchy::invalidateL1Range(Addr base, std::uint64_t bytes,
         evt.l1iCycles += cfg.l1HitCycles;
         evt.l1dCycles += cfg.l1HitCycles;
         evt.inclusionProbes += 2;
-        l1iCache.invalidate(block);
-        auto inv = l1dCache.invalidate(block);
+        core.l1iCache.invalidate(block);
+        auto inv = core.l1dCache.invalidate(block);
         if (inv.present && inv.dirty) {
             // The L1 copy was newer: flush it into the departing
             // block so the DRAM write carries current data.
@@ -159,7 +169,7 @@ Hierarchy::dramBurstPs(std::uint64_t bytes, std::uint64_t count) const
 {
     if (cfg.dramKind == CommonConfig::DramKind::DirectRambus &&
         cfg.rambus.pipelineDepth > 1) {
-        return rambusModel.burstPs(bytes, count);
+        return backend.rambusModel.burstPs(bytes, count);
     }
     Tick total = 0;
     for (std::uint64_t i = 0; i < count; ++i)
@@ -170,53 +180,66 @@ Hierarchy::dramBurstPs(std::uint64_t bytes, std::uint64_t count) const
 void
 Hierarchy::auditState(AuditContext &ctx) const
 {
-    l1iCache.auditState(ctx, "l1i");
-    l1dCache.auditState(ctx, "l1d");
-    tlbUnit.auditState(ctx);
+    const bool multi = frontends.size() > 1;
+    std::uint64_t l1i_misses = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t tlb_misses = 0;
+    for (const auto &corep : frontends) {
+        const CoreFrontend &core = *corep;
+        const std::string prefix =
+            multi ? "core" + std::to_string(core.id) + "." : "";
+        core.l1iCache.auditState(ctx, prefix + "l1i");
+        core.l1dCache.auditState(ctx, prefix + "l1d");
+        core.tlbUnit.auditState(ctx);
+        l1i_misses += core.l1iCache.stats().misses;
+        l1d_misses += core.l1dCache.stats().misses;
+        tlb_misses += core.tlbUnit.stats().misses;
 
-    // --- last-translation cache backing ------------------------------
-    // The per-stream cache in front of the TLB short-circuits
-    // lookups, so a stale entry silently mistranslates: while live
-    // (valid and captured under the current TLB generation) it must
-    // mirror a live TLB entry exactly.  A mutation path that dodges
-    // the generation counter trips this — ModelFault::TransCacheStale
-    // proves the detector works.
-    for (const auto &stream : transCache) {
-        for (const TranslationCache &tc : stream) {
-            if (!tc.valid || tc.gen != tlbUnit.generation())
-                continue;
-            std::uint64_t backing_frame = 0;
-            bool backed = tlbUnit.peek(tc.pid, tc.vpn, backing_frame);
-            ctx.check(backed && backing_frame == tc.frame,
-                      "tlb.trans_cache",
-                      "cached translation pid %u vpn %llu -> frame "
-                      "%llu is %s the TLB (backing frame %llu)",
-                      static_cast<unsigned>(tc.pid),
-                      static_cast<unsigned long long>(tc.vpn),
-                      static_cast<unsigned long long>(tc.frame),
-                      backed ? "stale in" : "missing from",
-                      static_cast<unsigned long long>(backing_frame));
+        // --- last-translation cache backing --------------------------
+        // The per-stream cache in front of the TLB short-circuits
+        // lookups, so a stale entry silently mistranslates: while live
+        // (valid and captured under the current TLB generation) it
+        // must mirror a live TLB entry exactly.  A mutation path that
+        // dodges the generation counter trips this —
+        // ModelFault::TransCacheStale proves the detector works.
+        for (const auto &stream : core.transCache) {
+            for (const TranslationCache &tc : stream) {
+                if (!tc.valid || tc.gen != core.tlbUnit.generation())
+                    continue;
+                std::uint64_t backing_frame = 0;
+                bool backed =
+                    core.tlbUnit.peek(tc.pid, tc.vpn, backing_frame);
+                ctx.check(backed && backing_frame == tc.frame,
+                          "tlb.trans_cache",
+                          "cached translation pid %u vpn %llu -> frame "
+                          "%llu is %s the TLB (backing frame %llu)",
+                          static_cast<unsigned>(tc.pid),
+                          static_cast<unsigned long long>(tc.vpn),
+                          static_cast<unsigned long long>(tc.frame),
+                          backed ? "stale in" : "missing from",
+                          static_cast<unsigned long long>(backing_frame));
+            }
         }
     }
 
     // --- event-count conservation ------------------------------------
     // The evt counters are accumulated alongside the components'
-    // private statistics; divergence means one path forgot (or
+    // private statistics (summed across cores; the shared counters
+    // see every core's events).  Divergence means one path forgot (or
     // double-counted) an event, which silently mis-prices the run.
-    ctx.check(evt.l1iMisses == l1iCache.stats().misses &&
-                  evt.l1dMisses == l1dCache.stats().misses,
+    ctx.check(evt.l1iMisses == l1i_misses && evt.l1dMisses == l1d_misses,
               "events.conservation",
               "L1 miss counts diverge: evt %llu/%llu vs caches "
               "%llu/%llu (i/d)",
               static_cast<unsigned long long>(evt.l1iMisses),
               static_cast<unsigned long long>(evt.l1dMisses),
-              static_cast<unsigned long long>(l1iCache.stats().misses),
-              static_cast<unsigned long long>(l1dCache.stats().misses));
-    ctx.check(evt.tlbMisses == tlbUnit.stats().misses,
+              static_cast<unsigned long long>(l1i_misses),
+              static_cast<unsigned long long>(l1d_misses));
+    ctx.check(evt.tlbMisses == tlb_misses,
               "events.conservation",
-              "evt.tlbMisses %llu != TLB's own miss count %llu",
+              "evt.tlbMisses %llu != TLBs' own miss count %llu",
               static_cast<unsigned long long>(evt.tlbMisses),
-              static_cast<unsigned long long>(tlbUnit.stats().misses));
+              static_cast<unsigned long long>(tlb_misses));
     ctx.check(evt.l2Accesses == evt.l1iMisses + evt.l1dMisses,
               "events.conservation",
               "%llu %s accesses but %llu + %llu L1 misses",
@@ -243,11 +266,13 @@ Hierarchy::auditState(AuditContext &ctx) const
               static_cast<unsigned long long>(evt.tlbMissOverheadRefs),
               static_cast<unsigned long long>(evt.faultOverheadRefs),
               static_cast<unsigned long long>(evt.overheadRefs));
-    ctx.check(dramTxHist.samples() == evt.dramReads + evt.dramWrites,
+    ctx.check(backend.dramTxHist.samples() ==
+                  evt.dramReads + evt.dramWrites,
               "events.conservation",
               "%llu DRAM transactions in the histogram but %llu + "
               "%llu counted (reads + writes)",
-              static_cast<unsigned long long>(dramTxHist.samples()),
+              static_cast<unsigned long long>(
+                  backend.dramTxHist.samples()),
               static_cast<unsigned long long>(evt.dramReads),
               static_cast<unsigned long long>(evt.dramWrites));
 }

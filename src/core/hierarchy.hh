@@ -17,16 +17,16 @@
 #define RAMPAGE_CORE_HIERARCHY_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/cache.hh"
 #include "core/config.hh"
+#include "core/core_frontend.hh"
 #include "core/cost_model.hh"
 #include "core/events.hh"
-#include "dram/rambus.hh"
-#include "dram/sdram.hh"
-#include "os/dram_directory.hh"
+#include "core/memory_backend.hh"
 #include "stats/registry.hh"
 #include "tlb/tlb.hh"
 #include "trace/handlers.hh"
@@ -122,17 +122,54 @@ class Hierarchy
 
     /**
      * Disable (or re-enable) the per-stream last-translation cache
-     * in front of the TLB.  The cache is exactly state- and
-     * stat-neutral, so runs with it off are bit-identical — this
-     * switch exists for the equivalence test that proves it.
+     * in front of the TLB (every core's).  The cache is exactly
+     * state- and stat-neutral, so runs with it off are bit-identical
+     * — this switch exists for the equivalence test that proves it.
      */
     void
     setTranslationCacheEnabled(bool on)
     {
-        transCacheOn = on;
-        if (!on)
-            transCacheInvalidate();
+        for (auto &core : frontends) {
+            core->transCacheOn = on;
+            if (!on)
+                core->transCacheInvalidate();
+        }
     }
+
+    // --- the core/memory seam ---------------------------------------
+    /** Configured CPU cores (one CoreFrontend each). */
+    unsigned
+    coreCount() const
+    {
+        return static_cast<unsigned>(frontends.size());
+    }
+
+    /**
+     * Select the frontend subsequent access()/accessBatch()/handler
+     * calls run against.  The multicore Simulator switches this at
+     * every scheduling decision; single-core runs never touch it
+     * (core 0 is active from construction).
+     */
+    void
+    activateCore(CoreId core)
+    {
+        activeFe = frontends[core].get();
+    }
+
+    /** The frontend the access sequence currently runs against. */
+    CoreFrontend &fe() { return *activeFe; }
+    const CoreFrontend &fe() const { return *activeFe; }
+
+    /** A specific core's frontend. */
+    CoreFrontend &fe(CoreId core) { return *frontends[core]; }
+    const CoreFrontend &fe(CoreId core) const
+    {
+        return *frontends[core];
+    }
+
+    /** The shared memory-side state behind every frontend. */
+    MemoryBackend &memoryBackend() { return backend; }
+    const MemoryBackend &memoryBackend() const { return backend; }
 
     /** Display name ("baseline", "2-way L2", "RAMpage", ...). */
     virtual std::string name() const = 0;
@@ -142,11 +179,12 @@ class Hierarchy
 
     const EventCounts &counts() const { return evt; }
     const CommonConfig &commonConfig() const { return cfg; }
-    const Tlb &tlb() const { return tlbUnit; }
-    const SetAssocCache &l1i() const { return l1iCache; }
-    const SetAssocCache &l1d() const { return l1dCache; }
+    /** The active core's components (single-core: the only core's). */
+    const Tlb &tlb() const { return fe().tlbUnit; }
+    const SetAssocCache &l1i() const { return fe().l1iCache; }
+    const SetAssocCache &l1d() const { return fe().l1dCache; }
     /** The DRAM page directory (paging device / physical allocator). */
-    const DramDirectory &directory() const { return dir; }
+    const DramDirectory &directory() const { return backend.dir; }
 
     /**
      * The hierarchy's named-stats registry.  Every component registers
@@ -289,7 +327,7 @@ class Hierarchy
      * The selected DRAM timing model (§3.3), resolved once at
      * construction — dram() sits on the miss path.
      */
-    const DramModel &dram() const { return *dramSel; }
+    const DramModel &dram() const { return backend.dram(); }
 
     /**
      * Price `count` back-to-back page-sized transactions: a pipelined
@@ -298,73 +336,44 @@ class Hierarchy
      */
     Tick dramBurstPs(std::uint64_t bytes, std::uint64_t count) const;
 
+    /**
+     * Invalidate one core's L1 blocks within [base, base+bytes).
+     * The page-replacement path calls this only for cores whose
+     * residency bit is set on the reassigned frame (coherence-lite);
+     * invalidateL1Range() above is the every-core wrapper.
+     */
+    bool invalidateL1RangeFor(CoreFrontend &core, Addr base,
+                              std::uint64_t bytes, Cycles &cycles_out);
+
+    /**
+     * Residency hook, called by the access engine right after a
+     * translation is installed in the active core's TLB.  The base
+     * class ignores it; RAMpage sets the requesting core's bit in the
+     * frame's residency mask so page replacement knows which private
+     * copies (TLB entries, L1 lines) an ownership change must
+     * invalidate.
+     */
+    virtual void noteFrameResidency(std::uint64_t frame)
+    {
+        (void)frame;
+    }
+
     CommonConfig cfg;
     Tick cycPs;          ///< cycle time at the configured issue rate
-    SetAssocCache l1iCache;
-    SetAssocCache l1dCache;
-    Tlb tlbUnit;
-    DirectRambus rambusModel;
-    Sdram sdramModel;
-    const DramModel *dramSel; ///< cfg.dramKind, resolved once
+    MemoryBackend backend; ///< shared memory-side state (all cores)
+    /** One frontend per configured core (§4.3 CPU model each). */
+    std::vector<std::unique_ptr<CoreFrontend>> frontends;
+    /** The frontend access()/handler calls run against (never null). */
+    CoreFrontend *activeFe = nullptr;
     HandlerTraces handlers;
-    DramDirectory dir; ///< the DRAM paging device's page directory
     EventCounts evt;
     StatsRegistry statsReg;    ///< named stats, filled at construction
-    Log2Histogram dramTxHist;  ///< DRAM transaction sizes (dram.tx_bytes)
 
     /** Write-back cycles for this hierarchy (12 conv., 9 RAMpage). */
     virtual Cycles l1WritebackCost() const = 0;
 
-    /** Scratch buffer reused by handler-trace synthesis. */
-    std::vector<MemRef> handlerScratch;
-    std::vector<Addr> probeScratch;
-
-    /**
-     * Translation cache in front of the TLB: a small direct-mapped
-     * array per reference stream, indexed by the low VPN bits.
-     * Splitting instruction fetches from data references matters
-     * because the two streams alternate pages nearly every
-     * reference (a shared entry thrashes); the data stream
-     * additionally hops across its working set, which the
-     * direct-mapped array absorbs.  Each entry remembers a
-     * (pid, vpn) → frame translation plus the TLB slot that
-     * produced it and the TLB generation it was captured under; it
-     * is live exactly while that generation still matches, so any
-     * TLB mutation — insert, invalidation on page replacement,
-     * flush, corruption hooks — retires the whole cache
-     * automatically.  A live entry replays its hit through
-     * Tlb::recordHitAt(), a bit-exact replica of the full lookup it
-     * short-circuits.
-     *
-     * Invariant ("tlb.trans_cache", audited by auditState and
-     * provable via ModelFault::TransCacheStale): while live, the TLB
-     * holds a matching entry for (pid, vpn) with the same frame.
-     * The context-switch trace additionally drops the cache
-     * explicitly (the translating process changes).
-     */
-    struct TranslationCache
-    {
-        Pid pid = 0;
-        std::uint64_t vpn = 0;
-        std::uint64_t frame = 0;
-        std::uint32_t slot = 0;  ///< TLB slot backing this entry
-        std::uint64_t gen = 0;   ///< Tlb::generation() at capture
-        bool valid = false;
-    };
-    /** Entries per stream; direct-mapped on vpn & (entries - 1). */
-    static constexpr std::size_t transCacheEntries = 64;
-    /** [0] data, [1] instruction. */
-    TranslationCache transCache[2][transCacheEntries];
-    bool transCacheOn = true;
-
-    /** Drop the translation cache (see TranslationCache). */
-    void
-    transCacheInvalidate()
-    {
-        for (auto &stream : transCache)
-            for (TranslationCache &tc : stream)
-                tc.valid = false;
-    }
+    /** Per-stream translation cache (lives in each CoreFrontend). */
+    using TranslationCache = CoreFrontend::TranslationCache;
 
     static constexpr Addr noAddr = ~Addr{0};
 };

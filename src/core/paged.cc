@@ -104,51 +104,81 @@ PagedHierarchy::auditState(AuditContext &ctx) const
 {
     Hierarchy::auditState(ctx);
     store.auditState(ctx);
-    dir.auditState(ctx);
+    backend.dir.auditState(ctx);
 
     const InvertedPageTable &ipt = store.table();
 
-    // L1 inclusion in the SRAM main memory: every cached block must
-    // lie inside the SRAM and inside a pinned OS frame or a frame a
-    // resident page backs — a block of an evicted page is stale data.
-    auto check_inclusion = [&](const SetAssocCache &l1,
-                               const char *label) {
-        l1.forEachValidBlock([&](Addr addr, bool) {
-            if (!ctx.check(addr < store.sramBytes(), "inclusion.l1",
-                           "%s block 0x%llx lies outside the %llu-byte "
-                           "SRAM main memory",
-                           label, static_cast<unsigned long long>(addr),
-                           static_cast<unsigned long long>(
-                               store.sramBytes())))
+    for (unsigned c = 0; c < coreCount(); ++c) {
+        const CoreFrontend &core = fe(c);
+        const std::string who =
+            coreCount() == 1 ? std::string()
+                             : "core" + std::to_string(c) + " ";
+
+        // L1 inclusion in the SRAM main memory: every cached block
+        // must lie inside the SRAM and inside a pinned OS frame or a
+        // frame a resident page backs — a block of an evicted page is
+        // stale data.
+        auto check_inclusion = [&](const SetAssocCache &l1,
+                                   const char *label) {
+            l1.forEachValidBlock([&](Addr addr, bool) {
+                if (!ctx.check(addr < store.sramBytes(), "inclusion.l1",
+                               "%s%s block 0x%llx lies outside the "
+                               "%llu-byte SRAM main memory",
+                               who.c_str(), label,
+                               static_cast<unsigned long long>(addr),
+                               static_cast<unsigned long long>(
+                                   store.sramBytes())))
+                    return true;
+                std::uint64_t frame = addr / store.frameBytes();
+                ctx.check(store.frameBacked(frame), "inclusion.l1",
+                          "%s%s block 0x%llx cached from unmapped SRAM "
+                          "frame %llu",
+                          who.c_str(), label,
+                          static_cast<unsigned long long>(addr),
+                          static_cast<unsigned long long>(frame));
                 return true;
-            std::uint64_t frame = addr / store.frameBytes();
-            ctx.check(store.frameBacked(frame), "inclusion.l1",
-                      "%s block 0x%llx cached from unmapped SRAM "
-                      "frame %llu",
-                      label, static_cast<unsigned long long>(addr),
+            });
+        };
+        check_inclusion(core.l1iCache, "l1i");
+        check_inclusion(core.l1dCache, "l1d");
+
+        // Every TLB entry must agree with the page table it caches
+        // (the cached frame is the page's start frame in both
+        // policies) — and, coherence-lite, the frame's residency mask
+        // must carry this core's bit: page replacement relies on the
+        // mask to find every private copy an ownership change must
+        // invalidate, so a live translation the mask misses is a
+        // stale-private-copy hazard (ModelFault::StalePrivateCopy
+        // proves this detector works).
+        core.tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
+                                           std::uint64_t frame) {
+            bool backed = frame >= store.osFrames() &&
+                          frame < store.totalFrames() &&
+                          ipt.mapped(frame) &&
+                          ipt.framePid(frame) == pid &&
+                          ipt.frameVpn(frame) == vpn;
+            ctx.check(backed, "tlb.backing",
+                      "%sTLB translates pid=%u vpn=0x%llx to SRAM "
+                      "frame %llu, which the page table does not back",
+                      who.c_str(), static_cast<unsigned>(pid),
+                      static_cast<unsigned long long>(vpn),
                       static_cast<unsigned long long>(frame));
+            ctx.check(backend.resident(frame, core.id),
+                      "coherence.residency",
+                      "%sTLB holds a live translation for SRAM frame "
+                      "%llu (pid=%u vpn=0x%llx) but the frame's "
+                      "residency mask (0x%llx) misses the core — page "
+                      "replacement would leave its private copies "
+                      "stale",
+                      who.c_str(),
+                      static_cast<unsigned long long>(frame),
+                      static_cast<unsigned>(pid),
+                      static_cast<unsigned long long>(vpn),
+                      static_cast<unsigned long long>(
+                          backend.residencyMask(frame)));
             return true;
         });
-    };
-    check_inclusion(l1iCache, "l1i");
-    check_inclusion(l1dCache, "l1d");
-
-    // Every TLB entry must agree with the page table it caches (the
-    // cached frame is the page's start frame in both policies).
-    tlbUnit.forEachValidEntry([&](Pid pid, std::uint64_t vpn,
-                                  std::uint64_t frame) {
-        bool backed = frame >= store.osFrames() &&
-                      frame < store.totalFrames() &&
-                      ipt.mapped(frame) && ipt.framePid(frame) == pid &&
-                      ipt.frameVpn(frame) == vpn;
-        ctx.check(backed, "tlb.backing",
-                  "TLB translates pid=%u vpn=0x%llx to SRAM frame "
-                  "%llu, which the page table does not back",
-                  static_cast<unsigned>(pid),
-                  static_cast<unsigned long long>(vpn),
-                  static_cast<unsigned long long>(frame));
-        return true;
-    });
+    }
 
     // Every resident page was faulted in through DRAM, so the paging
     // device's directory must know its home.
@@ -161,7 +191,7 @@ PagedHierarchy::auditState(AuditContext &ctx) const
         std::uint64_t dvpn =
             (ipt.frameVpn(frame) * store.pageBytes(pid)) >>
             dram_page_bits;
-        ctx.check(dir.lookup(pid, dvpn), "ipt.dram_home",
+        ctx.check(backend.dir.lookup(pid, dvpn), "ipt.dram_home",
                   "resident page pid=%u vpn=0x%llx (frame %llu) has "
                   "no DRAM home in the directory",
                   static_cast<unsigned>(pid),
@@ -200,11 +230,12 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     ++evt.l2Misses; // SRAM main-memory page faults
     PageFaultResult fault = store.handleFault(pid, vpn);
 
-    // The fault handler body, interleaved through the hierarchy; its
-    // table probes hit the pinned reserve.
-    handlerScratch.clear();
-    handlers.pageFault(handlerScratch, fault.probes);
-    AccessEngine::runHandlerRefs(*this, handlerScratch,
+    // The fault handler body, interleaved through the hierarchy (the
+    // faulting core runs it); its table probes hit the pinned reserve.
+    std::vector<MemRef> &scratch = fe().handlerScratch;
+    scratch.clear();
+    handlers.pageFault(scratch, fault.probes);
+    AccessEngine::runHandlerRefs(*this, scratch,
                                  OverheadKind::PageFault);
 
     // The replacement policy's frame-table scan (the clock hand's
@@ -224,20 +255,49 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     // pages, each priced as its own DRAM write.
     bool paired = store.uniform();
     bool write_victim = false;
-    // Page replacement tears down translations: the one-entry
-    // last-translation cache must go with them ("tlb.trans_cache"
+    // Page replacement tears down translations: the per-stream
+    // last-translation caches must go with them ("tlb.trans_cache"
     // invariant — a stale survivor here is exactly what
     // ModelFault::TransCacheStale injects).
-    if (!fault.victims.empty())
-        transCacheInvalidate();
+    if (!fault.victims.empty() && coreCount() == 1)
+        fe().transCacheInvalidate();
     for (const PageVictim &victim : fault.victims) {
-        tlbUnit.invalidate(victim.pid, victim.vpn);
-        RAMPAGE_TRACE_EVENT(TlbFlush, 0, victim.vpn, victim.pid);
         Addr victim_base = victim.startFrame * frame_bytes;
         Cycles flush_cycles = 0;
         bool dirty = victim.dirty;
-        dirty |= invalidateL1Range(victim_base, victim.bytes,
-                                   flush_cycles);
+        if (coreCount() == 1) {
+            // The historical single-core path, bit-identical to the
+            // monolithic engine.
+            fe().tlbUnit.invalidate(victim.pid, victim.vpn);
+            RAMPAGE_TRACE_EVENT(TlbFlush, 0, victim.vpn, victim.pid);
+            dirty |= invalidateL1Range(victim_base, victim.bytes,
+                                       flush_cycles);
+        } else {
+            // Ownership change (coherence-lite): exactly the cores in
+            // the departing frame's residency mask may hold private
+            // copies — invalidate each one's TLB entry, translation
+            // cache and L1 blocks, charging the probe/flush cycles per
+            // resident core.  Non-resident cores never translated the
+            // frame since its last assignment, so they are untouched.
+            std::uint64_t mask =
+                backend.residencyMask(victim.startFrame);
+            for (unsigned c = 0; c < coreCount(); ++c) {
+                if (!((mask >> c) & 1))
+                    continue;
+                CoreFrontend &core = fe(static_cast<CoreId>(c));
+                core.tlbUnit.invalidate(victim.pid, victim.vpn);
+                RAMPAGE_TRACE_EVENT(TlbFlush, 0, victim.vpn,
+                                    victim.pid);
+                core.transCacheInvalidate();
+                Cycles core_cycles = 0;
+                dirty |= invalidateL1RangeFor(core, victim_base,
+                                              victim.bytes,
+                                              core_cycles);
+                flush_cycles += core_cycles;
+            }
+        }
+        // No core holds copies of the reassigned frame any more.
+        backend.clearResidency(victim.startFrame);
         if (paired) {
             write_victim |= dirty;
         } else if (dirty) {
@@ -254,7 +314,7 @@ PagedHierarchy::servicePageFault(Pid pid, std::uint64_t vpn,
     // off the critical path, §2.3, and DRAM is infinite so the lookup
     // always hits).
     std::uint64_t page_bytes = store.pageBytes(pid);
-    dir.physAddr(pid, vpn * page_bytes); // allocate the DRAM home
+    backend.dir.physAddr(pid, vpn * page_bytes); // allocate the DRAM home
     if (paired && write_victim) {
         ++evt.dramWrites;
         ++evt.dramReads;

@@ -97,6 +97,18 @@ class PagedHierarchy final : public Hierarchy
     std::uint64_t resolveFault(Pid pid, std::uint64_t vpn,
                                AccessOutcome &outcome) override;
 
+    /**
+     * Coherence-lite: a translation install makes the active core a
+     * holder of private copies (TLB entry, L1 lines) of the SRAM
+     * frame — record its bit in the frame's residency mask so page
+     * replacement invalidates exactly the right cores' copies.
+     */
+    void
+    noteFrameResidency(std::uint64_t frame) override
+    {
+        backend.noteResidency(frame, fe().port.core);
+    }
+
   private:
     /**
      * Service a page fault for (pid, vpn): run the fault handler

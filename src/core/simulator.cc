@@ -188,6 +188,8 @@ Simulator::fastLoopEligible(const Auditor &auditor) const
 SimResult
 Simulator::run()
 {
+    if (hier.coreCount() > 1 || cfg.forceMulticoreDriver)
+        return runMulticore();
     return cfg.switchOnMiss ? runSwitchOnMiss() : runBlocking();
 }
 
@@ -323,6 +325,338 @@ Simulator::runBlocking()
                                 auditor.checksRun());
     }
     obs.finish(result, cfg.maxRefs, now);
+    return result;
+}
+
+SimResult
+Simulator::runMulticore()
+{
+    const unsigned ncores = hier.coreCount();
+    if (sources.size() < ncores)
+        throw ConfigError(
+            "multicore run needs at least one trace source per core "
+            "(%u cores, %zu sources)",
+            ncores, sources.size());
+
+    Auditor auditor(cfg.auditLevel);
+    FaultInjector injector(parseFaultPlan(cfg.faultPlan));
+    ObsScope obs(cfg, hier.statsRegistry());
+
+    // Core scheduling is chunk-granular: every loop iteration hands
+    // the least-advanced core up to batchRefs of work, whatever the
+    // audit/observability level.  When a per-reference facility is on
+    // (paranoid audits, tracing, interval stats, the generic-dispatch
+    // seam) the chunk is processed one reference at a time *inside*
+    // the iteration, so those facilities regain per-reference
+    // granularity without perturbing the core interleave — runs are
+    // byte-identical at every audit level, as in the single-core
+    // drivers.
+    const bool fast_loop = fastLoopEligible(auditor);
+
+    // A batch the switch-on-miss path cuts short at a fault leaves
+    // unconsumed references behind; each source keeps a persistent
+    // buffer drained strictly in order so its reference sequence is
+    // exactly what a per-reference loop would have pulled.
+    struct Buffered
+    {
+        std::vector<MemRef> refs;
+        std::size_t pos = 0;
+    };
+    std::vector<Buffered> bufs(sources.size());
+
+    struct CoreRun
+    {
+        std::vector<std::size_t> srcs; ///< global source indices
+        std::size_t current = 0;       ///< local rotation (blocking)
+        std::uint64_t inSlice = 0;     ///< blocking slice progress
+        std::unique_ptr<Scheduler> sched; ///< switch-on-miss only
+        Tick now = 0;                  ///< this core's clock
+    };
+    std::vector<CoreRun> cores(ncores);
+    // Sources round-robin across cores: source i runs on core i % N.
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        cores[i % ncores].srcs.push_back(i);
+    if (cfg.switchOnMiss)
+        for (CoreRun &core : cores)
+            core.sched = std::make_unique<Scheduler>(
+                core.srcs.size(), cfg.quantumRefs);
+
+    // Globally priced time: every cpuPs/deferPs increment, summed
+    // across cores.  The blocking conservation identity
+    // (elapsed == totalTimePs(counts, issueHz)) holds for this sum —
+    // the per-core clocks additionally carry bus-contention waits the
+    // event counts deliberately do not price.
+    Tick priced = 0;
+    // Shared transfer bus (the single Rambus channel): one core's
+    // page transfer or miss traffic delays every other core's, the
+    // multicore generalization of the single-core switch-on-miss
+    // channel serialization.
+    Tick bus_free_at = 0;
+    Tick bus_stall = 0;
+    std::uint64_t audited_misses = hier.counts().l2Misses;
+    std::uint64_t executed = 0;
+
+    if (cfg.switchOnMiss && cfg.insertSwitchTrace) {
+        // Every core boots into its first process, as the single-core
+        // driver does before its loop.
+        for (unsigned c = 0; c < ncores; ++c) {
+            hier.activateCore(static_cast<CoreId>(c));
+            Tick t = hier.runContextSwitchTrace();
+            cores[c].now += t;
+            priced += t;
+        }
+    }
+
+    std::vector<MemRef> scratch(batchRefs); // blocking-mode fill buffer
+
+    while (executed < cfg.maxRefs) {
+        checkWatchdog();
+        // Deterministic interleave: the least-advanced core runs the
+        // next quantum of work; the lowest core id breaks ties.
+        unsigned k = 0;
+        for (unsigned c = 1; c < ncores; ++c)
+            if (cores[c].now < cores[k].now)
+                k = c;
+        CoreRun &core = cores[k];
+        hier.activateCore(static_cast<CoreId>(k));
+        obs.setNow(core.now);
+
+        if (!cfg.switchOnMiss) {
+            if (core.inSlice == 0 && cfg.insertSwitchTrace) {
+                Tick t = hier.runContextSwitchTrace();
+                core.now += t;
+                priced += t;
+                obs.setNow(core.now);
+            }
+            std::uint64_t n = std::min(
+                {cfg.maxRefs - executed,
+                 cfg.quantumRefs - core.inSlice, batchRefs});
+            fillRefs(core.srcs[core.current], scratch.data(),
+                     static_cast<std::size_t>(n));
+            Tick dram_before = hier.counts().dramPs;
+            if (fast_loop) {
+                BatchOutcome out = hier.accessBatch(
+                    scratch.data(), static_cast<std::size_t>(n),
+                    false);
+                Tick spent = out.cpuPs + out.deferPs;
+                core.now += spent;
+                priced += spent;
+            } else {
+                for (std::uint64_t i = 0; i < n; ++i) {
+                    obs.setNow(core.now);
+                    AccessOutcome one =
+                        cfg.genericDispatch
+                            ? hier.accessGeneric(scratch[i])
+                            : hier.access(scratch[i]);
+                    Tick spent = one.cpuPs + one.deferPs;
+                    core.now += spent;
+                    priced += spent;
+                    obs.maybeSample(executed + i + 1, core.now);
+                    if (auditor.paranoid() &&
+                        hier.counts().l2Misses != audited_misses) {
+                        audited_misses = hier.counts().l2Misses;
+                        auditor.auditBlocking(hier, priced,
+                                              "L2/SRAM miss");
+                    }
+                }
+            }
+            executed += n;
+            core.inSlice += n;
+
+            // Bus occupancy: the chunk's DRAM time must start after
+            // the bus frees; a busy bus stalls this core (wall-clock
+            // only — priced time stays the conservation identity's).
+            Tick dram_ps = hier.counts().dramPs - dram_before;
+            if (ncores > 1 && dram_ps > 0) {
+                Tick start_want = core.now - dram_ps;
+                if (bus_free_at > start_want) {
+                    Tick wait = bus_free_at - start_want;
+                    core.now += wait;
+                    bus_stall += wait;
+                }
+                bus_free_at = core.now;
+            }
+            if (fast_loop)
+                obs.maybeSample(executed, core.now);
+
+            if (core.inSlice >= cfg.quantumRefs) {
+                core.inSlice = 0;
+                core.current = (core.current + 1) % core.srcs.size();
+                auditor.auditBlocking(hier, priced,
+                                      "quantum boundary");
+                if (injector.pending())
+                    injector.apply(hier);
+            }
+        } else {
+            Scheduler &sched = *core.sched;
+            std::size_t src = core.srcs[sched.current()];
+            Buffered &buf = bufs[src];
+            if (buf.pos == buf.refs.size()) {
+                buf.refs.resize(batchRefs);
+                fillRefs(src, buf.refs.data(), batchRefs);
+                buf.pos = 0;
+            }
+            std::uint64_t n = std::min(
+                {cfg.maxRefs - executed, sched.refsUntilQuantum(),
+                 static_cast<std::uint64_t>(buf.refs.size() -
+                                            buf.pos),
+                 batchRefs});
+            BatchOutcome out;
+            if (fast_loop) {
+                out = hier.accessBatch(
+                    buf.refs.data() + buf.pos,
+                    static_cast<std::size_t>(n), true);
+            } else {
+                // Per-reference walk over the same chunk, stopping at
+                // the first deferred fault exactly as accessBatch
+                // does, so the schedule (and thus the whole run) is
+                // independent of the audit/observability level.
+                while (out.consumed < n) {
+                    obs.setNow(core.now + out.cpuPs);
+                    AccessOutcome one =
+                        cfg.genericDispatch
+                            ? hier.accessGeneric(
+                                  buf.refs[buf.pos + out.consumed])
+                            : hier.access(
+                                  buf.refs[buf.pos + out.consumed]);
+                    ++out.consumed;
+                    out.cpuPs += one.cpuPs;
+                    obs.maybeSample(executed + out.consumed,
+                                    core.now + out.cpuPs);
+                    if (auditor.paranoid() &&
+                        hier.counts().l2Misses != audited_misses) {
+                        audited_misses = hier.counts().l2Misses;
+                        auditor.auditSwitchOnMiss(hier, sched,
+                                                  core.now + out.cpuPs,
+                                                  "SRAM miss");
+                    }
+                    if (one.pageFault && one.deferPs > 0) {
+                        out.deferPs = one.deferPs;
+                        out.pageFault = true;
+                        break;
+                    }
+                }
+            }
+            buf.pos += out.consumed;
+            core.now += out.cpuPs;
+            priced += out.cpuPs;
+            executed += out.consumed;
+            bool quantum_expired = sched.onRefs(out.consumed);
+            if (fast_loop)
+                obs.maybeSample(executed, core.now);
+
+            if (out.pageFault) {
+                auditor.auditSwitchOnMiss(hier, sched, core.now,
+                                          "miss boundary");
+                // The shared channel serializes every core's page
+                // transfers: the move starts when the bus frees.
+                Tick start = std::max(core.now, bus_free_at);
+                Tick done = start + out.deferPs;
+                bus_free_at = done;
+                priced += out.deferPs;
+
+                if (cfg.insertSwitchTrace) {
+                    Tick t = hier.runContextSwitchTrace();
+                    core.now += t;
+                    priced += t;
+                }
+                SchedPick pick = sched.blockCurrent(core.now, done);
+                core.now = std::max(core.now, pick.resumeAt);
+
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, core.now);
+                    else
+                        injector.apply(hier);
+                }
+            } else if (quantum_expired) {
+                auditor.auditSwitchOnMiss(hier, sched, core.now,
+                                          "quantum boundary");
+                if (cfg.insertSwitchTrace) {
+                    Tick t = hier.runContextSwitchTrace();
+                    core.now += t;
+                    priced += t;
+                }
+                SchedPick pick = sched.rotate(core.now);
+                core.now = std::max(core.now, pick.resumeAt);
+
+                if (injector.pending()) {
+                    if (injector.targetsScheduler())
+                        injector.applyScheduler(sched, core.now);
+                    else
+                        injector.apply(hier);
+                }
+            }
+        }
+    }
+
+    // The run ends when the last core retires its work and any
+    // transfer still on the bus completes.
+    Tick end_now = cfg.switchOnMiss ? bus_free_at : 0;
+    for (const CoreRun &core : cores)
+        end_now = std::max(end_now, core.now);
+    if (cfg.switchOnMiss) {
+        for (CoreRun &core : cores)
+            auditor.auditSwitchOnMiss(hier, *core.sched, end_now,
+                                      "end of run");
+    } else {
+        auditor.auditBlocking(hier, priced, "end of run");
+    }
+    if (injector.pending())
+        warnOnce("fault injection: '%s' was never applied (the run "
+                 "ended before its first audit boundary)",
+                 modelFaultName(injector.planned().kind));
+
+    SimResult result;
+    result.elapsedPs = end_now;
+    result.counts = hier.counts();
+    result.systemName = hier.name();
+    result.issueHz = hier.commonConfig().issueHz;
+    result.traceGenSeconds = fillSeconds;
+    result.stats = hier.statsRegistry().snapshot();
+    if (cfg.switchOnMiss) {
+        SchedStats total;
+        StatsRegistry sched_reg;
+        for (unsigned c = 0; c < ncores; ++c) {
+            const SchedStats &s = cores[c].sched->stats();
+            total.quantumSwitches += s.quantumSwitches;
+            total.missSwitches += s.missSwitches;
+            total.stalls += s.stalls;
+            total.stallTime += s.stallTime;
+            const std::string prefix =
+                ncores == 1 ? "sched"
+                            : "core" + std::to_string(c) + ".sched";
+            cores[c].sched->registerStats(sched_reg, prefix);
+        }
+        result.sched = total;
+        result.stallPs = total.stallTime;
+        result.stats.append(sched_reg.snapshot());
+    } else {
+        result.stallPs = bus_stall;
+    }
+    result.stats.addCounter("sim.elapsed_ps",
+                            "elapsed simulated picoseconds", end_now);
+    if (cfg.switchOnMiss) {
+        result.stats.addCounter(
+            "sim.stall_ps",
+            "CPU idle ps waiting for page transfers", result.stallPs);
+    } else if (ncores > 1) {
+        result.stats.addCounter(
+            "sim.stall_ps",
+            "core idle ps waiting for the shared transfer bus",
+            bus_stall);
+    }
+    result.stats.addValue("sim.seconds", "elapsed simulated seconds",
+                          result.seconds());
+    if (auditor.enabled()) {
+        result.stats.addCounter("audit.runs",
+                                "model-integrity audit passes",
+                                auditor.auditsRun());
+        result.stats.addCounter("audit.checks",
+                                "individual invariant checks run",
+                                auditor.checksRun());
+    }
+    obs.finish(result, cfg.maxRefs, end_now);
     return result;
 }
 

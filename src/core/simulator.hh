@@ -88,6 +88,24 @@ struct SimConfig
      * bit-identical; production configs leave it off.
      */
     bool genericDispatch = false;
+    /**
+     * CPU cores the built hierarchy should have (factory-level knob,
+     * consumed by sweep::simulateSystem before construction — the
+     * Simulator itself follows Hierarchy::coreCount()).  0 leaves the
+     * hierarchy config's own CommonConfig::cores untouched;
+     * defaultSimConfig()/armedSimConfig() fill it from --cores /
+     * RAMPAGE_CORES.
+     */
+    unsigned cores = 0;
+    /**
+     * Test seam: drive the run through the multicore round-robin
+     * driver even with one core.  The forced single-core multicore
+     * run is bit-identical to the legacy driver at audit levels
+     * Off/Boundaries without timeline tracing (the multicore loop
+     * batches per core, so per-reference trace events and paranoid
+     * audit cadence differ); tests/test_multicore.cc proves it.
+     */
+    bool forceMulticoreDriver = false;
 };
 
 /** Result of one simulation. */
@@ -185,6 +203,18 @@ class Simulator
 
     SimResult runBlocking();
     SimResult runSwitchOnMiss();
+
+    /**
+     * The N-core driver: per-core run queues over per-core trace
+     * sources, deterministic least-advanced-core-first interleave
+     * (core id breaks ties), per-core switch-on-miss schedulers, and
+     * the shared transfer bus serializing every core's DRAM traffic
+     * (MemoryBackend-style busFreeAt occupancy).  Blocking-mode
+     * audits check the *globally priced* time — the per-core clocks
+     * include bus-contention waits the event counts deliberately do
+     * not price.
+     */
+    SimResult runMulticore();
 
     Hierarchy &hier;
     std::vector<std::unique_ptr<TraceSource>> sources;

@@ -77,6 +77,7 @@ parseCount(const char *origin, const char *text)
 }
 
 unsigned jobsOverride = 0;
+unsigned coresOverride = 0;
 double pointDeadlineOverride = 0;
 int retriesOverride = -1;
 int isolateOverride = -1;
@@ -129,6 +130,32 @@ void
 setJobsOverride(unsigned jobs)
 {
     jobsOverride = jobs;
+}
+
+unsigned
+parseCores(const std::string &text, const char *origin)
+{
+    std::uint64_t cores = parseCount(origin, text.c_str());
+    if (cores == 0 || cores > maxCores)
+        throw ConfigError("%s: core count must be in [1, %u], got '%s'",
+                          origin, maxCores, text.c_str());
+    return static_cast<unsigned>(cores);
+}
+
+unsigned
+resolveCores()
+{
+    if (coresOverride)
+        return coresOverride;
+    if (const char *env = envOrNull("RAMPAGE_CORES"))
+        return parseCores(env, "RAMPAGE_CORES");
+    return 0;
+}
+
+void
+setCoresOverride(unsigned cores)
+{
+    coresOverride = cores;
 }
 
 double
@@ -307,6 +334,7 @@ defaultSimConfig(bool switch_on_miss)
     sim.watchdogRefBudget = scale.refs * 8 + 1'000'000;
     sim.auditLevel = resolveAuditLevel();
     sim.faultPlan = resolveFaultPlanSpec();
+    sim.cores = resolveCores();
     ObsSettings obs = resolveObsSettings();
     sim.traceOutBase = obs.traceOutBase;
     sim.statsIntervalRefs = obs.statsIntervalRefs;
@@ -324,6 +352,7 @@ armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs)
     sim.watchdogRefBudget = refs * 8 + 1'000'000;
     sim.auditLevel = resolveAuditLevel();
     sim.faultPlan = resolveFaultPlanSpec();
+    sim.cores = resolveCores();
     ObsSettings obs = resolveObsSettings();
     sim.traceOutBase = obs.traceOutBase;
     sim.statsIntervalRefs = obs.statsIntervalRefs;
@@ -335,7 +364,13 @@ armedSimConfig(std::uint64_t refs, std::uint64_t quantum_refs)
 SimResult
 simulateSystem(const HierarchyConfig &config, const SimConfig &sim)
 {
-    std::unique_ptr<Hierarchy> hierarchy = makeHierarchy(config);
+    // SimConfig::cores is a factory-level knob: apply it to the
+    // hierarchy description before construction (0 leaves the
+    // config's own core count alone).
+    HierarchyConfig built = config;
+    if (sim.cores > 0)
+        built.common().cores = sim.cores;
+    std::unique_ptr<Hierarchy> hierarchy = makeHierarchy(built);
     SimConfig effective = sim;
     if (config.family == HierarchyConfig::Family::Paged)
         effective.switchOnMiss = config.paged.switchOnMiss;

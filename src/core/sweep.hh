@@ -14,6 +14,8 @@
  *  - RAMPAGE_RATES=a,b,c  issue rates (default 200MHz,500MHz,1GHz,
  *                         2GHz,4GHz)
  *  - RAMPAGE_JOBS=<n>     SweepRunner worker threads (default 1)
+ *  - RAMPAGE_CORES=<n>    CPU cores per simulated system (default:
+ *                         the hierarchy config's own setting, i.e. 1)
  *  - RAMPAGE_DEADLINE=<s> per-point wall-clock deadline in seconds
  *                         (default: none)
  *  - RAMPAGE_RETRIES=<n>  retries for transiently-failed points
@@ -75,6 +77,25 @@ unsigned resolveJobs();
 
 /** CLI override for resolveJobs(); 0 clears the override (tests). */
 void setJobsOverride(unsigned jobs);
+
+/**
+ * Parse a simulated-core count ("4") with the same strict validation
+ * as parseJobs(), capped at maxCores (core/core_frontend.hh), naming
+ * `origin` in the ConfigError.
+ */
+unsigned parseCores(const std::string &text,
+                    const char *origin = "--cores");
+
+/**
+ * Simulated CPU cores to build hierarchies with when SimConfig::cores
+ * is 0: the setCoresOverride() value (the benches' --cores flag), else
+ * RAMPAGE_CORES, else 0 — meaning "leave the hierarchy config's own
+ * CommonConfig::cores untouched".
+ */
+unsigned resolveCores();
+
+/** CLI override for resolveCores(); 0 clears the override (tests). */
+void setCoresOverride(unsigned cores);
 
 /** Largest retry count resolveRetries()/parseRetries() accept. */
 constexpr unsigned maxSweepRetries = 16;

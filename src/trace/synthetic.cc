@@ -18,9 +18,27 @@ SyntheticProgram::SyntheticProgram(const ProgramProfile &profile, Pid pid)
 }
 
 void
+SyntheticProgram::cacheProfileConstants()
+{
+    hotCodeCached = hotCodeBytes();
+    globalHotBytes =
+        std::min<std::uint64_t>(prof.globalBytes, 12 * 1024);
+    // The skewed regions' hot spans, exactly as Rng::skewedBelow
+    // derives them (fraction 0.08, floored at 1).
+    auto skew_hot = [](std::uint64_t bound) {
+        std::uint64_t hot = static_cast<std::uint64_t>(
+            static_cast<double>(bound) * 0.08);
+        return hot == 0 ? std::uint64_t{1} : hot;
+    };
+    stackSkewHot = skew_hot(prof.stackBytes);
+    globalSkewHot = skew_hot(prof.globalBytes);
+}
+
+void
 SyntheticProgram::reset()
 {
     rng = Rng(prof.seed);
+    cacheProfileConstants();
     pc = codeBase;
     hotCodeBase = codeBase;
     hotHeapBytes = prof.hotDataBytes;
@@ -61,7 +79,7 @@ SyntheticProgram::changePhase()
                                   : 1;
     hotHeapBase = heapBase + alignDown(rng.below(heap_span), 8);
 
-    std::uint64_t hot_code = hotCodeBytes();
+    std::uint64_t hot_code = hotCodeCached;
     std::uint64_t code_span = prof.codeBytes > hot_code
                                   ? prof.codeBytes - hot_code
                                   : 1;
@@ -73,7 +91,7 @@ Addr
 SyntheticProgram::nextFetch()
 {
     if (rng.chance(prof.branchTakenRate)) {
-        std::uint64_t hot_code = hotCodeBytes();
+        std::uint64_t hot_code = hotCodeCached;
         if (rng.chance(prof.hotCodeProb)) {
             // Branch within the current loop nest.
             pc = hotCodeBase + alignDown(rng.below(hot_code), 2);
@@ -115,20 +133,21 @@ SyntheticProgram::nextData()
     if (region < prof.stackFraction) {
         // Stack: intensely hot within the top frame or two.
         return stackTop - alignDown(
-            rng.skewedBelow(prof.stackBytes, 0.08, 0.99), 2);
+            rng.skewedBelowCached(prof.stackBytes, stackSkewHot, 0.99),
+            2);
     }
     region -= prof.stackFraction;
     if (region < prof.globalFraction) {
         // Bursty accesses against a hot slice of the static data,
         // with a rare skewed excursion over the whole region.
         if (rng.chance(0.995)) {
-            std::uint64_t hot = std::min<std::uint64_t>(
-                prof.globalBytes, 12 * 1024);
-            return burstWalk(globalPtr, globalBase, hot,
+            return burstWalk(globalPtr, globalBase, globalHotBytes,
                              prof.globalJumpProb);
         }
         return globalBase + alignDown(
-            rng.skewedBelow(prof.globalBytes, 0.08, 0.95), 2);
+            rng.skewedBelowCached(prof.globalBytes, globalSkewHot,
+                                  0.95),
+            2);
     }
     // Heap reference: streaming or hot-window.
     if (prof.streamFraction > 0 && rng.chance(prof.streamFraction)) {
@@ -195,10 +214,44 @@ SyntheticProgram::next(MemRef &ref)
 std::size_t
 SyntheticProgram::fill(MemRef *buf, std::size_t n)
 {
-    // The class is final, so these next() calls bind statically; the
-    // stream is endless, so the buffer always fills.
-    for (std::size_t got = 0; got < n; ++got)
-        next(buf[got]);
+    // Flattened copy of the next() state machine writing straight
+    // into the caller's batch buffer: the per-reference pending-data
+    // bounce through member state happens only across call
+    // boundaries, not per reference.  Draw order is identical to
+    // next(), so the stream is bit-identical to the per-call path
+    // (tests/test_dispatch_equivalence.cc holds this to account).
+    std::size_t got = 0;
+    if (dataPending && got < n) {
+        dataPending = false;
+        buf[got++] = pendingRef;
+    }
+    while (got < n) {
+        MemRef &fetch = buf[got++];
+        fetch.vaddr = nextFetch();
+        fetch.kind = RefKind::IFetch;
+        fetch.pid = streamPid;
+
+        if (++instrSincePhase >= prof.phaseLength)
+            changePhase();
+
+        if (rng.chance(prof.dataPerInstr)) {
+            // The data reference's draws happen with the fetch that
+            // carries it, exactly as next() stages them.
+            MemRef data;
+            data.vaddr = nextData();
+            data.kind = rng.chance(prof.storeFraction)
+                            ? RefKind::Store
+                            : RefKind::Load;
+            data.pid = streamPid;
+            if (got < n) {
+                buf[got++] = data;
+            } else {
+                pendingRef = data;
+                dataPending = true;
+            }
+        }
+    }
+    refCount += n;
     return n;
 }
 

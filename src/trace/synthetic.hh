@@ -139,6 +139,9 @@ class SyntheticProgram final : public TraceSource
     /** Loop-nest size: fraction of the text, capped. */
     std::uint64_t hotCodeBytes() const;
 
+    /** Recompute the cached per-profile constants (reset()). */
+    void cacheProfileConstants();
+
     /**
      * Advance a bursty cursor within [base, base+span): a local
      * meander with probability (1 - jump_prob), a uniform jump
@@ -161,6 +164,16 @@ class SyntheticProgram final : public TraceSource
     Addr globalPtr = 0;           ///< global-region burst cursor
     std::uint64_t instrSincePhase = 0;
     std::uint64_t refCount = 0;
+
+    // Per-profile constants the generators previously recomputed per
+    // reference (floating-point multiplies visible in trace_gen
+    // profiles); cacheProfileConstants() derives them once.  The
+    // cached values feed the exact expressions they replace, so the
+    // generated stream is bit-identical.
+    std::uint64_t hotCodeCached = 0;  ///< hotCodeBytes() memoised
+    std::uint64_t globalHotBytes = 0; ///< bursty hot slice of globals
+    std::uint64_t stackSkewHot = 0;   ///< skewedBelow span (stack)
+    std::uint64_t globalSkewHot = 0;  ///< skewedBelow span (globals)
 
     bool dataPending = false;
     MemRef pendingRef{};

@@ -99,6 +99,23 @@ class Rng
             static_cast<double>(bound) * hot_fraction);
         if (hot == 0)
             hot = 1;
+        return skewedBelowCached(bound, hot, hot_probability);
+    }
+
+    /**
+     * skewedBelow() with the hot span precomputed by the caller —
+     * identical draw sequence (the short-circuit on hot >= bound skips
+     * the probability draw exactly as skewedBelow does).  The
+     * synthetic trace generators cache the span per profile so the
+     * per-reference floating-point hot computation disappears from
+     * the trace_gen hot loop.
+     */
+    std::uint64_t
+    skewedBelowCached(std::uint64_t bound, std::uint64_t hot,
+                      double hot_probability)
+    {
+        RAMPAGE_ASSERT(bound != 0,
+                       "skewedBelowCached requires a nonzero bound");
         if (hot >= bound || !chance(hot_probability))
             return below(bound);
         return below(hot);

@@ -29,6 +29,13 @@ using Cycles = std::uint64_t;
 /** Process (address-space) identifier; traces carry one per stream. */
 using Pid = std::uint16_t;
 
+/**
+ * Identifier of one CPU core (one CoreFrontend) in a multicore
+ * system.  Every request a frontend issues to the shared memory
+ * backend carries one (see core/core_frontend.hh).
+ */
+using CoreId = std::uint32_t;
+
 /** Reserved pid for operating-system handler references. */
 constexpr Pid osPid = 0xffff;
 
